@@ -1,0 +1,83 @@
+"""Ablation — message buffering (Section 3.5, "Message Buffering").
+
+The paper argues buffering is essential: without it "there can be a large
+number of outstanding messages in the system".  This ablation runs the
+literal event-driven Algorithm 3.1 with buffering disabled and with
+increasing buffer capacities, measuring MPI-level sends, and contrasts the
+hazardous hold-until-full policy with the safe flush-on-idle policy.
+
+Regenerates: the buffering design-choice table DESIGN.md calls out.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.event_driven import run_event_driven_pa_x1
+from repro.core.partitioning import make_partition
+from repro.mpsim.errors import DeadlockError
+
+N = 3_000
+P = 8
+CAPACITIES = [None, 4, 16, 64, 256]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    part = make_partition("rrp", N, P)
+    for cap in CAPACITIES:
+        _, sim = run_event_driven_pa_x1(
+            N, part, seed=0, buffer_capacity=cap, flush_on_idle=True
+        )
+        rows.append((
+            "unbuffered" if cap is None else cap,
+            sim.stats.total_messages,
+            sim.stats.total_bytes,
+            f"{sim.makespan * 1e3:.2f}",
+        ))
+    return rows
+
+
+def test_buffering_report(report, sweep):
+    report.emit(format_table(
+        ["buffer capacity", "MPI sends", "bytes", "sim time (ms)"],
+        sweep,
+        title=f"Ablation: message buffering, n={N}, P={P}, RRP "
+              "(paper: buffering cuts outstanding messages and overhead)",
+    ))
+
+
+def test_buffering_reduces_sends_monotonically(sweep):
+    sends = [row[1] for row in sweep]
+    assert sends == sorted(sends, reverse=True)
+    assert sends[0] > 5 * sends[-1]
+
+
+def test_hazardous_policy_deadlock_rate(report):
+    """Hold-until-full (no idle flush) deadlocks under RRP; the paper's
+    every-group rule (subsumed by flush-on-idle) never does."""
+    part = make_partition("rrp", N, P)
+    deadlocks = 0
+    trials = 5
+    for seed in range(trials):
+        try:
+            run_event_driven_pa_x1(
+                N, part, seed=seed, buffer_capacity=1 << 20, flush_on_idle=False
+            )
+        except DeadlockError:
+            deadlocks += 1
+    report.emit(
+        f"hold-until-full policy: {deadlocks}/{trials} runs deadlocked; "
+        "flush-on-idle policy: 0 deadlocks (verified in tests/core/test_deadlock.py)"
+    )
+    assert deadlocks > 0
+
+
+@pytest.mark.benchmark(group="ablation-buffering")
+def test_bench_buffered_run(benchmark):
+    part = make_partition("rrp", N, P)
+    edges, _ = benchmark.pedantic(
+        lambda: run_event_driven_pa_x1(N, part, seed=1, buffer_capacity=64),
+        rounds=1, iterations=1,
+    )
+    assert len(edges) == N - 1

@@ -1,0 +1,60 @@
+"""Ablation — what drives the scaling curves: load imbalance vs communication.
+
+The simulated runtimes combine compute imbalance with message costs.  This
+ablation re-runs the strong-scaling point sweep under the ``zero-latency``
+preset (communication free — isolates pure load imbalance) and the
+``slow-network`` preset (Ethernet-class — stresses the message terms),
+showing that UCP's disadvantage is an imbalance effect (it persists with
+free communication), which is the paper's Section 4.6 explanation.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.scaling import strong_scaling
+from repro.mpsim.costmodel import PRESETS
+
+N = 60_000
+X = 6
+RANKS = [16, 64]
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    out = {}
+    for preset in ("sc13-sandybridge-qdr", "zero-latency", "slow-network"):
+        out[preset] = strong_scaling(
+            N, X, RANKS, schemes=("ucp", "rrp"), seed=0,
+            cost_model=PRESETS[preset].cost,
+        )
+    return out
+
+
+def test_costmodel_report(report, sweeps):
+    rows = []
+    for preset, curves in sweeps.items():
+        for i, P in enumerate(RANKS):
+            rows.append((
+                preset, P,
+                round(curves["ucp"][i].speedup, 2),
+                round(curves["rrp"][i].speedup, 2),
+                round(curves["rrp"][i].speedup / max(curves["ucp"][i].speedup, 1e-9), 2),
+            ))
+    report.emit(format_table(
+        ["cost model", "P", "UCP speedup", "RRP speedup", "RRP/UCP"],
+        rows,
+        title=f"Ablation: machine model vs scheme gap, n={N:.0e}, x={X}",
+    ))
+
+
+def test_imbalance_gap_survives_free_communication(sweeps):
+    """RRP > UCP even when messages cost nothing => it's load imbalance."""
+    curves = sweeps["zero-latency"]
+    assert curves["rrp"][-1].speedup > 1.2 * curves["ucp"][-1].speedup
+
+
+def test_slow_network_hurts_everyone(sweeps):
+    fast = sweeps["sc13-sandybridge-qdr"]
+    slow = sweeps["slow-network"]
+    for scheme in ("ucp", "rrp"):
+        assert slow[scheme][-1].speedup < fast[scheme][-1].speedup

@@ -1,0 +1,87 @@
+"""Ablation — interconnect topology and partition locality.
+
+The paper's testbed has (approximately) full bisection bandwidth, so
+message *destination* never matters.  This ablation asks what changes on
+locality-sensitive networks: we re-run the generation under ring, 2-D
+torus, and two-level fat-tree topologies with a stiff hop penalty and
+compare the simulated times of the partitioning schemes.
+
+Expected shape: RRP's advantage persists (its win is load balance, which no
+topology changes), but all schemes slow on high-diameter networks, and
+consecutive schemes — whose requests flow strictly from high ranks to low
+ranks — gain slightly on the ring relative to their flat-network selves
+because much of their traffic is short-range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.parallel_pa_general import PAGeneralRankProgram
+from repro.core.partitioning import make_partition
+from repro.mpsim.bsp import BSPEngine
+from repro.mpsim.topology import FatTreeTopology, FlatTopology, RingTopology, Torus2D
+from repro.rng import StreamFactory
+
+N = 30_000
+X = 6
+P = 32
+SEED = 31
+PENALTY = 2.0
+
+TOPOLOGIES = {
+    "flat": FlatTopology(P, hop_penalty=PENALTY),
+    "fat-tree (radix 8)": FatTreeTopology(P, radix=8, hop_penalty=PENALTY),
+    "torus 4x8": Torus2D(4, 8, hop_penalty=PENALTY),
+    "ring": RingTopology(P, hop_penalty=PENALTY),
+}
+
+
+def _run(scheme: str, topology) -> float:
+    part = make_partition(scheme, N, P)
+    factory = StreamFactory(SEED)
+    programs = [
+        PAGeneralRankProgram(r, part, X, 0.5, factory.stream(r)) for r in range(P)
+    ]
+    engine = BSPEngine(P, topology=topology)
+    engine.run(programs)
+    return engine.simulated_time
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for name, topo in TOPOLOGIES.items():
+        t_ucp = _run("ucp", topo)
+        t_rrp = _run("rrp", topo)
+        rows.append((name, f"{t_ucp * 1e3:.2f}", f"{t_rrp * 1e3:.2f}",
+                     round(t_ucp / t_rrp, 2)))
+    return rows
+
+
+def test_topology_report(report, sweep):
+    report.emit(format_table(
+        ["topology", "UCP T_p (ms)", "RRP T_p (ms)", "UCP/RRP"],
+        sweep,
+        title=f"Ablation: interconnect topology, n={N:.0e}, x={X}, P={P}, "
+              f"hop penalty {PENALTY}",
+    ))
+
+
+def test_rrp_wins_on_every_topology(sweep):
+    for name, _t_ucp, _t_rrp, ratio in sweep:
+        assert ratio > 1.0, name
+
+
+def test_high_diameter_costs_more(sweep):
+    times = {name: float(t_rrp) for name, _t, t_rrp, _r in sweep}
+    assert times["ring"] > times["flat"]
+    assert times["torus 4x8"] >= times["fat-tree (radix 8)"] * 0.9
+
+
+@pytest.mark.benchmark(group="ablation-topology")
+def test_bench_ring_run(benchmark):
+    t = benchmark.pedantic(
+        lambda: _run("rrp", TOPOLOGIES["ring"]), rounds=1, iterations=1
+    )
+    assert t > 0

@@ -1,0 +1,70 @@
+"""Section 3.4 / Theorem 3.3 — dependency-chain length statistics.
+
+Not a figure in the paper, but the analysis its performance rests on:
+``E[L_t] <= log n``, average ``<= 1/p``, ``L_max = O(log n)`` w.h.p.  This
+benchmark measures the empirical chain lengths across n and p and compares
+them to the bounds, and also records the BSP superstep counts (which the
+chain lengths control).
+
+Regenerates: the Theorem 3.3 bound table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.chains import chain_statistics
+
+NS = [10_000, 100_000, 1_000_000]
+PS = [0.3, 0.5, 0.8]
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for n in NS:
+        for p in PS:
+            st = chain_statistics(n, p=p, seed=0)
+            rows.append((n, p, round(st.mean, 3), round(1 / p, 2),
+                         st.max, round(5 * np.log(n), 1)))
+    return rows
+
+
+def test_chains_report(report, table):
+    report.emit(format_table(
+        ["n", "p", "mean L", "bound 1/p", "max L", "bound 5 ln n"],
+        table,
+        title="Theorem 3.3: dependency-chain lengths vs bounds",
+    ))
+
+
+def test_bounds_hold_everywhere(table):
+    for n, p, mean, bound_mean, mx, bound_max in table:
+        assert mean <= bound_mean * 1.05
+        assert mx <= bound_max
+
+
+def test_supersteps_track_chain_length(report):
+    """BSP supersteps grow like the max dependency chain, i.e. O(log n)."""
+    from repro import generate
+
+    rows = []
+    for n in (1_000, 10_000, 100_000):
+        r = generate(n=n, x=1, ranks=16, scheme="rrp", seed=1)
+        st = chain_statistics(n, seed=1)
+        rows.append((n, r.supersteps, st.max, round(np.log(n), 1)))
+    report.emit(format_table(
+        ["n", "BSP supersteps", "max chain", "ln n"],
+        rows,
+        title="Supersteps vs dependency-chain length (both O(log n))",
+    ))
+    supersteps = [row[1] for row in rows]
+    assert supersteps[-1] <= supersteps[0] + 3 * np.log(100)
+
+
+@pytest.mark.benchmark(group="chains")
+def test_bench_chain_lengths_1m(benchmark):
+    st = benchmark.pedantic(
+        lambda: chain_statistics(1_000_000, seed=2), rounds=1, iterations=1
+    )
+    assert st.max_within_bounds

@@ -1,0 +1,71 @@
+"""Figure 3 — exact Eqn-10 node distribution vs the LCP linear approximation.
+
+Paper setting: the node-count-per-processor curve that motivates linear
+consecutive partitioning.  We solve the nonlinear balanced-load system
+exactly (scipy root-finding; the paper calls this "prohibitively large" at
+scale and approximates it) and overlay the fitted arithmetic progression.
+
+Regenerates: the two curves of Figure 3 as a table of nodes-per-rank.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.load_model import lcp_parameters, solve_balanced_boundaries
+
+N = 1_000_000
+P = 160
+
+
+@pytest.fixture(scope="module")
+def exact_sizes():
+    return np.diff(solve_balanced_boundaries(N, P))
+
+
+@pytest.fixture(scope="module")
+def linear_sizes():
+    return lcp_parameters(N, P).partition_sizes()
+
+
+def test_fig3_report(report, exact_sizes, linear_sizes):
+    sample = list(range(0, P, 16)) + [P - 1]
+    rows = [
+        (r, int(exact_sizes[r]), int(round(linear_sizes[r])),
+         f"{abs(exact_sizes[r] - linear_sizes[r]) / exact_sizes[r]:.3%}")
+        for r in sample
+    ]
+    report.emit(format_table(
+        ["rank", "exact Eqn-10 nodes", "LCP linear nodes", "rel err"],
+        rows,
+        title=f"Figure 3: node distribution, n={N:.0e}, P={P} "
+              "(paper: linear approximation tracks the exact solution)",
+    ))
+    rel = np.abs(exact_sizes - linear_sizes) / exact_sizes
+    report.emit(f"median relative error: {np.median(rel):.3%}; "
+                f"max: {rel.max():.3%}")
+    assert np.median(rel) < 0.15
+
+
+def test_fig3_shape_monotone_increasing(exact_sizes, linear_sizes):
+    """Both curves increase with rank (low ranks get fewer nodes)."""
+    assert (np.diff(exact_sizes) > 0).all()
+    assert linear_sizes[0] < linear_sizes[-1]
+
+
+def bench_solver(n, p):
+    return solve_balanced_boundaries(n, p)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_eqn10_solver(benchmark):
+    """Cost of the 'prohibitive' exact solve at analysis scale."""
+    bounds = benchmark.pedantic(bench_solver, args=(N, P), rounds=3, iterations=1)
+    assert len(bounds) == P + 1
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_lcp_fit(benchmark):
+    """The two-point linear fit the paper uses instead."""
+    params = benchmark.pedantic(lcp_parameters, args=(N, P), rounds=3, iterations=1)
+    assert params.d > 0

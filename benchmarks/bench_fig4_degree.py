@@ -1,0 +1,63 @@
+"""Figure 4 — log-log degree distribution of the generated network.
+
+Paper setting: n = 10^9, x = 4, measured exponent γ = 2.7.  Scaled-down
+setting here: n = 3·10^5, x = 4 on 16 simulated ranks; the distribution's
+*shape* (heavy tail, straight log-log line) and fitted exponent are the
+reproduction targets.
+
+Regenerates: the Figure 4 series (log-binned P(k) vs k) plus the γ fit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import generate
+from repro.bench.reporting import ascii_loglog, format_series
+from repro.graph.degree import log_binned_distribution
+from repro.graph.powerlaw import fit_ccdf_slope, fit_powerlaw
+
+N = 300_000
+X = 4
+RANKS = 16
+SEED = 413
+
+
+@pytest.fixture(scope="module")
+def degrees():
+    result = generate(n=N, x=X, ranks=RANKS, scheme="rrp", seed=SEED)
+    report = result.validate()
+    assert report.ok, report.errors
+    return result.degrees()
+
+
+def test_fig4_report(report, degrees):
+    centers, density = log_binned_distribution(degrees)
+    report.emit(format_series(
+        f"Figure 4: degree distribution, n={N:.0e}, x={X} (log-binned)",
+        centers.round(1).tolist(),
+        density.tolist(),
+    ))
+    report.emit(ascii_loglog(centers, density,
+                             label="Figure 4 (ASCII): P(k) vs k, log-log"))
+    mle = fit_powerlaw(degrees, k_min=2 * X)
+    slope = fit_ccdf_slope(degrees, k_min=X)
+    report.emit(
+        f"power-law exponent: MLE gamma = {mle.gamma:.2f} (KS {mle.ks_distance:.4f}); "
+        f"CCDF-slope gamma = {slope:.2f}; paper reports gamma = 2.7"
+    )
+    assert 2.3 < mle.gamma < 3.4
+
+
+def test_fig4_heavy_tail(degrees):
+    """Distinct feature the paper calls out: the distribution is heavy-tailed."""
+    assert degrees.max() > 50 * degrees.mean()
+    assert degrees.min() == X
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_bench_generation(benchmark):
+    result = benchmark.pedantic(
+        lambda: generate(n=N, x=X, ranks=RANKS, scheme="rrp", seed=SEED),
+        rounds=1, iterations=1,
+    )
+    assert len(result.edges) == X * (X - 1) // 2 + (N - X) * X

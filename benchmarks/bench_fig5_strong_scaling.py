@@ -1,0 +1,73 @@
+"""Figure 5 — strong scaling of the three partitioning schemes.
+
+Paper setting: n = 10^9, x = 6, P = 1..768, speedup = T_s / T_p measured on
+the Sandy Bridge / QDR InfiniBand cluster.  Scaled-down setting: n = 10^5,
+x = 6, P = 1..256 on the simulated cluster; T_p is the cost-model virtual
+time of the fully-executed algorithm and T_s the sequential copy model's.
+
+Reproduction target (shape): speedups grow near-linearly with P, and
+LCP ≈ RRP dominate UCP (the paper attributes UCP's gap to load imbalance).
+
+Regenerates: the Figure 5 speedup-vs-P series for UCP, LCP, RRP.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.scaling import strong_scaling
+
+N = 100_000
+X = 6
+RANKS = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+SCHEMES = ("ucp", "lcp", "rrp")
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return strong_scaling(N, X, RANKS, schemes=SCHEMES, seed=0)
+
+
+def test_fig5_report(report, curves):
+    rows = []
+    for P_idx, P in enumerate(RANKS):
+        row = [P]
+        for scheme in SCHEMES:
+            row.append(round(curves[scheme][P_idx].speedup, 2))
+        rows.append(tuple(row))
+    report.emit(format_table(
+        ["P", "UCP speedup", "LCP speedup", "RRP speedup"],
+        rows,
+        title=f"Figure 5: strong scaling, n={N:.0e}, x={X} "
+              "(paper: almost-linear speedup; LCP/RRP above UCP)",
+    ))
+
+
+def test_fig5_speedup_grows(curves):
+    for scheme in SCHEMES:
+        speedups = [p.speedup for p in curves[scheme]]
+        # monotone growth over the sweep (tolerate tiny local dips)
+        assert speedups[-1] > speedups[0]
+        assert speedups[-1] > 8.0
+
+
+def test_fig5_scheme_ordering(curves):
+    """At high P, UCP trails the balanced schemes (the paper's key contrast)."""
+    last = {s: curves[s][-1].speedup for s in SCHEMES}
+    assert last["rrp"] > last["ucp"]
+    assert last["lcp"] > last["ucp"]
+
+
+def test_fig5_imbalance_explains_gap(curves):
+    """UCP's imbalance at high P far exceeds RRP's (mechanism check)."""
+    assert curves["ucp"][-1].imbalance > 1.5 * curves["rrp"][-1].imbalance
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_single_point(benchmark):
+    from repro import generate
+
+    result = benchmark.pedantic(
+        lambda: generate(n=N, x=X, ranks=64, scheme="rrp", seed=0),
+        rounds=1, iterations=1,
+    )
+    assert result.supersteps > 0

@@ -1,0 +1,65 @@
+"""Figure 6 — weak scaling: fixed edges per rank, growing rank count.
+
+Paper setting: 10^7 edges per processor, P = 16..768; runtime should stay
+nearly constant for LCP/RRP and degrade for UCP.  Scaled-down setting:
+5·10^4 edges per rank, P = 2..128.
+
+Regenerates: the Figure 6 runtime-vs-P series for UCP, LCP, RRP.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.scaling import weak_scaling
+
+EDGES_PER_RANK = 50_000
+X = 6
+RANKS = [2, 4, 8, 16, 32, 64, 128]
+SCHEMES = ("ucp", "lcp", "rrp")
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return weak_scaling(EDGES_PER_RANK, X, RANKS, schemes=SCHEMES, seed=0)
+
+
+def test_fig6_report(report, curves):
+    rows = []
+    for i, P in enumerate(RANKS):
+        rows.append((
+            P,
+            curves["ucp"][i].n,
+            f"{curves['ucp'][i].simulated_time * 1e3:.2f}",
+            f"{curves['lcp'][i].simulated_time * 1e3:.2f}",
+            f"{curves['rrp'][i].simulated_time * 1e3:.2f}",
+        ))
+    report.emit(format_table(
+        ["P", "n", "UCP T_p (ms)", "LCP T_p (ms)", "RRP T_p (ms)"],
+        rows,
+        title=f"Figure 6: weak scaling, {EDGES_PER_RANK:.0e} edges/rank, x={X} "
+              "(paper: LCP/RRP nearly constant; UCP grows)",
+    ))
+
+
+def test_fig6_rrp_nearly_constant(curves):
+    times = [p.simulated_time for p in curves["rrp"]]
+    assert max(times) / min(times) < 2.5
+
+
+def test_fig6_ucp_degrades_relative_to_rrp(curves):
+    """UCP's runtime at high P exceeds RRP's by a growing margin."""
+    ratio_first = curves["ucp"][0].simulated_time / curves["rrp"][0].simulated_time
+    ratio_last = curves["ucp"][-1].simulated_time / curves["rrp"][-1].simulated_time
+    assert ratio_last > ratio_first
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_bench_weak_point(benchmark):
+    from repro import generate
+
+    n = EDGES_PER_RANK * 32 // X
+    result = benchmark.pedantic(
+        lambda: generate(n=n, x=X, ranks=32, scheme="rrp", seed=0),
+        rounds=1, iterations=1,
+    )
+    assert result.supersteps > 0

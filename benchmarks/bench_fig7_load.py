@@ -1,0 +1,125 @@
+"""Figure 7 — node, message, and total-load distribution per rank.
+
+Paper setting: n = 10^8, x = 10, P = 160; four panels: (a) nodes per rank,
+(b) outgoing request messages, (c) incoming request messages, (d) total
+load, for UCP/LCP/RRP.  Scaled-down setting: n = 2·10^5, x = 10, P = 160 —
+the per-rank *patterns* are size-independent.
+
+Reproduction targets:
+  (a) UCP/RRP flat; LCP increasing with rank;
+  (b) outgoing ∝ nodes per rank; rank 0 sends none under UCP/LCP;
+  (c) incoming decreasing with rank under UCP/LCP (Lemma 3.4), flat for RRP;
+  (d) RRP nearly perfectly balanced, LCP good, UCP poor.
+
+Also checks Lemma 3.4 quantitatively against the measured incoming counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import generate
+from repro.bench.reporting import format_table
+from repro.core.load_model import expected_incoming_messages
+from repro.core.partitioning import make_partition
+
+N = 200_000
+X = 10
+P = 160
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for scheme in ("ucp", "lcp", "rrp"):
+        out[scheme] = generate(n=N, x=X, ranks=P, scheme=scheme, seed=SEED)
+    return out
+
+
+def test_fig7_report(report, runs):
+    sample = list(range(0, P, 20)) + [P - 1]
+    for panel, attr in (
+        ("7a: nodes per processor", "nodes_per_rank"),
+        ("7b: outgoing request messages", "requests_sent"),
+        ("7c: incoming request messages", "requests_received"),
+        ("7d: total load", "total_load_per_rank"),
+    ):
+        rows = []
+        for r in sample:
+            rows.append((
+                r,
+                int(getattr(runs["ucp"], attr)[r]),
+                int(getattr(runs["lcp"], attr)[r]),
+                int(getattr(runs["rrp"], attr)[r]),
+            ))
+        report.emit(format_table(
+            ["rank", "UCP", "LCP", "RRP"],
+            rows,
+            title=f"Figure {panel}, n={N:.0e}, x={X}, P={P}",
+        ))
+    report.emit(
+        "total-load imbalance (max/mean): "
+        + ", ".join(f"{s}={runs[s].imbalance:.3f}" for s in ("ucp", "lcp", "rrp"))
+    )
+
+
+def test_fig7a_node_distribution(runs):
+    assert runs["ucp"].nodes_per_rank.std() <= 1
+    assert runs["rrp"].nodes_per_rank.std() <= 1
+    lcp = runs["lcp"].nodes_per_rank
+    assert lcp[0] < lcp[-1]
+
+
+def test_fig7b_rank0_sends_nothing_consecutive(runs):
+    """UCP/LCP rank 0 owns the lowest nodes: all its k-draws are local."""
+    assert runs["ucp"].requests_sent[0] == 0
+    assert runs["lcp"].requests_sent[0] == 0
+    assert runs["rrp"].requests_sent[0] > 0
+
+
+def test_fig7c_incoming_decreasing_consecutive(runs):
+    """Lemma 3.4: low ranks receive more requests under UCP."""
+    inc = runs["ucp"].requests_received.astype(float)
+    # compare first and last quartile means
+    q = P // 4
+    assert inc[:q].mean() > 2 * inc[-q:].mean()
+    # RRP spreads them evenly
+    inc_rrp = runs["rrp"].requests_received.astype(float)
+    assert inc_rrp[:q].mean() < 1.15 * inc_rrp[-q:].mean()
+
+
+def test_fig7d_total_load_ordering(runs):
+    """RRP ~ perfectly balanced; LCP good; UCP poor (the paper's summary)."""
+    assert runs["rrp"].imbalance < 1.05
+    assert runs["rrp"].imbalance <= runs["lcp"].imbalance <= runs["ucp"].imbalance
+    assert runs["ucp"].imbalance > 1.5
+
+
+def test_lemma34_quantitative(runs, report):
+    """Measured incoming requests track (1-p)(H_{n-1} - H_k) per UCP block."""
+    part = make_partition("ucp", N, P)
+    ks = np.arange(1, N)
+    em = expected_incoming_messages(ks, N, p=0.5)
+    measured = runs["ucp"].requests_received.astype(float)
+    expected = np.empty(P)
+    for r in range(P):
+        lo, hi = part.partition_range(r)
+        block = em[(ks >= max(lo, X)) & (ks < hi)].sum()
+        expected[r] = block * X * (P - 1) / P  # x slots, remote fraction
+    # relative agreement over the heavy half of the curve
+    half = P // 2
+    rel = np.abs(measured[:half] - expected[:half]) / expected[:half]
+    report.emit(
+        f"Lemma 3.4 check (UCP, first {half} ranks): median rel. dev. "
+        f"{np.median(rel):.2%}"
+    )
+    assert np.median(rel) < 0.25
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_bench_load_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: generate(n=50_000, x=X, ranks=P, scheme="rrp", seed=SEED),
+        rounds=1, iterations=1,
+    )
+    assert result.validate().ok

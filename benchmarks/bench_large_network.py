@@ -1,0 +1,60 @@
+"""Section 4.5 — generating the 50-billion-edge network.
+
+Paper result: n = 10^9, x = 5 (50 B edges) generated in 123 s on 768 ranks
+with RRP.  We cannot hold 50 B edges; instead we (1) generate the largest
+practical instance end-to-end to demonstrate the pipeline, and (2)
+extrapolate the cost model from a measured sample to the paper's target
+configuration, reporting our estimate next to the paper's 123 s.
+
+Regenerates: the Section 4.5 headline row (paper vs model estimate).
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.scaling import extrapolate_large_network
+
+
+@pytest.fixture(scope="module")
+def extrapolation():
+    return extrapolate_large_network(
+        n_target=10**9, x_target=5, ranks_target=768,
+        scheme="rrp", n_sample=400_000, seed=0,
+    )
+
+
+def test_large_network_report(report, extrapolation):
+    e = extrapolation
+    rows = [
+        ("sample run", f"{e['n_sample']:.0e}", f"{e['edges_sample']:.1e}",
+         int(e["ranks_sample"]), f"{e['simulated_time_sample']:.3f}"),
+        ("target (model estimate)", f"{e['n_target']:.0e}", f"{e['edges_target']:.0e}",
+         int(e["ranks_target"]), f"{e['estimated_time_target']:.1f}"),
+        ("target (paper, measured)", "1e+09", "5e+09", 768,
+         f"{e['paper_time_target']:.1f}"),
+    ]
+    report.emit(format_table(
+        ["configuration", "n", "edges", "ranks", "time (s)"],
+        rows,
+        title="Section 4.5: 50-billion-edge generation (RRP)",
+    ))
+
+
+def test_estimate_same_order_of_magnitude(extrapolation):
+    est = extrapolation["estimated_time_target"]
+    assert 12.3 <= est <= 1230.0, (
+        f"model estimate {est:.1f}s should be within 10x of the paper's 123s"
+    )
+
+
+@pytest.mark.benchmark(group="large")
+def test_bench_largest_practical(benchmark):
+    """End-to-end generation of the largest instance we run in CI."""
+    from repro import generate
+
+    result = benchmark.pedantic(
+        lambda: generate(n=400_000, x=5, ranks=96, scheme="rrp", seed=1),
+        rounds=1, iterations=1,
+    )
+    assert len(result.edges) == 5 * (5 - 1) // 2 + (400_000 - 5) * 5
+    assert result.validate().ok

@@ -1,0 +1,70 @@
+"""Regression campaign — the full scheme × size grid as one CSV artefact.
+
+Runs the cross-product of the evaluation's axes at CI scale and persists a
+CSV next to the per-figure reports, giving reviewers a single machine-
+readable table to diff across code revisions (the numeric columns are
+deterministic for fixed seeds; only wall-time varies).
+"""
+
+import pytest
+
+from repro.bench.campaign import expand_grid, run_campaign, summarize_campaign, write_csv
+from repro.bench.reporting import format_table
+
+GRID = expand_grid(
+    n=[20_000, 60_000],
+    x=[2, 6],
+    ranks=[8, 32],
+    scheme=["ucp", "lcp", "rrp", "ecp"],
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_campaign("regression", GRID, seed=0)
+
+
+def test_campaign_report(report, records, tmp_path_factory):
+    from pathlib import Path
+
+    out = Path(__file__).parent / "results" / "regression_campaign.csv"
+    write_csv(out, records)
+    summary = summarize_campaign(records, by="scheme")
+    rows = [
+        (key, int(v["runs"]), f"{v['mean_simulated_time'] * 1e3:.2f}",
+         f"{v['mean_imbalance']:.3f}", f"{v['mean_supersteps']:.1f}")
+        for key, v in summary.items()
+    ]
+    report.emit(format_table(
+        ["scheme", "runs", "mean T_p (ms)", "mean imbalance", "mean supersteps"],
+        rows,
+        title=f"Regression campaign: {len(records)} runs "
+              "(full CSV in results/regression_campaign.csv)",
+    ))
+
+
+def test_every_run_structurally_consistent(records):
+    for record in records:
+        expected = record.x * (record.x - 1) // 2 + (record.n - record.x) * record.x
+        assert record.num_edges == expected
+        assert record.imbalance >= 1.0
+        assert record.supersteps >= 1
+
+
+def test_scheme_ordering_holds_across_grid(records):
+    summary = summarize_campaign(records, by="scheme")
+    assert summary["rrp"]["mean_imbalance"] < summary["lcp"]["mean_imbalance"]
+    assert summary["lcp"]["mean_imbalance"] < summary["ucp"]["mean_imbalance"]
+    # ECP (exact Eqn 10) also clearly beats UCP
+    assert summary["ecp"]["mean_imbalance"] < summary["ucp"]["mean_imbalance"]
+
+
+@pytest.mark.benchmark(group="regression")
+def test_bench_grid_cell(benchmark):
+    from repro import generate
+
+    result = benchmark.pedantic(
+        lambda: generate(n=20_000, x=6, ranks=32, scheme="rrp", seed=0),
+        rounds=1, iterations=1,
+    )
+    assert result.validate().ok

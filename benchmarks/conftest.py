@@ -1,0 +1,42 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one figure/table of the paper (see the
+experiment index in DESIGN.md).  Reports are printed *and* persisted under
+``benchmarks/results/`` so ``bench_output.txt`` and the result files can be
+compared against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class Reporter:
+    """Collects report text for one benchmark module and persists it."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.chunks: list[str] = []
+
+    def emit(self, text: str) -> None:
+        self.chunks.append(text)
+        # Write through stderr so pytest's capture still shows it with -s
+        # and the text also lands in the persisted file either way.
+        print(text, file=sys.stderr)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{self.name}.txt"
+        out.write_text("\n\n".join(self.chunks) + "\n")
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    rep = Reporter(Path(request.fspath).stem)
+    yield rep
+    rep.flush()

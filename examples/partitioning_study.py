@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario: choosing a partitioning scheme for your cluster run.
+
+Reproduces the paper's Section 4.6 methodology at laptop scale: run the
+same generation under UCP, LCP, and RRP and compare per-rank node counts,
+request-message traffic, and total load — then look at what that does to
+the simulated runtime.  Ends with the rule of thumb the paper's results
+support: RRP when you can, LCP when consecutive node ranges are required.
+
+Run:  python examples/partitioning_study.py
+"""
+
+import sys
+import numpy as np
+
+from repro import generate
+from repro.bench.reporting import format_table
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    n, x, ranks = (5_000, 10, 8) if small else (50_000, 10, 32)
+    print(f"Comparing partitioning schemes: n={n:,}, x={x}, P={ranks}\n")
+
+    results = {}
+    for scheme in ("ucp", "lcp", "rrp"):
+        results[scheme] = generate(n=n, x=x, ranks=ranks, scheme=scheme, seed=3)
+        results[scheme].validate().raise_if_failed()
+
+    rows = []
+    for scheme, r in results.items():
+        loads = r.total_load_per_rank
+        rows.append((
+            scheme.upper(),
+            int(r.nodes_per_rank.min()), int(r.nodes_per_rank.max()),
+            int(r.requests_received.max()),
+            int(loads.max()), f"{r.imbalance:.3f}",
+            f"{r.simulated_time * 1e3:.1f}",
+        ))
+    print(format_table(
+        ["scheme", "min nodes", "max nodes", "max incoming req",
+         "max total load", "imbalance", "sim time (ms)"],
+        rows,
+    ))
+
+    ucp, rrp = results["ucp"], results["rrp"]
+    print(f"\nUCP rank 0 receives {int(ucp.requests_received[0]):,} requests; "
+          f"its last rank only {int(ucp.requests_received[-1]):,} "
+          "(Lemma 3.4: low node ids attract requests).")
+    print(f"RRP spreads incoming requests within "
+          f"{np.ptp(rrp.requests_received):,} records of each other across ranks.")
+
+    speedup_gain = ucp.simulated_time / rrp.simulated_time
+    print(f"\nSwitching UCP -> RRP cuts the simulated runtime by "
+          f"{(1 - 1 / speedup_gain):.0%} at P={ranks}.")
+    print("\nRule of thumb (paper Section 4.6): use RRP for balance; "
+          "use LCP when downstream analysis needs consecutive node ranges "
+          "per rank; avoid UCP for preferential-attachment workloads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: generate a scale-free network on a simulated cluster.
+
+Runs the paper's parallel preferential-attachment algorithm (Algorithm 3.2)
+on 16 simulated MPI ranks with round-robin partitioning, validates every
+structural invariant, and fits the power-law exponent the paper reports
+(Figure 4: gamma ~ 2.7).
+
+Run:  python examples/quickstart.py
+"""
+
+import sys
+from repro import fit_powerlaw, generate
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    n, x, ranks = (5_000, 4, 4) if small else (100_000, 4, 16)
+
+    print(f"Generating PA network: n={n:,}, x={x}, {ranks} simulated ranks (RRP)")
+    result = generate(n=n, x=x, ranks=ranks, scheme="rrp", seed=42)
+
+    print(f"  edges:            {len(result.edges):,}")
+    print(f"  BSP supersteps:   {result.supersteps}")
+    print(f"  simulated time:   {result.simulated_time * 1e3:.1f} ms on the virtual cluster")
+    print(f"  load imbalance:   {result.imbalance:.3f} (max/mean, 1.0 = perfect)")
+
+    report = result.validate()
+    report.raise_if_failed()
+    print("  validation:       all invariants hold "
+          "(no duplicates/self-loops, x distinct targets per node)")
+
+    degrees = result.degrees()
+    print(f"  degree range:     {degrees.min()} .. {degrees.max()} "
+          f"(mean {degrees.mean():.2f})")
+
+    fit = fit_powerlaw(degrees, k_min=2 * x)
+    print(f"  power-law fit:    gamma = {fit.gamma:.2f} "
+          f"(paper reports 2.7 at n=1e9)")
+
+    # The same graph is reproducible from the same seed and configuration.
+    again = generate(n=n, x=x, ranks=ranks, scheme="rrp", seed=42)
+    assert again.edges == result.edges
+    print("  reproducibility:  identical graph regenerated from seed 42")
+
+
+if __name__ == "__main__":
+    main()

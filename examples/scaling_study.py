@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Scenario: capacity planning — how many ranks do I need?
+
+Uses the scaling drivers to answer the practical question the paper's
+evaluation answers for its cluster: given a target network size and a
+machine profile, how does runtime fall with processor count, and where does
+communication stop it?  Sweeps strong scaling under two machine presets and
+prints the knee of each curve, then extrapolates to the paper's headline
+configuration.
+
+Run:  python examples/scaling_study.py
+"""
+
+import sys
+from repro.bench.reporting import format_table
+from repro.bench.scaling import extrapolate_large_network, strong_scaling
+from repro.mpsim.costmodel import PRESETS
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    n, x = (8_000, 6) if small else (80_000, 6)
+    ranks = [1, 4, 16] if small else [1, 4, 16, 64, 256]
+
+    print(f"Strong scaling study: n={n:,}, x={x} (RRP)\n")
+    rows = []
+    curves = {}
+    for preset_name in ("sc13-sandybridge-qdr", "slow-network"):
+        preset = PRESETS[preset_name]
+        curves[preset_name] = strong_scaling(
+            n, x, ranks, schemes=("rrp",), seed=0, cost_model=preset.cost
+        )["rrp"]
+    for i, P in enumerate(ranks):
+        rows.append((
+            P,
+            f"{curves['sc13-sandybridge-qdr'][i].speedup:.1f}",
+            f"{curves['slow-network'][i].speedup:.1f}",
+        ))
+    print(format_table(
+        ["P", "speedup (InfiniBand-class)", "speedup (Ethernet-class)"],
+        rows,
+    ))
+
+    fast = curves["sc13-sandybridge-qdr"]
+    # efficiency relative to the P=1 run of the *parallel* code, so constant
+    # per-node overheads of the parallel algorithm don't masquerade as
+    # communication cost
+    t1 = fast[0].simulated_time
+    eff = [(t1 / pt.simulated_time) / pt.ranks for pt in fast]
+    knee = next((pt.ranks for pt, e in zip(fast, eff) if e < 0.5), ranks[-1])
+    print(f"\nParallel efficiency (vs the P=1 run) drops below 50% around "
+          f"P={knee} at this problem size — weak scaling (grow n with P) is "
+          "the regime the paper targets.")
+
+    print("\nExtrapolating the paper's headline configuration "
+          "(n=1e9, x=5, P=768, RRP):")
+    est = extrapolate_large_network(n_sample=100_000, seed=0)
+    print(f"  cost-model estimate: {est['estimated_time_target']:.0f} s; "
+          f"paper measured: {est['paper_time_target']:.0f} s "
+          "(same order of magnitude; see EXPERIMENTS.md for the gap analysis)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Scenario: structural analysis of a synthetic social network.
+
+The paper's introduction motivates massive PA generation with the study of
+social and infrastructure networks.  This example plays the downstream
+network scientist: generate a synthetic social graph, then measure the
+structural fingerprints scale-free networks are known for —
+
+* heavy-tailed degree distribution (hubs),
+* ultra-small world distances,
+* low clustering that the pure BA process produces,
+* slight degree disassortativity,
+* full connectivity and hub-dominated robustness.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import sys
+import numpy as np
+
+from repro import generate
+from repro.graph.degree import ccdf
+from repro.graph.metrics import (
+    degree_assortativity,
+    largest_component_fraction,
+    sampled_clustering_coefficient,
+    sampled_mean_shortest_path,
+)
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    n, x = (5_000, 5) if small else (50_000, 5)
+    print(f"Synthetic social network: n={n:,} members, {x} ties per newcomer")
+    result = generate(n=n, x=x, ranks=8, scheme="rrp", seed=7)
+    result.validate().raise_if_failed()
+    edges = result.edges
+    degrees = result.degrees()
+    rng = np.random.default_rng(7)
+
+    # --- hubs -------------------------------------------------------------
+    top = np.argsort(degrees)[-5:][::-1]
+    print("\nTop-5 hubs (node id, degree):")
+    for node in top:
+        print(f"  member {node:>6}  degree {degrees[node]:>5}  "
+              f"({degrees[node] / (2 * len(edges)) :.2%} of all ties)")
+
+    k, tail = ccdf(degrees)
+    k99 = k[np.searchsorted(-tail, -0.01)]
+    print(f"1% of members have degree >= {k99}; median degree is "
+          f"{int(np.median(degrees))} — the classic heavy tail.")
+
+    # --- small world ------------------------------------------------------
+    dist = sampled_mean_shortest_path(edges, n, sources=6, rng=rng)
+    print(f"\nMean separation: {dist:.2f} hops "
+          f"(log n / log log n ~ {np.log(n) / np.log(np.log(n)):.1f})")
+
+    # --- clustering and mixing ---------------------------------------------
+    cc = sampled_clustering_coefficient(edges, n, samples=2_000, rng=rng)
+    assort = degree_assortativity(edges, n)
+    print(f"Clustering coefficient (sampled): {cc:.4f} "
+          "(pure PA yields low clustering)")
+    print(f"Degree assortativity: {assort:+.4f} "
+          "(BA-style graphs are weakly disassortative)")
+
+    # --- robustness --------------------------------------------------------
+    frac = largest_component_fraction(edges, n)
+    print(f"\nConnectivity: largest component holds {frac:.1%} of members")
+
+    # random failures vs targeted attack on hubs (Albert et al. motif)
+    frac_nodes = n // 100
+    random_removed = rng.choice(n, frac_nodes, replace=False)
+    hubs_removed = np.argsort(degrees)[-frac_nodes:]
+    for label, removed_nodes in (("1% random members", random_removed),
+                                 ("the top-1% hubs  ", hubs_removed)):
+        comp, ties_lost = _damage(edges, n, removed_nodes)
+        print(f"After removing {label}: {ties_lost:.1%} of ties lost, "
+              f"giant component {comp:.1%}")
+    print("-> random failures barely register, while hubs carry a "
+          "disproportionate share of ties: the scale-free signature "
+          "(Albert, Jeong & Barabasi 2000).")
+
+
+def _damage(edges, n, remove) -> tuple[float, float]:
+    removed = np.zeros(n, dtype=bool)
+    removed[remove] = True
+    keep = ~(removed[edges.sources] | removed[edges.targets])
+    from repro.graph.edgelist import EdgeList
+    surviving = EdgeList.from_arrays(edges.sources[keep], edges.targets[keep])
+    return (
+        largest_component_fraction(surviving, n),
+        1.0 - keep.mean(),
+    )
+
+
+if __name__ == "__main__":
+    main()

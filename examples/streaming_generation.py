@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scenario: generate a huge network on the fly, analyse in one pass.
+
+Section 3.2: "Some network analysts may prefer to generate networks on the
+fly and analyze it without performing disk I/O."  This example streams a
+two-million-node preferential-attachment network in fixed-size blocks —
+edges are consumed and discarded as they are produced — while a one-pass
+accumulator maintains the degree statistics.  The full edge list
+(~32 MB here, ~800 GB at the paper's 50 B-edge scale) never exists.
+
+Run:  python examples/streaming_generation.py  [--small]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.streaming import StreamingDegreeAccumulator, stream_copy_model_x1
+from repro.graph.powerlaw import fit_powerlaw
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    n = 100_000 if small else 2_000_000
+    block = 65_536
+
+    print(f"Streaming an n={n:,} PA network in {block:,}-node blocks")
+    acc = StreamingDegreeAccumulator(n)
+    t0 = time.perf_counter()
+    blocks = 0
+    peak_edges_held = 0
+    for u, v in stream_copy_model_x1(n, seed=99, block_size=block):
+        acc.update(u, v)
+        blocks += 1
+        peak_edges_held = max(peak_edges_held, len(u))
+    dt = time.perf_counter() - t0
+
+    print(f"  blocks processed:     {blocks}")
+    print(f"  edges streamed:       {acc.num_edges:,} "
+          f"({acc.num_edges / dt / 1e6:.2f} M edges/s)")
+    print(f"  peak edges in memory: {peak_edges_held:,} "
+          f"(vs {acc.num_edges:,} if materialised)")
+    print(f"  degree range:         1 .. {acc.max_degree} "
+          f"(mean {acc.mean_degree:.3f})")
+
+    fit = fit_powerlaw(acc.degrees, k_min=2)
+    print(f"  power-law fit:        gamma = {fit.gamma:.2f} "
+          "(x=1 copy model at p=1/2: gamma -> 3)")
+
+    k, pk = acc.distribution()
+    head = ", ".join(f"P({int(ki)})={pi:.3f}" for ki, pi in zip(k[:4], pk[:4]))
+    print(f"  distribution head:    {head}")
+
+    # the stream is bit-identical to the batch generator for the same seed,
+    # so analyses are exactly reproducible later if the graph is re-made
+    print("  reproducible:         same seed regenerates the identical stream")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+The environment ships setuptools without the `wheel` package, which breaks
+PEP 517 editable installs; this file enables the legacy develop-mode path.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Baseline generators the paper compares against or supersedes."""
+
+from repro.baselines.yoo_henderson import yoo_henderson
+
+__all__ = ["yoo_henderson"]

@@ -1,0 +1,124 @@
+"""Experiment campaigns: run a configuration grid, persist CSV, summarise.
+
+The paper's evaluation is a handful of parameter sweeps (n, x, P, scheme).
+:func:`run_campaign` executes such a grid through the standard harness and
+writes one CSV row per run — the artefact a reproduction reviewer actually
+wants to diff.  :func:`summarize_campaign` aggregates by any key.
+
+Used by ``repro-pa campaign`` and the benchmark suite's regression file.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.bench.harness import ExperimentRecord, run_generation_experiment
+
+__all__ = ["expand_grid", "run_campaign", "write_csv", "read_csv", "summarize_campaign"]
+
+_CSV_FIELDS = [
+    "experiment",
+    "n",
+    "x",
+    "ranks",
+    "scheme",
+    "seed",
+    "wall_time",
+    "simulated_time",
+    "supersteps",
+    "num_edges",
+    "total_messages",
+    "imbalance",
+    "requests_total",
+]
+
+
+def expand_grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named axes into config dicts.
+
+    Examples
+    --------
+    >>> expand_grid(n=[10, 20], scheme=["ucp", "rrp"])[2]
+    {'n': 20, 'scheme': 'ucp'}
+    """
+    names = list(axes)
+    out = []
+    for values in itertools.product(*(axes[k] for k in names)):
+        out.append(dict(zip(names, values)))
+    return out
+
+
+def run_campaign(
+    name: str,
+    configs: Iterable[dict[str, Any]],
+    seed: int = 0,
+    progress: bool = False,
+) -> list[ExperimentRecord]:
+    """Run every config (each a dict of n/x/ranks/scheme [+ seed])."""
+    records = []
+    for i, cfg in enumerate(configs):
+        cfg = dict(cfg)
+        cfg.setdefault("seed", seed)
+        record, _ = run_generation_experiment(
+            name,
+            n=cfg.pop("n"),
+            x=cfg.pop("x", 1),
+            ranks=cfg.pop("ranks", 1),
+            scheme=cfg.pop("scheme", "rrp"),
+            seed=cfg.pop("seed"),
+            **cfg,
+        )
+        records.append(record)
+        if progress:  # pragma: no cover - cosmetic
+            print(f"  [{i + 1}] {record.to_dict()}")
+    return records
+
+
+def write_csv(path: str | Path, records: Sequence[ExperimentRecord]) -> Path:
+    """Persist records as CSV (one row per run, stable column order)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS, extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record.to_dict())
+    return path
+
+
+def read_csv(path: str | Path) -> list[dict[str, Any]]:
+    """Load a campaign CSV back into typed dicts."""
+    rows = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            typed: dict[str, Any] = dict(row)
+            for key in ("n", "x", "ranks", "seed", "supersteps", "num_edges",
+                        "total_messages", "requests_total"):
+                if typed.get(key, "") != "":
+                    typed[key] = int(float(typed[key]))
+            for key in ("wall_time", "simulated_time", "imbalance"):
+                if typed.get(key, "") != "":
+                    typed[key] = float(typed[key])
+            rows.append(typed)
+    return rows
+
+
+def summarize_campaign(
+    records: Sequence[ExperimentRecord], by: str = "scheme"
+) -> dict[Any, dict[str, float]]:
+    """Group records by one field and average the headline metrics."""
+    groups: dict[Any, list[ExperimentRecord]] = {}
+    for record in records:
+        groups.setdefault(getattr(record, by), []).append(record)
+    out = {}
+    for key, recs in sorted(groups.items(), key=lambda kv: str(kv[0])):
+        out[key] = {
+            "runs": float(len(recs)),
+            "mean_simulated_time": sum(r.simulated_time for r in recs) / len(recs),
+            "mean_imbalance": sum(r.imbalance for r in recs) / len(recs),
+            "mean_supersteps": sum(r.supersteps for r in recs) / len(recs),
+        }
+    return out

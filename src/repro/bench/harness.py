@@ -1,0 +1,79 @@
+"""Experiment execution records.
+
+A benchmark run produces an :class:`ExperimentRecord` capturing both the
+wall-clock cost of the simulation *and* the simulated-cluster telemetry (the
+quantity the paper reports).  Records serialise to plain dicts so the
+benchmark scripts can dump them next to ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.generator import GenerationResult, generate
+
+__all__ = ["ExperimentRecord", "run_generation_experiment"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experimental point: configuration + measurements."""
+
+    experiment: str
+    n: int
+    x: int
+    ranks: int
+    scheme: str
+    seed: int | None
+    #: seconds of real host time the simulation took
+    wall_time: float
+    #: seconds of simulated cluster time (cost-model virtual time)
+    simulated_time: float
+    supersteps: int
+    num_edges: int
+    total_messages: int
+    imbalance: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d.update(d.pop("extra"))
+        return d
+
+
+def run_generation_experiment(
+    experiment: str,
+    n: int,
+    x: int,
+    ranks: int,
+    scheme: str,
+    seed: int | None = 0,
+    **generate_kwargs: Any,
+) -> tuple[ExperimentRecord, GenerationResult]:
+    """Generate once and package the measurements."""
+    t0 = time.perf_counter()
+    result = generate(n=n, x=x, ranks=ranks, scheme=scheme, seed=seed, **generate_kwargs)
+    wall = time.perf_counter() - t0
+    stats = result.world_stats
+    record = ExperimentRecord(
+        experiment=experiment,
+        n=n,
+        x=x,
+        ranks=ranks,
+        scheme=scheme,
+        seed=seed,
+        wall_time=wall,
+        simulated_time=result.simulated_time,
+        supersteps=result.supersteps,
+        num_edges=len(result.edges),
+        total_messages=int(stats.total_messages) if stats is not None else 0,
+        imbalance=result.imbalance,
+        extra={
+            "requests_total": int(np.sum(result.requests_sent)),
+        },
+    )
+    return record, result

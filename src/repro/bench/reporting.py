@@ -1,0 +1,86 @@
+"""Plain-text reporting in the shape of the paper's figures.
+
+The benchmarks print fixed-width tables (one per figure) so the regenerated
+series can be diffed against EXPERIMENTS.md by eye.  No plotting library is
+assumed; :func:`ascii_loglog` renders a coarse log–log scatter for the
+degree-distribution figure directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ascii_loglog"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render rows as a fixed-width table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """One labelled (x, y) series, one point per line."""
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x)}\t{_fmt(y)}")
+    return "\n".join(lines)
+
+
+def ascii_loglog(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    width: int = 72,
+    height: int = 20,
+    label: str = "",
+) -> str:
+    """Coarse log–log scatter plot in ASCII (for degree distributions).
+
+    A power law shows up as a straight diagonal band of ``*`` marks —
+    enough to eyeball Figure 4's shape in ``bench_output.txt``.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    keep = (xs > 0) & (ys > 0)
+    xs, ys = xs[keep], ys[keep]
+    if xs.size == 0:
+        return "(no positive data)"
+    lx, ly = np.log10(xs), np.log10(ys)
+    gx = ((lx - lx.min()) / max(np.ptp(lx), 1e-12) * (width - 1)).astype(int)
+    gy = ((ly - ly.min()) / max(np.ptp(ly), 1e-12) * (height - 1)).astype(int)
+    grid = [[" "] * width for _ in range(height)]
+    for cx, cy in zip(gx, gy):
+        grid[height - 1 - cy][cx] = "*"
+    lines = [label] if label else []
+    top = f"10^{ly.max():.1f}"
+    bottom = f"10^{ly.min():.1f}"
+    lines.append(top)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append(
+        bottom + " " + "-" * (width - len(bottom))
+    )
+    lines.append(f"x: 10^{lx.min():.1f} .. 10^{lx.max():.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,349 @@
+"""Command-line interface: ``repro-pa`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+``generate``
+    Generate a PA network and write it to disk (binary or text edge list).
+``validate``
+    Check the structural invariants of an edge-list file.
+``stats``
+    Degree-distribution summary and power-law fit of an edge-list file.
+``scaling``
+    Run a small strong-scaling sweep and print the Figure-5-style table.
+``chains``
+    Dependency-chain statistics for a given ``(n, p)`` (Theorem 3.3 check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pa",
+        description="Distributed-memory parallel preferential-attachment generator (SC'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a PA network")
+    g.add_argument("-n", "--nodes", type=int, required=True, help="number of nodes")
+    g.add_argument("-x", "--edges-per-node", type=int, default=1)
+    g.add_argument("-p", "--prob", type=float, default=0.5, help="direct-attachment probability")
+    g.add_argument("-P", "--ranks", type=int, default=1, help="simulated processor count")
+    g.add_argument("--scheme", choices=["ucp", "lcp", "rrp", "ecp"], default="rrp")
+    g.add_argument("--engine", choices=["bsp", "event", "sequential"], default="bsp")
+    g.add_argument("--seed", type=int, default=None)
+    g.add_argument("-o", "--output", type=Path, default=None, help="output edge file")
+    g.add_argument("--text", action="store_true", help="write text instead of binary")
+    g.add_argument("--validate", action="store_true", help="validate before writing")
+    g.add_argument("--checkpoint", type=Path, default=None,
+                   help="snapshot BSP state here every --checkpoint-every supersteps")
+    g.add_argument("--checkpoint-every", type=int, default=1)
+
+    o = sub.add_parser("other", help="generate non-PA models on the same substrate")
+    o.add_argument("--model", choices=["er", "rmat", "chung-lu"], required=True)
+    o.add_argument("-n", "--nodes", type=int, default=None,
+                   help="nodes (er/chung-lu); rmat uses --scale")
+    o.add_argument("-p", "--prob", type=float, default=0.01, help="er edge probability")
+    o.add_argument("--scale", type=int, default=16, help="rmat: log2 of node count")
+    o.add_argument("-m", "--edges", type=int, default=None, help="rmat edge count")
+    o.add_argument("--mean-degree", type=float, default=8.0, help="chung-lu mean weight")
+    o.add_argument("-P", "--ranks", type=int, default=4)
+    o.add_argument("--seed", type=int, default=None)
+    o.add_argument("-o", "--output", type=Path, default=None)
+    o.add_argument("--text", action="store_true")
+
+    d = sub.add_parser("degree-dist", help="log-binned degree distribution of a file")
+    d.add_argument("path", type=Path)
+    d.add_argument("--text", action="store_true")
+    d.add_argument("--plot", action="store_true", help="render an ASCII log-log plot")
+
+    a = sub.add_parser("analyze", help="distributed analysis of an edge-list file")
+    a.add_argument("path", type=Path)
+    a.add_argument("-n", "--nodes", type=int, required=True)
+    a.add_argument("-P", "--ranks", type=int, default=8)
+    a.add_argument("--scheme", choices=["ucp", "lcp", "rrp", "ecp"], default="rrp")
+    a.add_argument("--text", action="store_true")
+    a.add_argument("--bfs-source", type=int, default=0)
+    a.add_argument("--pagerank-iters", type=int, default=30)
+
+    v = sub.add_parser("validate", help="validate an edge-list file")
+    v.add_argument("path", type=Path)
+    v.add_argument("-n", "--nodes", type=int, required=True)
+    v.add_argument("-x", "--edges-per-node", type=int, required=True)
+    v.add_argument("--text", action="store_true")
+
+    s = sub.add_parser("stats", help="degree statistics of an edge-list file")
+    s.add_argument("path", type=Path)
+    s.add_argument("--text", action="store_true")
+    s.add_argument("--k-min", type=int, default=None, help="power-law tail cutoff")
+
+    sc = sub.add_parser("scaling", help="strong-scaling sweep (Figure 5 style)")
+    sc.add_argument("-n", "--nodes", type=int, default=50_000)
+    sc.add_argument("-x", "--edges-per-node", type=int, default=6)
+    sc.add_argument("--ranks", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+    sc.add_argument("--schemes", nargs="+", default=["ucp", "lcp", "rrp"])
+    sc.add_argument("--seed", type=int, default=0)
+
+    cp = sub.add_parser("campaign", help="run a parameter-grid campaign to CSV")
+    cp.add_argument("-n", "--nodes", type=int, nargs="+", default=[10_000])
+    cp.add_argument("-x", "--edges-per-node", type=int, nargs="+", default=[4])
+    cp.add_argument("-P", "--ranks", type=int, nargs="+", default=[4, 16])
+    cp.add_argument("--schemes", nargs="+", default=["ucp", "lcp", "rrp"])
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("-o", "--output", type=Path, required=True, help="CSV path")
+
+    c = sub.add_parser("chains", help="dependency-chain statistics (Theorem 3.3)")
+    c.add_argument("-n", "--nodes", type=int, default=1_000_000)
+    c.add_argument("-p", "--prob", type=float, default=0.5)
+    c.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.core.generator import generate
+    from repro.graph import io as gio
+
+    t0 = time.perf_counter()
+    result = generate(
+        n=args.nodes,
+        x=args.edges_per_node,
+        p=args.prob,
+        ranks=args.ranks,
+        scheme=args.scheme,
+        engine=args.engine,
+        seed=args.seed,
+        checkpoint_path=str(args.checkpoint) if args.checkpoint else None,
+        checkpoint_every=args.checkpoint_every,
+    )
+    wall = time.perf_counter() - t0
+    print(
+        f"generated n={args.nodes} x={args.edges_per_node} "
+        f"m={len(result.edges)} on P={args.ranks} ({args.scheme}/{args.engine}) "
+        f"in {wall:.2f}s wall / {result.simulated_time:.4f}s simulated, "
+        f"{result.supersteps} supersteps, imbalance {result.imbalance:.3f}"
+    )
+    if args.validate:
+        report = result.validate()
+        if not report.ok:
+            print("VALIDATION FAILED:", *report.errors, sep="\n  ", file=sys.stderr)
+            return 1
+        print("validation: ok")
+    if args.output is not None:
+        if args.text:
+            gio.write_edges_text(args.output, result.edges)
+        else:
+            gio.write_edges_binary(args.output, result.edges)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.graph import io as gio
+    from repro.graph.validation import validate_pa_graph
+
+    edges = gio.read_edges_text(args.path) if args.text else gio.read_edges_binary(args.path)
+    report = validate_pa_graph(edges, args.nodes, args.edges_per_node)
+    if report.ok:
+        print(f"ok: {report.num_edges} edges, all invariants hold")
+        return 0
+    print("FAILED:", *report.errors, sep="\n  ", file=sys.stderr)
+    return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graph import io as gio
+    from repro.graph.degree import degrees_from_edges
+    from repro.graph.powerlaw import fit_powerlaw
+
+    edges = gio.read_edges_text(args.path) if args.text else gio.read_edges_binary(args.path)
+    deg = degrees_from_edges(edges)
+    print(f"nodes: {edges.num_nodes}  edges: {len(edges)}")
+    print(f"degree: min={deg.min()} mean={deg.mean():.2f} max={deg.max()}")
+    fit = fit_powerlaw(deg, k_min=args.k_min)
+    print(f"power-law fit: {fit}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.bench.scaling import strong_scaling
+
+    curves = strong_scaling(
+        n=args.nodes,
+        x=args.edges_per_node,
+        ranks_list=args.ranks,
+        schemes=tuple(args.schemes),
+        seed=args.seed,
+    )
+    rows = []
+    for scheme, points in curves.items():
+        for pt in points:
+            rows.append(
+                (scheme, pt.ranks, pt.simulated_time, pt.speedup, pt.supersteps, pt.imbalance)
+            )
+    print(
+        format_table(
+            ["scheme", "P", "T_p (sim s)", "speedup", "supersteps", "imbalance"],
+            rows,
+            title=f"strong scaling, n={args.nodes}, x={args.edges_per_node}",
+        )
+    )
+    return 0
+
+
+def _cmd_other(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.graph import io as gio
+
+    if args.model == "er":
+        from repro.core.parallel_er import run_parallel_er
+
+        n = args.nodes or 10_000
+        edges, engine, _ = run_parallel_er(n, args.prob, args.ranks, seed=args.seed)
+        label = f"G(n={n}, p={args.prob})"
+    elif args.model == "rmat":
+        from repro.core.parallel_rmat import run_parallel_rmat
+
+        m = args.edges or 16 * (1 << args.scale)
+        edges, engine, _ = run_parallel_rmat(
+            args.scale, m, args.ranks, seed=args.seed
+        )
+        label = f"R-MAT(scale={args.scale}, m={m})"
+    else:
+        from repro.core.parallel_er import run_parallel_chung_lu
+
+        n = args.nodes or 10_000
+        weights = np.full(n, args.mean_degree)
+        edges, engine, _ = run_parallel_chung_lu(weights, args.ranks, seed=args.seed)
+        label = f"Chung-Lu(n={n}, mean weight {args.mean_degree})"
+
+    print(f"generated {label}: {len(edges)} edges on P={args.ranks} "
+          f"({engine.stats.total_messages} protocol messages)")
+    if args.output is not None:
+        if args.text:
+            gio.write_edges_text(args.output, edges)
+        else:
+            gio.write_edges_binary(args.output, edges)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_degree_dist(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import ascii_loglog, format_series
+    from repro.graph import io as gio
+    from repro.graph.degree import degrees_from_edges, log_binned_distribution
+
+    edges = gio.read_edges_text(args.path) if args.text else gio.read_edges_binary(args.path)
+    deg = degrees_from_edges(edges)
+    centers, density = log_binned_distribution(deg)
+    print(format_series("log-binned degree distribution", centers.round(1), density))
+    if args.plot:
+        print(ascii_loglog(centers, density, label="P(k) vs k (log-log)"))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.bench.campaign import (
+        expand_grid,
+        run_campaign,
+        summarize_campaign,
+        write_csv,
+    )
+    from repro.bench.reporting import format_table
+
+    configs = expand_grid(
+        n=args.nodes, x=args.edges_per_node, ranks=args.ranks, scheme=args.schemes
+    )
+    print(f"running {len(configs)} configurations ...")
+    records = run_campaign("cli-campaign", configs, seed=args.seed)
+    path = write_csv(args.output, records)
+    print(f"wrote {len(records)} rows to {path}")
+    summary = summarize_campaign(records, by="scheme")
+    rows = [
+        (key, int(v["runs"]), v["mean_simulated_time"], v["mean_imbalance"])
+        for key, v in summary.items()
+    ]
+    print(format_table(
+        ["scheme", "runs", "mean T_p (sim s)", "mean imbalance"], rows
+    ))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.partitioning import make_partition
+    from repro.distgraph import (
+        DistributedGraph,
+        distributed_bfs,
+        distributed_components,
+        distributed_pagerank,
+    )
+    from repro.graph import io as gio
+
+    edges = gio.read_edges_text(args.path) if args.text else gio.read_edges_binary(args.path)
+    part = make_partition(args.scheme, args.nodes, args.ranks)
+    graph = DistributedGraph.from_edgelist(edges, part)
+    print(f"loaded {graph!r}")
+
+    dist, eng = distributed_bfs(graph, args.bfs_source)
+    reached = int((dist >= 0).sum())
+    print(f"BFS from {args.bfs_source}: reached {reached}/{args.nodes} nodes, "
+          f"eccentricity {int(dist.max())}, {eng.supersteps} supersteps")
+
+    labels, eng = distributed_components(graph)
+    print(f"components: {len(np.unique(labels))} ({eng.supersteps} supersteps)")
+
+    pr, eng = distributed_pagerank(graph, iterations=args.pagerank_iters)
+    top = np.argsort(pr)[-3:][::-1]
+    print("top PageRank nodes: "
+          + ", ".join(f"{int(t)} ({pr[t]:.2e})" for t in top))
+    return 0
+
+
+def _cmd_chains(args: argparse.Namespace) -> int:
+    from repro.core.chains import chain_statistics
+
+    st = chain_statistics(args.nodes, p=args.prob, seed=args.seed)
+    print(
+        f"n={st.n} p={st.p}: mean chain {st.mean:.3f} "
+        f"(bounds: 1/p={st.mean_bound_constant:.1f}, ln n={st.mean_bound:.1f}), "
+        f"max chain {st.max} (bound 5 ln n = {st.max_bound:.1f})"
+    )
+    ok = st.mean_within_bounds and st.max_within_bounds
+    print("within Theorem 3.3 bounds:", ok)
+    return 0 if ok else 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "validate": _cmd_validate,
+    "stats": _cmd_stats,
+    "scaling": _cmd_scaling,
+    "chains": _cmd_chains,
+    "other": _cmd_other,
+    "degree-dist": _cmd_degree_dist,
+    "analyze": _cmd_analyze,
+    "campaign": _cmd_campaign,
+}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

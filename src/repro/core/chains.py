@@ -1,0 +1,166 @@
+"""Selection chains and dependency chains (Section 3.4).
+
+During Algorithm 3.1 a node ``t`` whose coin says *copy* cannot resolve
+``F_t`` until ``F_k`` is known; those waits concatenate into a *dependency
+chain*.  The paper proves (Theorem 3.3):
+
+* ``E[L_t] <= log n`` (harmonic sum via Lemma 3.1's ``P_t(i) = 1/i``),
+* ``L_max = O(log n)`` w.h.p.,
+* for constant ``p``, the average chain length is at most ``1/p``.
+
+This module reconstructs the chains from the algorithm's random draws and
+computes their length statistics with vectorised pointer doubling, so the
+theory can be checked empirically at ``n`` into the millions (the
+``bench_chains`` benchmark and the property-based tests do exactly that).
+The number of supersteps the BSP engine needs is ``Θ(max dependency-chain
+length across rank boundaries)``, so these statistics also explain the
+engine's round counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "draw_attachment_variates",
+    "selection_chain",
+    "selection_chain_lengths",
+    "dependency_chains",
+    "dependency_chain_lengths",
+    "chain_statistics",
+    "ChainStatistics",
+]
+
+
+def draw_attachment_variates(
+    n: int, p: float = 0.5, rng: np.random.Generator | None = None, seed: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw the ``x = 1`` copy-model variates for all nodes at once.
+
+    Returns ``(k, direct)`` where for ``t >= 2``, ``k[t]`` is uniform in
+    ``[1, t-1]`` and ``direct[t]`` is True with probability ``p``.  Node 1 is
+    fixed: ``k[1] = 0`` is unused, ``direct[1] = True`` (node 1 always
+    attaches to node 0 and is independent).  Entries for ``t < 1`` are
+    sentinel values.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    rng = rng or np.random.default_rng(seed)
+    k = np.zeros(n, dtype=np.int64)
+    direct = np.zeros(n, dtype=bool)
+    if n >= 2:
+        direct[1] = True
+    if n > 2:
+        ts = np.arange(2, n, dtype=np.int64)
+        k[2:] = 1 + (rng.random(n - 2) * (ts - 1)).astype(np.int64)
+        direct[2:] = rng.random(n - 2) < p
+    return k, direct
+
+
+def selection_chain(t: int, k: np.ndarray) -> list[int]:
+    """The explicit selection chain ``S_t = <t, k_t, k_{k_t}, ..., 1>``."""
+    if t < 1:
+        raise ValueError(f"selection chains start at t >= 1, got {t}")
+    chain = [t]
+    while chain[-1] > 1:
+        chain.append(int(k[chain[-1]]))
+    return chain
+
+
+def dependency_chains(t: int, k: np.ndarray, direct: np.ndarray) -> list[int]:
+    """The dependency chain ``D_t``: the prefix of ``S_t`` up to the first
+    independent (direct) node."""
+    chain = [t]
+    while not direct[chain[-1]]:
+        chain.append(int(k[chain[-1]]))
+    return chain
+
+
+def _pointer_double_depths(ptr: np.ndarray) -> np.ndarray:
+    """Distance from each index to its pointer fixed point.
+
+    Classic parallel pointer doubling: each pass, ``dist += dist[ptr]`` and
+    ``ptr = ptr[ptr]``; converges in ``O(log L_max)`` passes.
+    """
+    ptr = ptr.copy()
+    dist = (ptr != np.arange(len(ptr))).astype(np.int64)
+    while True:
+        moved = ptr[ptr] != ptr
+        if not moved.any():
+            return dist
+        dist = dist + np.where(moved, dist[ptr], 0)
+        ptr = ptr[ptr]
+
+
+def selection_chain_lengths(k: np.ndarray) -> np.ndarray:
+    """``|S_t|`` for every ``t >= 1`` (index 0 is 0 by convention)."""
+    n = len(k)
+    ptr = np.arange(n, dtype=np.int64)
+    if n > 2:
+        ptr[2:] = k[2:]
+    lengths = _pointer_double_depths(ptr) + 1
+    if n > 0:
+        lengths[0] = 0
+    return lengths
+
+
+def dependency_chain_lengths(k: np.ndarray, direct: np.ndarray) -> np.ndarray:
+    """``L_t = |D_t|`` for every ``t >= 1`` (index 0 is 0 by convention)."""
+    n = len(k)
+    ptr = np.arange(n, dtype=np.int64)
+    mask = ~direct
+    mask[:2] = False  # nodes 0, 1 never point anywhere
+    ptr[mask] = k[mask]
+    lengths = _pointer_double_depths(ptr) + 1
+    if n > 0:
+        lengths[0] = 0
+    return lengths
+
+
+@dataclass(frozen=True)
+class ChainStatistics:
+    """Summary of chain lengths against the paper's bounds."""
+
+    n: int
+    p: float
+    mean: float
+    max: int
+    #: Theorem 3.3 bounds evaluated at this n
+    mean_bound: float          # log n
+    mean_bound_constant: float  # 1/p
+    max_bound: float           # 5 log n (the constant from the Chernoff step)
+
+    @property
+    def mean_within_bounds(self) -> bool:
+        return self.mean <= min(self.mean_bound, self.mean_bound_constant) + 1.0
+
+    @property
+    def max_within_bounds(self) -> bool:
+        return self.max <= self.max_bound
+
+
+def chain_statistics(
+    n: int, p: float = 0.5, seed: int | None = None, rng: np.random.Generator | None = None
+) -> ChainStatistics:
+    """Draw one instance and summarise its dependency-chain lengths.
+
+    The paper's bounds count *waiting steps*; our ``L_t`` counts nodes in the
+    chain, so the expected value for constant ``p`` is ``1/p`` (a geometric
+    random variable) and the maximum is ``O(log n)``.
+    """
+    k, direct = draw_attachment_variates(n, p, rng=rng, seed=seed)
+    lengths = dependency_chain_lengths(k, direct)[1:]
+    log_n = float(np.log(max(n, 2)))
+    return ChainStatistics(
+        n=n,
+        p=p,
+        mean=float(lengths.mean()) if len(lengths) else 0.0,
+        max=int(lengths.max()) if len(lengths) else 0,
+        mean_bound=log_n,
+        mean_bound_constant=1.0 / p,
+        max_bound=5.0 * log_n,
+    )

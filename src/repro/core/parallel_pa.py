@@ -1,0 +1,265 @@
+"""Algorithm 3.1 — parallel preferential attachment with ``x = 1``.
+
+Each rank owns the nodes of its partition and computes ``F_t`` for them.
+Per node ``t`` the rank draws ``k`` uniform in ``[1, t-1]`` and a coin: with
+probability ``p`` it sets ``F_t = k`` immediately (Line 5-6); otherwise
+``F_t = F_k`` (Line 8), which is
+
+* resolved by *local chain sweeping* when ``k`` is owned by the same rank
+  (the paper's intra-processor case — no message needed), or
+* turned into a ``<request, t, k>`` message to ``k``'s owner (Line 9).
+
+An owner receiving a request replies ``<resolved, t, F_k>`` if ``F_k`` is
+known and otherwise parks the requester in the wait queue ``Q_k``
+(Lines 11-15); when ``F_k`` later resolves, queued requesters are answered
+(Lines 16-19).
+
+Execution model: the rank program below runs on the
+:class:`~repro.mpsim.bsp.BSPEngine`, whose exchange step *is* the paper's
+message buffering — all records destined to one rank in one superstep travel
+as a single message.  Theorem 3.3 bounds dependency chains by ``O(log n)``,
+so the run quiesces in ``O(log n)`` supersteps.
+
+Randomness protocol: node ``t`` consumes exactly two uniforms from its
+owner's stream, in node order — first for ``k``, then for the coin.  The
+event-driven implementation follows the identical protocol, which is why the
+two engines produce bit-identical graphs (see
+``tests/core/test_cross_engine.py``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.partitioning import Partition
+from repro.graph.edgelist import EdgeList
+from repro.mpsim.bsp import BSPEngine, BSPRankContext
+from repro.mpsim.costmodel import CostModel
+from repro.rng import StreamFactory
+
+__all__ = ["RECORD_DTYPE", "REQ", "RES", "PAx1RankProgram", "run_parallel_pa_x1"]
+
+#: Wire format of one protocol record: ``kind`` is :data:`REQ` or
+#: :data:`RES`; for requests ``a`` is ``k``, for resolved ``a`` is ``v``.
+RECORD_DTYPE = np.dtype([("kind", "i8"), ("t", "i8"), ("a", "i8")])
+REQ = 0
+RES = 1
+
+
+def _records(kind: int, t: np.ndarray, a: np.ndarray) -> np.ndarray:
+    rec = np.empty(len(t), dtype=RECORD_DTYPE)
+    rec["kind"] = kind
+    rec["t"] = t
+    rec["a"] = a
+    return rec
+
+
+class PAx1RankProgram:
+    """One rank's state machine for Algorithm 3.1.
+
+    Parameters
+    ----------
+    rank:
+        This rank's id.
+    partition:
+        The node partition (any scheme from
+        :mod:`repro.core.partitioning`).
+    p:
+        Direct-attachment probability.
+    rng:
+        This rank's private stream (node draws follow the two-uniforms-per-
+        node protocol documented in the module docstring).
+    """
+
+    def __init__(self, rank: int, partition: Partition, p: float, rng: np.random.Generator) -> None:
+        self.rank = rank
+        self.part = partition
+        self.p = p
+        self.rng = rng
+        self.nodes = partition.partition_nodes(rank)
+        self.F = np.full(len(self.nodes), -1, dtype=np.int64)
+        self._started = False
+        # local copy-chain waits: t (local idx) waiting on k (local idx)
+        self._pend_t = np.empty(0, dtype=np.int64)
+        self._pend_k = np.empty(0, dtype=np.int64)
+        # remote requesters parked on an unknown local F_k (the wait queues
+        # Q_k of Lines 14-15, stored as flat arrays for bulk draining)
+        self._park_k = np.empty(0, dtype=np.int64)  # local idx awaited
+        self._park_t = np.empty(0, dtype=np.int64)  # waiting node id
+        # resolution progress (node 0 owns no attachment)
+        self._unresolved = int((self.nodes >= 1).sum())
+        # paper's Figure 7 counters
+        self.requests_sent = 0
+        self.requests_received = 0
+
+    # ------------------------------------------------------------ interface
+    @property
+    def done(self) -> bool:
+        return self._started and self._unresolved == 0
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """Local edges ``(t, F_t)`` for owned ``t >= 1`` (mp-backend hook)."""
+        mask = self.nodes >= 1
+        return self.nodes[mask], self.F[mask]
+
+    def local_edges(self) -> EdgeList:
+        t, f = self.result()
+        return EdgeList.from_arrays(t, f)
+
+    def step(self, ctx: BSPRankContext, inbox) -> dict[int, list[np.ndarray]]:
+        out: dict[int, list[np.ndarray]] = defaultdict(list)
+        newly: list[np.ndarray] = []
+
+        if not self._started:
+            self._started = True
+            self._setup(ctx, out, newly)
+
+        for _src, arr in inbox:
+            res = arr[arr["kind"] == RES]
+            if len(res):
+                self._apply_resolved(res, newly, ctx)
+
+        self._local_sweep(newly, ctx)
+
+        for _src, arr in inbox:
+            req = arr[arr["kind"] == REQ]
+            if len(req):
+                self._park_requests(req, ctx)
+
+        self._drain_parked(out, ctx)
+        return {d: [np.concatenate(batches)] for d, batches in out.items() if batches}
+
+    # ------------------------------------------------------------- phases
+    def _setup(self, ctx: BSPRankContext, out, newly) -> None:
+        """Lines 2-9: per-node draws and immediate/deferred attachment."""
+        nodes = self.nodes
+        ctx.charge(nodes=len(nodes))
+
+        one = np.flatnonzero(nodes == 1)
+        if len(one):
+            self.F[one[0]] = 0
+            self._unresolved -= 1
+            newly.append(one.astype(np.int64))
+
+        mask = nodes >= 2
+        t = nodes[mask]
+        tidx = np.flatnonzero(mask)
+        if len(t) == 0:
+            return
+        u = self.rng.random(2 * len(t))
+        k = 1 + (u[0::2] * (t - 1)).astype(np.int64)
+        direct = u[1::2] < self.p
+
+        d_idx = tidx[direct]
+        self.F[d_idx] = k[direct]
+        self._unresolved -= len(d_idx)
+        if len(d_idx):
+            newly.append(d_idx)
+
+        ct, ck, cidx = t[~direct], k[~direct], tidx[~direct]
+        owners = self.part.owner(ck)
+        local = owners == self.rank
+        if local.any():
+            self._pend_t = cidx[local]
+            self._pend_k = np.asarray(self.part.local_index(self.rank, ck[local]), dtype=np.int64)
+        remote = ~local
+        if remote.any():
+            self._route(out, _records(REQ, ct[remote], ck[remote]), owners[remote])
+            self.requests_sent += int(remote.sum())
+
+    def _apply_resolved(self, res: np.ndarray, newly, ctx: BSPRankContext) -> None:
+        """Lines 16-17: install ``F_t <- v`` for every resolved record."""
+        tidx = np.asarray(self.part.local_index(self.rank, res["t"]), dtype=np.int64)
+        self.F[tidx] = res["a"]
+        self._unresolved -= len(tidx)
+        newly.append(tidx)
+        ctx.charge(work_items=len(tidx))
+
+    def _local_sweep(self, newly, ctx: BSPRankContext) -> None:
+        """Resolve local copy chains: one pass per chain level."""
+        while len(self._pend_t):
+            vals = self.F[self._pend_k]
+            ready = vals >= 0
+            if not ready.any():
+                return
+            done_t = self._pend_t[ready]
+            self.F[done_t] = vals[ready]
+            self._unresolved -= len(done_t)
+            newly.append(done_t)
+            ctx.charge(work_items=len(done_t))
+            self._pend_t = self._pend_t[~ready]
+            self._pend_k = self._pend_k[~ready]
+
+    def _park_requests(self, req: np.ndarray, ctx: BSPRankContext) -> None:
+        """Lines 11-15: park arriving requests on their target node.
+
+        Requests whose ``F_k`` is already known are answered by
+        :meth:`_drain_parked` at the end of the same step — identical
+        messages, one vectorised code path.
+        """
+        self.requests_received += len(req)
+        ctx.charge(work_items=len(req))
+        kidx = np.asarray(self.part.local_index(self.rank, req["a"]), dtype=np.int64)
+        self._park_k = np.concatenate([self._park_k, kidx])
+        self._park_t = np.concatenate([self._park_t, req["t"]])
+
+    def _drain_parked(self, out, ctx: BSPRankContext) -> None:
+        """Lines 12-13 and 18-19 in bulk: answer every parked request whose
+        awaited ``F_k`` has resolved."""
+        if not len(self._park_k):
+            return
+        vals = self.F[self._park_k]
+        ready = vals >= 0
+        if not ready.any():
+            return
+        t_out = self._park_t[ready]
+        v_out = vals[ready]
+        keep = ~ready
+        self._park_k = self._park_k[keep]
+        self._park_t = self._park_t[keep]
+        ctx.charge(work_items=len(t_out))
+        self._route(out, _records(RES, t_out, v_out), self.part.owner(t_out))
+
+    def _route(self, out, records: np.ndarray, dests: np.ndarray) -> None:
+        """Group ``records`` by destination rank and append to the outbox."""
+        dests = np.asarray(dests)
+        order = np.argsort(dests, kind="stable")
+        records, dests = records[order], dests[order]
+        cut = np.flatnonzero(np.diff(dests)) + 1
+        for dest, chunk in zip(
+            np.concatenate([dests[:1], dests[cut]]).tolist(),
+            np.split(records, cut),
+        ):
+            out[int(dest)].append(chunk)
+
+
+def run_parallel_pa_x1(
+    n: int,
+    partition: Partition,
+    p: float = 0.5,
+    seed: int | None = None,
+    cost_model: CostModel | None = None,
+    max_supersteps: int = 10_000,
+    checkpointer=None,
+) -> tuple[EdgeList, BSPEngine, list[PAx1RankProgram]]:
+    """Generate an ``x = 1`` PA network on the BSP engine.
+
+    Returns the merged edge list (rank order), the engine (for its traffic
+    statistics and simulated time), and the rank programs (for per-rank
+    request counters — Figure 7's data).
+    """
+    if partition.n != n:
+        raise ValueError(f"partition covers n={partition.n}, requested n={n}")
+    factory = StreamFactory(seed)
+    programs = [
+        PAx1RankProgram(r, partition, p, factory.stream(r)) for r in range(partition.P)
+    ]
+    engine = BSPEngine(partition.P, cost_model=cost_model, max_supersteps=max_supersteps)
+    engine.run(programs, checkpointer=checkpointer)
+    edges = EdgeList(capacity=max(n - 1, 1))
+    for prog in programs:
+        t, f = prog.result()
+        edges.append_arrays(t, f)
+    return edges, engine, programs

@@ -1,0 +1,48 @@
+"""Distributed graph storage and analysis on the simulated substrate.
+
+Section 3.2 of the paper motivates its partitioning flexibility with the
+downstream consumer: "Many network analysis algorithms require partitioning
+the graph into equal number of edges per processor.  Some algorithms require
+the consecutive nodes to be stored in the same processor."  This subpackage
+is that consumer: it keeps the generated network *distributed* — each rank
+holds the adjacency of its partition's nodes — and runs classic analyses as
+BSP rank programs over the same engine and partitions the generator used,
+so a graph can be generated and analysed end-to-end without ever being
+gathered to one address space.
+
+* :mod:`repro.distgraph.storage` — :class:`DistributedGraph`: per-rank CSR
+  adjacency built by a one-superstep edge scatter;
+* :mod:`repro.distgraph.bfs` — breadth-first search with frontier exchange;
+* :mod:`repro.distgraph.components` — connected components by hash-min
+  label propagation;
+* :mod:`repro.distgraph.pagerank` — power-iteration PageRank with
+  contribution exchange;
+* :mod:`repro.distgraph.degree` — distributed degree statistics/histograms
+  via a reduction to rank 0.
+
+Every algorithm is validated against a sequential reference (NetworkX or
+the in-repo exact implementation) in ``tests/distgraph/``.
+"""
+
+from repro.distgraph.storage import DistributedGraph
+from repro.distgraph.bfs import distributed_bfs
+from repro.distgraph.components import distributed_components
+from repro.distgraph.degree import distributed_degree_histogram, distributed_degrees
+from repro.distgraph.pagerank import distributed_pagerank
+from repro.distgraph.repartition import DegreeBalancedPartition, repartition
+from repro.distgraph.kcore import distributed_core_numbers, distributed_kcore
+from repro.distgraph.triangles import distributed_triangles
+
+__all__ = [
+    "DegreeBalancedPartition",
+    "DistributedGraph",
+    "distributed_bfs",
+    "distributed_components",
+    "distributed_core_numbers",
+    "distributed_degree_histogram",
+    "distributed_degrees",
+    "distributed_kcore",
+    "distributed_pagerank",
+    "distributed_triangles",
+    "repartition",
+]

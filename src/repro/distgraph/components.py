@@ -1,0 +1,131 @@
+"""Distributed connected components by hash-min label propagation.
+
+Every node starts labelled with its own id; each round, nodes push their
+current label to their neighbours and adopt the minimum label they see.
+Labels converge to the minimum node id of each component in at most
+``diameter`` rounds — a handful for the small-world graphs this library
+generates.  An early-exit optimisation propagates only *changed* labels, so
+traffic shrinks geometrically after the first rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distgraph.storage import DistributedGraph
+from repro.mpsim.bsp import BSPEngine, BSPRankContext
+from repro.mpsim.costmodel import CostModel
+
+__all__ = ["distributed_components"]
+
+
+class _CCProgram:
+    def __init__(self, rank: int, graph: DistributedGraph) -> None:
+        self.rank = rank
+        self.g = graph
+        self.part = graph.partition
+        self.nodes = self.part.partition_nodes(rank)
+        self.labels = self.nodes.copy()
+        # all nodes are "changed" initially so the first round pushes everything
+        self.changed = np.arange(len(self.nodes), dtype=np.int64)
+
+    @property
+    def done(self) -> bool:
+        return len(self.changed) == 0
+
+    def step(self, ctx: BSPRankContext, inbox):
+        # 1. apply incoming label proposals: (node, label) pairs
+        for _src, arr in inbox:
+            lidx = np.asarray(self.part.local_index(self.rank, arr[:, 0]), dtype=np.int64)
+            proposal = arr[:, 1]
+            ctx.charge(work_items=len(arr))
+            # scatter-min: sort by (lidx, label) and keep the first per lidx
+            order = np.lexsort((proposal, lidx))
+            li, pr = lidx[order], proposal[order]
+            first = np.ones(len(li), dtype=bool)
+            first[1:] = li[1:] != li[:-1]
+            li, pr = li[first], pr[first]
+            better = pr < self.labels[li]
+            if better.any():
+                self.labels[li[better]] = pr[better]
+                self.changed = np.unique(
+                    np.concatenate([self.changed, li[better]])
+                )
+
+        if len(self.changed) == 0:
+            return None
+
+        # 2. push the changed labels to all neighbours
+        indptr = self.g.indptr[self.rank]
+        nbrs = self.g.neighbors[self.rank]
+        spans = []
+        labels_out = []
+        for i in self.changed.tolist():
+            span = nbrs[indptr[i]:indptr[i + 1]]
+            spans.append(span)
+            labels_out.append(np.full(len(span), self.labels[i], dtype=np.int64))
+        self.changed = np.empty(0, dtype=np.int64)
+        if not spans:
+            return None
+        targets = np.concatenate(spans)
+        labels_arr = np.concatenate(labels_out)
+        ctx.charge(work_items=len(targets))
+        owners = np.asarray(self.part.owner(targets))
+
+        # local proposals applied immediately
+        local = owners == self.rank
+        if local.any():
+            lidx = np.asarray(
+                self.part.local_index(self.rank, targets[local]), dtype=np.int64
+            )
+            pr = labels_arr[local]
+            order = np.lexsort((pr, lidx))
+            li, prs = lidx[order], pr[order]
+            first = np.ones(len(li), dtype=bool)
+            first[1:] = li[1:] != li[:-1]
+            li, prs = li[first], prs[first]
+            better = prs < self.labels[li]
+            if better.any():
+                self.labels[li[better]] = prs[better]
+                self.changed = li[better]
+
+        out: dict[int, list[np.ndarray]] = {}
+        remote = ~local
+        if remote.any():
+            r_t, r_l, r_o = targets[remote], labels_arr[remote], owners[remote]
+            order = np.argsort(r_o, kind="stable")
+            r_t, r_l, r_o = r_t[order], r_l[order], r_o[order]
+            cut = np.flatnonzero(np.diff(r_o)) + 1
+            dests = np.concatenate([r_o[:1], r_o[cut]])
+            for dest, t_chunk, l_chunk in zip(
+                dests.tolist(), np.split(r_t, cut), np.split(r_l, cut)
+            ):
+                out[int(dest)] = [np.column_stack([t_chunk, l_chunk])]
+        return out or None
+
+
+def distributed_components(
+    graph: DistributedGraph,
+    cost_model: CostModel | None = None,
+) -> tuple[np.ndarray, BSPEngine]:
+    """Component label (minimum member id) for every node.
+
+    Examples
+    --------
+    >>> from repro.core.partitioning import make_partition
+    >>> from repro.graph.edgelist import EdgeList
+    >>> part = make_partition("rrp", 5, 2)
+    >>> g = DistributedGraph.from_edgelist(
+    ...     EdgeList.from_arrays([1, 4], [0, 3]), part)
+    >>> labels, _ = distributed_components(g)
+    >>> labels.tolist()
+    [0, 0, 2, 3, 3]
+    """
+    part = graph.partition
+    programs = [_CCProgram(r, graph) for r in range(part.P)]
+    engine = BSPEngine(part.P, cost_model=cost_model)
+    engine.run(programs)
+    labels = np.empty(graph.num_nodes, dtype=np.int64)
+    for r, prog in enumerate(programs):
+        labels[part.partition_nodes(r)] = prog.labels
+    return labels, engine

@@ -1,0 +1,176 @@
+"""Distributed PageRank (power iteration with contribution exchange).
+
+Each power iteration takes three supersteps, keeping every rank in lockstep
+with no convergence collective:
+
+1. **push** — every rank divides its owned nodes' mass by their degrees and
+   routes per-neighbour contributions to the neighbours' owners; it also
+   sends its local dangling-node (degree-0) mass to rank 0.
+2. **collect** — ranks fold arriving contributions; rank 0 totals the
+   dangling mass and broadcasts the scalar.
+3. **apply** — ranks fold the dangling scalar and apply the damping update
+   ``pr = (1-d)/n + d (in + dangling/n)``.
+
+The implementation is strictly shared-nothing (all cross-rank data moves
+through the exchange) and is validated against ``networkx.pagerank`` to
+~1e-6 in the test-suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distgraph.storage import DistributedGraph
+from repro.mpsim.bsp import BSPEngine, BSPRankContext
+from repro.mpsim.costmodel import CostModel
+
+__all__ = ["distributed_pagerank"]
+
+#: row tags in the exchanged float matrices: (kind, node, value)
+_CONTRIB = 0.0
+_DANGLE = 1.0
+
+
+class _PageRankProgram:
+    def __init__(
+        self, rank: int, graph: DistributedGraph, damping: float, iterations: int
+    ) -> None:
+        self.rank = rank
+        self.g = graph
+        self.part = graph.partition
+        self.n = graph.num_nodes
+        self.damping = damping
+        self.iterations = iterations
+        count = self.part.partition_size(rank)
+        self.pr = np.full(count, 1.0 / self.n, dtype=np.float64)
+        self.degrees = np.diff(self.g.indptr[rank])
+        self.iter = 0
+        self._phase = "push"
+        self._incoming = np.zeros(count, dtype=np.float64)
+        self._dangling = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.iter >= self.iterations
+
+    def step(self, ctx: BSPRankContext, inbox):
+        if self._phase == "push":
+            if self.done:
+                return None
+            return self._push(ctx)
+        if self._phase == "collect":
+            return self._collect(ctx, inbox)
+        return self._apply(ctx, inbox)
+
+    def _push(self, ctx: BSPRankContext):
+        nbrs = self.g.neighbors[self.rank]
+        has_deg = self.degrees > 0
+        share = np.zeros_like(self.pr)
+        share[has_deg] = self.pr[has_deg] / self.degrees[has_deg]
+        local_dangling = float(self.pr[~has_deg].sum())
+
+        targets = nbrs
+        values = np.repeat(share, self.degrees)
+        ctx.charge(work_items=len(targets) + len(self.pr))
+        owners = np.asarray(self.part.owner(targets))
+
+        self._incoming = np.zeros_like(self.pr)
+        local = owners == self.rank
+        if local.any():
+            lidx = np.asarray(
+                self.part.local_index(self.rank, targets[local]), dtype=np.int64
+            )
+            np.add.at(self._incoming, lidx, values[local])
+
+        out: dict[int, list[np.ndarray]] = {}
+        remote = ~local
+        if remote.any():
+            r_t = targets[remote].astype(np.float64)
+            r_v = values[remote]
+            r_o = owners[remote]
+            order = np.argsort(r_o, kind="stable")
+            r_t, r_v, r_o = r_t[order], r_v[order], r_o[order]
+            cut = np.flatnonzero(np.diff(r_o)) + 1
+            dests = np.concatenate([r_o[:1], r_o[cut]])
+            for dest, t_chunk, v_chunk in zip(
+                dests.tolist(), np.split(r_t, cut), np.split(r_v, cut)
+            ):
+                rows = np.column_stack(
+                    [np.full(len(t_chunk), _CONTRIB), t_chunk, v_chunk]
+                )
+                out.setdefault(int(dest), []).append(rows)
+
+        if self.rank == 0:
+            self._dangling = local_dangling
+        else:
+            out.setdefault(0, []).append(np.array([[_DANGLE, 0.0, local_dangling]]))
+        self._phase = "collect"
+        return out or None
+
+    def _collect(self, ctx: BSPRankContext, inbox):
+        for _src, arr in inbox:
+            kinds = arr[:, 0]
+            contrib = arr[kinds == _CONTRIB]
+            if len(contrib):
+                lidx = np.asarray(
+                    self.part.local_index(self.rank, contrib[:, 1].astype(np.int64)),
+                    dtype=np.int64,
+                )
+                np.add.at(self._incoming, lidx, contrib[:, 2])
+                ctx.charge(work_items=len(contrib))
+            if self.rank == 0:
+                self._dangling += float(arr[kinds == _DANGLE][:, 2].sum())
+
+        self._phase = "apply"
+        if self.rank == 0 and self.part.P > 1:
+            # broadcast the global dangling mass; arrives for the apply phase
+            row = np.array([[_DANGLE, 0.0, self._dangling]])
+            return {dest: [row] for dest in range(1, self.part.P)}
+        return None
+
+    def _apply(self, ctx: BSPRankContext, inbox):
+        if self.rank != 0:
+            for _src, arr in inbox:
+                self._dangling += float(arr[arr[:, 0] == _DANGLE][:, 2].sum())
+        ctx.charge(work_items=len(self.pr))
+        base = (1.0 - self.damping) / self.n
+        self.pr = base + self.damping * (self._incoming + self._dangling / self.n)
+        self.iter += 1
+        self._dangling = 0.0
+        self._phase = "push"
+        return None
+
+
+def distributed_pagerank(
+    graph: DistributedGraph,
+    damping: float = 0.85,
+    iterations: int = 50,
+    cost_model: CostModel | None = None,
+) -> tuple[np.ndarray, BSPEngine]:
+    """PageRank vector of a distributed graph (global node order).
+
+    Examples
+    --------
+    >>> from repro.core.partitioning import make_partition
+    >>> from repro.graph.edgelist import EdgeList
+    >>> part = make_partition("rrp", 3, 2)
+    >>> g = DistributedGraph.from_edgelist(
+    ...     EdgeList.from_arrays([1, 2], [0, 0]), part)   # star around 0
+    >>> pr, _ = distributed_pagerank(g, iterations=60)
+    >>> bool(pr[0] > pr[1] and abs(pr.sum() - 1) < 1e-9)
+    True
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    part = graph.partition
+    programs = [
+        _PageRankProgram(r, graph, damping, iterations) for r in range(part.P)
+    ]
+    engine = BSPEngine(part.P, cost_model=cost_model, max_supersteps=3 * iterations + 10)
+    engine.run(programs)
+    pr = np.empty(graph.num_nodes, dtype=np.float64)
+    for r, prog in enumerate(programs):
+        pr[part.partition_nodes(r)] = prog.pr
+    return pr, engine

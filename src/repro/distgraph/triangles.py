@@ -1,0 +1,153 @@
+"""Distributed triangle counting (wedge-check protocol).
+
+The classic degree-ordered algorithm: orient each edge from its lower- to
+its higher-ranked endpoint (rank = (degree, id)); every triangle then has
+exactly one *apex* node whose two out-edges cover it, so counting reduces to
+checking, for each wedge ``u -> v, u -> w`` (v before w in rank order),
+whether the closing edge ``v -> w`` exists.
+
+Distribution: each rank owns the out-adjacency of its partition's nodes.
+Wedge checks whose closing edge belongs to another rank become query
+messages — the same request/response pattern as the paper's Algorithm 3.1,
+here with a one-round reply (edge existence is static).  Queries are
+deduplicated per (v, w) pair locally before sending, and answers return
+*counts*, keeping traffic proportional to distinct closing pairs.
+
+Validated against the exact sequential counter in
+:mod:`repro.graph.analysis`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distgraph.storage import DistributedGraph
+from repro.mpsim.bsp import BSPEngine, BSPRankContext
+from repro.mpsim.costmodel import CostModel
+
+__all__ = ["distributed_triangles"]
+
+
+class _TriangleProgram:
+    def __init__(
+        self,
+        rank: int,
+        graph: DistributedGraph,
+        rank_of: np.ndarray,
+    ) -> None:
+        self.rank = rank
+        self.g = graph
+        self.part = graph.partition
+        self.rank_of = rank_of  # global total order on nodes
+        self.nodes = self.part.partition_nodes(rank)
+        self.count = 0
+        self._phase = "build"
+        # out-adjacency of owned nodes as sorted arrays + a set for queries
+        self._out: dict[int, np.ndarray] = {}
+        self._out_sets: dict[int, set[int]] = {}
+
+    @property
+    def done(self) -> bool:
+        return self._phase == "serve"
+
+    # -------------------------------------------------------------- phases
+    def _build(self, ctx: BSPRankContext):
+        indptr = self.g.indptr[self.rank]
+        nbrs = self.g.neighbors[self.rank]
+        ro = self.rank_of
+        for i, v in enumerate(self.nodes.tolist()):
+            span = nbrs[indptr[i]:indptr[i + 1]]
+            outs = span[ro[span] > ro[v]]
+            # keep out-lists sorted by the global rank order: for a wedge
+            # (outs[a], outs[b]) with a < b, the closing edge — if present —
+            # is then guaranteed to be oriented outs[a] -> outs[b] and
+            # therefore stored at owner(outs[a])
+            outs = outs[np.argsort(ro[outs], kind="stable")]
+            self._out[v] = outs
+            self._out_sets[v] = set(outs.tolist())
+        ctx.charge(nodes=len(self.nodes), work_items=len(nbrs))
+
+    def _emit_wedges(self, ctx: BSPRankContext, out) -> None:
+        """Count local closures; batch remote closing-edge queries."""
+        pending: dict[int, dict[tuple[int, int], int]] = {}
+        wedges = 0
+        for u in self.nodes.tolist():
+            outs = self._out[u]
+            d = len(outs)
+            if d < 2:
+                continue
+            for a in range(d - 1):
+                v = int(outs[a])
+                owner_v = int(self.part.owner(v))
+                for b in range(a + 1, d):
+                    w = int(outs[b])
+                    wedges += 1
+                    if owner_v == self.rank:
+                        if w in self._out_sets.get(v, ()):
+                            self.count += 1
+                    else:
+                        key = (v, w)
+                        bucket = pending.setdefault(owner_v, {})
+                        bucket[key] = bucket.get(key, 0) + 1
+        ctx.charge(work_items=wedges)
+        for dest, bucket in pending.items():
+            pairs = np.array(
+                [(v, w, mult) for (v, w), mult in bucket.items()], dtype=np.int64
+            )
+            out[dest] = [pairs]
+
+    def step(self, ctx: BSPRankContext, inbox):
+        out: dict[int, list[np.ndarray]] = {}
+        # serve queries / fold answers
+        for src, arr in inbox:
+            if arr.shape[1] == 3:  # query rows: (v, w, multiplicity)
+                hits = 0
+                for v, w, mult in arr.tolist():
+                    if w in self._out_sets.get(v, ()):
+                        hits += mult
+                ctx.charge(work_items=len(arr))
+                if hits:
+                    out.setdefault(src, []).append(
+                        np.array([[hits]], dtype=np.int64)
+                    )
+            else:  # answer rows: (hits,)
+                self.count += int(arr.sum())
+                ctx.charge(work_items=len(arr))
+
+        if self._phase == "build":
+            self._build(ctx)
+            self._emit_wedges(ctx, out)
+            self._phase = "serve"
+        return out or None
+
+
+def distributed_triangles(
+    graph: DistributedGraph,
+    cost_model: CostModel | None = None,
+) -> tuple[int, BSPEngine]:
+    """Exact global triangle count of a distributed graph.
+
+    Examples
+    --------
+    >>> from repro.core.partitioning import make_partition
+    >>> from repro.graph.edgelist import EdgeList
+    >>> part = make_partition("rrp", 4, 2)
+    >>> el = EdgeList.from_arrays([1, 2, 2, 3, 3], [0, 0, 1, 1, 2])
+    >>> g = DistributedGraph.from_edgelist(el, part)
+    >>> distributed_triangles(g)[0]
+    2
+    """
+    part = graph.partition
+    # global (degree, id) order, derived from local degrees (cheap gather —
+    # a real deployment would allgather the degree vector the same way)
+    deg = np.empty(graph.num_nodes, dtype=np.int64)
+    for r in range(part.P):
+        deg[part.partition_nodes(r)] = graph.local_degrees(r)
+    order = np.lexsort((np.arange(graph.num_nodes), deg))
+    rank_of = np.empty(graph.num_nodes, dtype=np.int64)
+    rank_of[order] = np.arange(graph.num_nodes)
+
+    programs = [_TriangleProgram(r, graph, rank_of) for r in range(part.P)]
+    engine = BSPEngine(part.P, cost_model=cost_model)
+    engine.run(programs)
+    return sum(p.count for p in programs), engine

@@ -1,0 +1,145 @@
+"""Heavier structural analysis: k-cores, triangles, rich-club.
+
+These complement :mod:`repro.graph.metrics` with the exact (non-sampled)
+algorithms downstream studies of scale-free networks routinely run, all
+vectorised to handle the multi-million-edge graphs the generators produce:
+
+* :func:`k_core_decomposition` — Matula–Beck peeling in O(m) using a
+  bucket queue over degrees;
+* :func:`triangle_count` — exact triangle counting via degree-ordered
+  neighbour intersection (the standard ``forward`` algorithm);
+* :func:`rich_club_coefficient` — density among the top-degree nodes, the
+  hub-interconnection fingerprint of PA graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.metrics import adjacency_from_edges
+
+__all__ = ["k_core_decomposition", "triangle_count", "rich_club_coefficient"]
+
+
+def k_core_decomposition(edges: EdgeList, num_nodes: int | None = None) -> np.ndarray:
+    """Core number of every node (largest k with the node in the k-core).
+
+    Matula–Beck: repeatedly remove the minimum-degree node; its degree at
+    removal time is its core number.  Implemented with counting-sort
+    buckets, so the whole decomposition is O(n + m).
+
+    Examples
+    --------
+    >>> el = EdgeList.from_arrays([1, 2, 2], [0, 0, 1])   # triangle
+    >>> k_core_decomposition(el, 3).tolist()
+    [2, 2, 2]
+    """
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    indptr, nbrs = adjacency_from_edges(edges, n)
+    degree = np.diff(indptr).astype(np.int64)
+    max_deg = int(degree.max()) if n else 0
+
+    # bucket sort nodes by degree
+    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
+    counts = np.bincount(degree, minlength=max_deg + 1)
+    np.cumsum(counts, out=bin_start[1:])
+    pos = np.empty(n, dtype=np.int64)  # position of node in vert
+    vert = np.empty(n, dtype=np.int64)  # nodes sorted by current degree
+    cursor = bin_start[:-1].copy()
+    for v in range(n):
+        pos[v] = cursor[degree[v]]
+        vert[pos[v]] = v
+        cursor[degree[v]] += 1
+    bin_ptr = bin_start[:-1].copy()  # start of each degree bucket
+
+    core = degree.copy()
+    for i in range(n):
+        v = vert[i]
+        dv = core[v]
+        for w in nbrs[indptr[v]:indptr[v + 1]]:
+            if core[w] > dv:
+                # move w one bucket down: swap it to the front of its bucket
+                dw = core[w]
+                pw = pos[w]
+                first = bin_ptr[dw]
+                u = vert[first]
+                if u != w:
+                    vert[first], vert[pw] = w, u
+                    pos[w], pos[u] = first, pw
+                bin_ptr[dw] += 1
+                core[w] -= 1
+    return core
+
+
+def triangle_count(edges: EdgeList, num_nodes: int | None = None) -> int:
+    """Exact number of triangles (unordered node triples forming a 3-cycle).
+
+    Degree-ordered "forward" counting: orient every edge from the lower- to
+    the higher-ranked endpoint (rank = (degree, id)), then intersect
+    out-neighbour lists.  Runtime O(m^{3/2}) worst case, far better on
+    heavy-tailed graphs.
+
+    Examples
+    --------
+    >>> el = EdgeList.from_arrays([1, 2, 2], [0, 0, 1])
+    >>> triangle_count(el, 3)
+    1
+    """
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    if n == 0 or len(edges) == 0:
+        return 0
+    u = edges.sources
+    v = edges.targets
+    deg = np.zeros(n, dtype=np.int64)
+    np.add.at(deg, u, 1)
+    np.add.at(deg, v, 1)
+    # rank: by (degree, id); orient edge toward the higher rank
+    rank = np.lexsort((np.arange(n), deg))
+    rank_of = np.empty(n, dtype=np.int64)
+    rank_of[rank] = np.arange(n)
+    swap = rank_of[u] > rank_of[v]
+    src = np.where(swap, v, u)
+    dst = np.where(swap, u, v)
+
+    # out-adjacency in CSR, neighbour lists sorted for intersection
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+
+    out_sets = [dst[indptr[i]:indptr[i + 1]] for i in range(n)]
+    total = 0
+    for i in range(n):
+        oi = out_sets[i]
+        for j in oi.tolist():
+            total += np.intersect1d(oi, out_sets[j], assume_unique=False).size
+    return int(total)
+
+
+def rich_club_coefficient(
+    edges: EdgeList, num_nodes: int | None = None, fraction: float = 0.01
+) -> float:
+    """Edge density among the top ``fraction`` of nodes by degree.
+
+    ``phi = 2 E_club / (n_club (n_club - 1))`` where ``E_club`` counts edges
+    with both endpoints in the club.  PA hubs interconnect far more densely
+    than the graph at large.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    if n < 2:
+        return 0.0
+    deg = np.zeros(n, dtype=np.int64)
+    np.add.at(deg, edges.sources, 1)
+    np.add.at(deg, edges.targets, 1)
+    club_size = max(int(round(fraction * n)), 2)
+    club = np.zeros(n, dtype=bool)
+    club[np.argsort(deg)[-club_size:]] = True
+    inside = club[edges.sources] & club[edges.targets]
+    e_club = int(inside.sum())
+    return 2.0 * e_club / (club_size * (club_size - 1))

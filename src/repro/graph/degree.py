@@ -1,0 +1,100 @@
+"""Degree sequences, empirical degree distributions, and log-binning.
+
+These are the measurement tools behind Figure 4: the degree distribution of
+the generated network on a log–log scale.  For heavy-tailed data a raw
+histogram is noisy in the tail, so :func:`log_binned_distribution` implements
+the standard logarithmic binning, and :func:`ccdf` the complementary CDF
+(whose slope is ``1 - γ`` for a power law) — both are what practitioners
+actually plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "degrees_from_edges",
+    "degree_distribution",
+    "ccdf",
+    "log_binned_distribution",
+    "average_degree",
+]
+
+
+def degrees_from_edges(edges: EdgeList, num_nodes: int | None = None) -> np.ndarray:
+    """Degree of every node, as an ``int64`` array indexed by node id.
+
+    ``num_nodes`` forces the output length (isolated trailing nodes would
+    otherwise be dropped).
+    """
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    if n < edges.num_nodes:
+        raise ValueError(
+            f"num_nodes={n} is smaller than the largest node id implies ({edges.num_nodes})"
+        )
+    deg = np.zeros(n, dtype=np.int64)
+    if len(edges):
+        np.add.at(deg, edges.sources, 1)
+        np.add.at(deg, edges.targets, 1)
+    return deg
+
+
+def degree_distribution(degrees: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical distribution ``P(k)``.
+
+    Returns ``(k, pk)`` where ``k`` lists the distinct observed degrees (> 0)
+    and ``pk`` the fraction of nodes with that degree.
+    """
+    degrees = np.asarray(degrees)
+    if degrees.size == 0:
+        return np.array([], dtype=np.int64), np.array([])
+    counts = np.bincount(degrees[degrees >= 0])
+    k = np.nonzero(counts)[0]
+    k = k[k > 0]
+    pk = counts[k] / degrees.size
+    return k.astype(np.int64), pk
+
+
+def ccdf(degrees: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF ``P(K >= k)`` over distinct observed degrees."""
+    k, pk = degree_distribution(degrees)
+    if k.size == 0:
+        return k, pk
+    tail = np.cumsum(pk[::-1])[::-1]
+    return k, tail
+
+
+def log_binned_distribution(
+    degrees: np.ndarray, bins_per_decade: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Logarithmically binned degree distribution.
+
+    Returns ``(k_centers, density)`` where ``density`` is the per-unit-degree
+    probability mass in each bin (so a pure power law appears as a straight
+    line of slope ``-γ`` on log–log axes).  Empty bins are dropped.
+    """
+    degrees = np.asarray(degrees)
+    degrees = degrees[degrees > 0]
+    if degrees.size == 0:
+        return np.array([]), np.array([])
+    kmax = degrees.max()
+    nbins = max(int(np.ceil(np.log10(max(kmax, 2)) * bins_per_decade)), 1)
+    edges = np.unique(np.floor(np.logspace(0, np.log10(kmax + 1), nbins + 1)).astype(np.int64))
+    if edges[-1] <= kmax:
+        edges = np.append(edges, kmax + 1)
+    counts, _ = np.histogram(degrees, bins=edges)
+    widths = np.diff(edges).astype(np.float64)
+    centers = np.sqrt(edges[:-1] * (edges[1:] - 1).clip(min=1)).astype(np.float64)
+    density = counts / (degrees.size * widths)
+    keep = counts > 0
+    return centers[keep], density[keep]
+
+
+def average_degree(edges: EdgeList, num_nodes: int | None = None) -> float:
+    """Mean degree ``2m / n``."""
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    if n == 0:
+        return 0.0
+    return 2.0 * len(edges) / n

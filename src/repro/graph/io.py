@@ -1,0 +1,109 @@
+"""Edge-list file I/O, including the per-rank output model of the paper.
+
+The paper's machine model gives every processor access to a shared file
+system where ranks "read-write data files ... independently" (Section 2).
+We mirror that: :func:`write_rank_edges` writes one binary file per rank,
+:func:`read_rank_edges` / :func:`merge_rank_files` reassemble the global
+edge list.  A simple text format is provided for interchange with external
+tools.
+
+Binary format: little-endian ``int64`` pairs, preceded by a 24-byte header
+``(magic, version, num_edges)`` so truncated files are detected.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "write_edges_binary",
+    "read_edges_binary",
+    "write_edges_text",
+    "read_edges_text",
+    "write_rank_edges",
+    "read_rank_edges",
+    "merge_rank_files",
+    "rank_file_path",
+]
+
+_MAGIC = 0x50414E4554  # "PANET"
+_VERSION = 1
+_HEADER = struct.Struct("<QQQ")
+
+
+def write_edges_binary(path: str | Path, edges: EdgeList) -> None:
+    """Write an edge list in the binary container format."""
+    path = Path(path)
+    arr = np.ascontiguousarray(edges.as_array(), dtype="<i8")
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(_MAGIC, _VERSION, len(edges)))
+        fh.write(arr.tobytes())
+
+
+def read_edges_binary(path: str | Path) -> EdgeList:
+    """Read an edge list written by :func:`write_edges_binary`."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise ValueError(f"{path}: truncated header")
+        magic, version, num_edges = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: bad magic {magic:#x}")
+        if version != _VERSION:
+            raise ValueError(f"{path}: unsupported version {version}")
+        data = np.frombuffer(fh.read(), dtype="<i8")
+    if data.size != 2 * num_edges:
+        raise ValueError(
+            f"{path}: expected {2 * num_edges} int64 values, found {data.size}"
+        )
+    pairs = data.reshape(-1, 2)
+    return EdgeList.from_arrays(pairs[:, 0], pairs[:, 1])
+
+
+def write_edges_text(path: str | Path, edges: EdgeList) -> None:
+    """Write one ``u v`` pair per line (interchange format)."""
+    np.savetxt(path, edges.as_array(), fmt="%d")
+
+
+def read_edges_text(path: str | Path) -> EdgeList:
+    """Read a whitespace-separated two-column edge file."""
+    arr = np.loadtxt(path, dtype=np.int64, ndmin=2)
+    if arr.size == 0:
+        return EdgeList()
+    if arr.shape[1] != 2:
+        raise ValueError(f"{path}: expected 2 columns, found {arr.shape[1]}")
+    return EdgeList.from_arrays(arr[:, 0], arr[:, 1])
+
+
+def rank_file_path(directory: str | Path, rank: int, size: int) -> Path:
+    """Canonical name of rank ``rank``'s output file within a run directory."""
+    width = max(len(str(size - 1)), 1)
+    return Path(directory) / f"edges.rank{rank:0{width}d}.of{size}.bin"
+
+
+def write_rank_edges(directory: str | Path, rank: int, size: int, edges: EdgeList) -> Path:
+    """Write one rank's local edges, as the MPI code would on a shared FS."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = rank_file_path(directory, rank, size)
+    write_edges_binary(path, edges)
+    return path
+
+
+def read_rank_edges(directory: str | Path, rank: int, size: int) -> EdgeList:
+    """Read back one rank's file."""
+    return read_edges_binary(rank_file_path(directory, rank, size))
+
+
+def merge_rank_files(directory: str | Path, size: int) -> EdgeList:
+    """Concatenate all rank files of a run into one global edge list."""
+    merged = EdgeList()
+    for rank in range(size):
+        merged.extend(read_rank_edges(directory, rank, size))
+    return merged

@@ -1,0 +1,188 @@
+"""Network metrics: components, clustering, assortativity, path lengths.
+
+These support the example applications (the paper's introduction motivates
+PA generation with complex-network analysis).  Exact computation of some
+metrics is super-linear, so the expensive ones are *sampled* with a seeded
+RNG and documented error behaviour — the standard practice for massive
+graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "adjacency_from_edges",
+    "connected_components",
+    "largest_component_fraction",
+    "sampled_clustering_coefficient",
+    "degree_assortativity",
+    "sampled_mean_shortest_path",
+]
+
+
+def adjacency_from_edges(edges: EdgeList, num_nodes: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-style adjacency: ``(indptr, neighbors)`` arrays.
+
+    ``neighbors[indptr[v]:indptr[v+1]]`` lists the neighbours of node ``v``.
+    Built in O(m) with counting sort; the workhorse for every traversal here.
+    """
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    u, v = edges.sources, edges.targets
+    deg = np.zeros(n, dtype=np.int64)
+    np.add.at(deg, u, 1)
+    np.add.at(deg, v, 1)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+    neighbors = np.empty(indptr[-1], dtype=np.int64)
+    cursor = indptr[:-1].copy()
+    # Two passes (u->v and v->u); np.add.at-style scatter with manual cursors.
+    for a, b in ((u, v), (v, u)):
+        order = np.argsort(a, kind="stable")
+        a_sorted, b_sorted = a[order], b[order]
+        # positions for each group of equal a
+        idx = cursor[a_sorted] + _group_offsets(a_sorted)
+        neighbors[idx] = b_sorted
+        np.add.at(cursor, a_sorted, 1)
+    return indptr, neighbors
+
+
+def _group_offsets(sorted_keys: np.ndarray) -> np.ndarray:
+    """For a sorted key array, the 0-based offset of each element in its group."""
+    if len(sorted_keys) == 0:
+        return np.zeros(0, dtype=np.int64)
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    starts = np.zeros(len(sorted_keys), dtype=np.int64)
+    starts[boundaries] = boundaries
+    np.maximum.accumulate(starts, out=starts)
+    return np.arange(len(sorted_keys)) - starts
+
+
+def connected_components(edges: EdgeList, num_nodes: int | None = None) -> np.ndarray:
+    """Component label of every node (union-find with path halving)."""
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for u, v in zip(edges.sources.tolist(), edges.targets.tolist()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    # Flatten
+    for i in range(n):
+        parent[i] = find(i)
+    return parent
+
+
+def largest_component_fraction(edges: EdgeList, num_nodes: int | None = None) -> float:
+    """Fraction of nodes in the largest connected component.
+
+    PA graphs with ``x >= 1`` are connected by construction, so this should
+    be exactly 1.0 — a useful sanity metric for the examples.
+    """
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    if n == 0:
+        return 0.0
+    labels = connected_components(edges, n)
+    _, counts = np.unique(labels, return_counts=True)
+    return float(counts.max() / n)
+
+
+def sampled_clustering_coefficient(
+    edges: EdgeList,
+    num_nodes: int | None = None,
+    samples: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean local clustering coefficient estimated over sampled nodes.
+
+    Scale-free PA graphs have low clustering that decays with n — a quick
+    structural fingerprint used by the social-network example.
+    """
+    rng = rng or np.random.default_rng()
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    if n == 0:
+        return 0.0
+    indptr, nbrs = adjacency_from_edges(edges, n)
+    nodes = rng.choice(n, size=min(samples, n), replace=False)
+    total, counted = 0.0, 0
+    neighbor_sets = {}
+    for v in nodes.tolist():
+        vn = nbrs[indptr[v] : indptr[v + 1]]
+        d = len(vn)
+        if d < 2:
+            continue
+        vset = set(vn.tolist())
+        links = 0
+        for w in vn.tolist():
+            if w not in neighbor_sets:
+                neighbor_sets[w] = set(nbrs[indptr[w] : indptr[w + 1]].tolist())
+            links += len(vset & neighbor_sets[w])
+        total += links / (d * (d - 1))
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def degree_assortativity(edges: EdgeList, num_nodes: int | None = None) -> float:
+    """Pearson correlation of endpoint degrees (Newman's assortativity).
+
+    BA-style PA graphs are weakly disassortative (slightly negative).
+    """
+    from repro.graph.degree import degrees_from_edges
+
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    deg = degrees_from_edges(edges, n).astype(np.float64)
+    du = deg[edges.sources]
+    dv = deg[edges.targets]
+    # Symmetrise: each edge contributes both orientations.
+    a = np.concatenate([du, dv])
+    b = np.concatenate([dv, du])
+    va = a - a.mean()
+    vb = b - b.mean()
+    denom = np.sqrt((va**2).sum() * (vb**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((va * vb).sum() / denom)
+
+
+def sampled_mean_shortest_path(
+    edges: EdgeList,
+    num_nodes: int | None = None,
+    sources: int = 8,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean shortest-path length from sampled sources (BFS).
+
+    Scale-free graphs are "ultra-small worlds": the mean distance grows like
+    ``log n / log log n``.
+    """
+    rng = rng or np.random.default_rng()
+    n = num_nodes if num_nodes is not None else edges.num_nodes
+    if n <= 1:
+        return 0.0
+    indptr, nbrs = adjacency_from_edges(edges, n)
+    picks = rng.choice(n, size=min(sources, n), replace=False)
+    total, count = 0.0, 0
+    for s in picks.tolist():
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[s] = 0
+        q = deque([s])
+        while q:
+            v = q.popleft()
+            for w in nbrs[indptr[v] : indptr[v + 1]].tolist():
+                if dist[w] < 0:
+                    dist[w] = dist[v] + 1
+                    q.append(w)
+        reached = dist > 0
+        total += float(dist[reached].sum())
+        count += int(reached.sum())
+    return total / count if count else 0.0

@@ -1,0 +1,127 @@
+"""Structural invariants of preferential-attachment graphs.
+
+Algorithm 3.2 promises (and the test-suite verifies) that a generated graph
+with parameters ``(n, x)`` satisfies:
+
+* exactly ``C(x, 2)`` clique edges among nodes ``0 .. x-1`` plus ``x`` edges
+  for every node ``t >= x`` — ``m = C(x,2) + (n - x) * x`` in total
+  (for ``x = 1``: one edge per node ``t >= 1``, ``m = n - 1``);
+* every non-clique edge attaches a node ``t`` to a strictly smaller node id
+  (the evolving-network property);
+* no self-loops;
+* no parallel (duplicate) edges;
+* every node ``t >= x`` has exactly ``x`` *distinct* smaller neighbours.
+
+:func:`validate_pa_graph` checks all of these and returns a structured
+report; generators call it in their own test-suites and the CLI exposes it
+via ``repro-pa validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["ValidationReport", "validate_pa_graph"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_pa_graph`."""
+
+    ok: bool
+    n: int
+    x: int
+    num_edges: int
+    expected_edges: int
+    errors: list[str] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "PA graph validation failed:\n  " + "\n  ".join(self.errors)
+            )
+
+
+def expected_edge_count(n: int, x: int) -> int:
+    """Edges of a PA graph on ``n`` nodes with attachment count ``x``.
+
+    ``x = 1`` graphs start from a single node (node 0), so ``m = n - 1``;
+    ``x > 1`` graphs start from an ``x``-clique.
+    """
+    if x == 1:
+        return max(n - 1, 0)
+    clique = x * (x - 1) // 2
+    return clique + max(n - x, 0) * x
+
+
+def validate_pa_graph(edges: EdgeList, n: int, x: int) -> ValidationReport:
+    """Check every structural invariant; never raises, returns a report."""
+    errors: list[str] = []
+    expected = expected_edge_count(n, x)
+
+    if len(edges) != expected:
+        errors.append(f"edge count {len(edges)} != expected {expected}")
+
+    u, v = edges.sources, edges.targets
+
+    if len(edges):
+        if u.min() < 0 or v.min() < 0:
+            errors.append("negative node id present")
+        top = int(max(u.max(), v.max()))
+        if top >= n:
+            errors.append(f"node id {top} out of range for n={n}")
+
+    if edges.has_self_loops():
+        loops = int((u == v).sum())
+        errors.append(f"{loops} self-loop(s) present")
+
+    if edges.has_duplicates():
+        canon = edges.canonical()
+        dup_rows = np.nonzero((np.diff(canon, axis=0) == 0).all(axis=1))[0]
+        sample = canon[dup_rows[:5]].tolist()
+        errors.append(f"{len(dup_rows)} duplicate edge(s), e.g. {sample}")
+
+    # Attachment direction: each non-clique edge must connect t -> smaller id.
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    non_clique = hi >= x
+    if len(edges) and not (lo[non_clique] < hi[non_clique]).all():  # pragma: no cover
+        errors.append("edge with equal endpoints escaped the self-loop check")
+
+    # Per-node attachment count: node t >= x must appear as the larger
+    # endpoint of exactly x edges (x = 1: every t >= 1 exactly once).
+    if n > 0:
+        first_new = x if x > 1 else 1
+        counts = np.bincount(hi, minlength=n)
+        new_nodes = np.arange(first_new, n)
+        bad = new_nodes[counts[first_new:n] != x] if n > first_new else np.array([], dtype=int)
+        if bad.size:
+            errors.append(
+                f"{bad.size} node(s) with wrong attachment count, e.g. "
+                f"node {int(bad[0])} has {int(counts[bad[0]])} != x={x}"
+            )
+
+    # Clique check for x > 1: nodes 0..x-1 pairwise connected.
+    if x > 1 and n >= x:
+        canon = edges.canonical()
+        clique_rows = canon[canon[:, 1] < x]
+        want = {(i, j) for i in range(x) for j in range(i + 1, x)}
+        got = {(int(a), int(b)) for a, b in clique_rows}
+        if got != want:
+            errors.append(
+                f"initial clique malformed: missing {sorted(want - got)[:5]}, "
+                f"extra {sorted(got - want)[:5]}"
+            )
+
+    return ValidationReport(
+        ok=not errors,
+        n=n,
+        x=x,
+        num_edges=len(edges),
+        expected_edges=expected,
+        errors=errors,
+    )

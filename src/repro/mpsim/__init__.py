@@ -1,0 +1,43 @@
+"""``repro.mpsim`` — a simulated distributed-memory message-passing substrate.
+
+The SC'13 paper runs its algorithms on a 768-rank MPICH2/InfiniBand cluster.
+This package substitutes that substrate with a deterministic simulator that
+executes the *same* rank-local programs and the *same* message protocol:
+
+* :mod:`repro.mpsim.runtime` — an event-driven engine.  Each rank is a Python
+  coroutine (generator) with an mpi4py-flavoured :class:`~repro.mpsim.comm.Comm`
+  handle; a virtual clock orders message deliveries and meters per-rank busy
+  time through a :class:`~repro.mpsim.costmodel.CostModel`.
+* :mod:`repro.mpsim.bsp` — a bulk-synchronous superstep engine whose exchange
+  primitive is an ``alltoallv`` over NumPy arrays.  This is the production
+  path: it matches the paper's buffered-message implementation (Section 3.5,
+  "Message Buffering") and scales to millions of nodes in pure Python.
+* :mod:`repro.mpsim.mp_backend` — an optional backend that runs the same BSP
+  rank-step functions in real OS processes connected by pipes, proving the
+  rank code is genuinely shared-nothing.
+* :mod:`repro.mpsim.collectives` — barrier / bcast / scatter / gather /
+  allgather / reduce / allreduce / alltoall(v) implemented on top of
+  point-to-point sends, as an MPI library would.
+
+All engines account traffic in :class:`~repro.mpsim.stats.RankStats`, which is
+exactly the data the paper's load-balance evaluation (Figure 7) plots.
+"""
+
+from repro.mpsim.costmodel import CostModel, MachinePreset
+from repro.mpsim.errors import DeadlockError, MPSimError, RankFailure
+from repro.mpsim.stats import RankStats, WorldStats
+from repro.mpsim.runtime import Simulator
+from repro.mpsim.bsp import BSPEngine, BSPRankContext
+
+__all__ = [
+    "BSPEngine",
+    "BSPRankContext",
+    "CostModel",
+    "DeadlockError",
+    "MachinePreset",
+    "MPSimError",
+    "RankFailure",
+    "RankStats",
+    "Simulator",
+    "WorldStats",
+]

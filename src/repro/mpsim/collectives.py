@@ -1,0 +1,175 @@
+"""Collective operations layered on simulated point-to-point messages.
+
+Every collective here is a generator meant to be driven with ``yield from``
+inside a rank program.  They are implemented the way MPI libraries implement
+them — trees and exchanges of point-to-point messages — so the simulator's
+per-rank traffic counters and virtual clocks reflect realistic collective
+costs:
+
+* :func:`bcast` / :func:`reduce` use binomial trees (``log2 P`` rounds);
+* :func:`gather` / :func:`scatter` are flat (root-centric), as for small
+  payloads in practice;
+* :func:`allgather` and :func:`allreduce` compose the above;
+* :func:`alltoall` posts ``P - 1`` sends then receives ``P - 1`` messages.
+
+Tags are drawn from a reserved space (:data:`~repro.mpsim.datatypes.TAG_COLLECTIVE`)
+offset by an operation code so concurrent user traffic cannot be matched by
+a collective receive.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Generator, TYPE_CHECKING
+
+from repro.mpsim.datatypes import TAG_COLLECTIVE
+from repro.mpsim.errors import CollectiveMismatchError
+from repro.mpsim.runtime import Message, Recv
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpsim.comm import Comm
+
+__all__ = [
+    "bcast",
+    "gather",
+    "scatter",
+    "allgather",
+    "reduce",
+    "allreduce",
+    "alltoall",
+]
+
+_OP_BCAST = TAG_COLLECTIVE + 1
+_OP_GATHER = TAG_COLLECTIVE + 2
+_OP_SCATTER = TAG_COLLECTIVE + 3
+_OP_REDUCE = TAG_COLLECTIVE + 4
+_OP_ALLTOALL = TAG_COLLECTIVE + 5
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    """Virtual rank with ``root`` mapped to 0 (standard tree trick)."""
+    return (rank - root) % size
+
+
+def _arank(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def bcast(comm: "Comm", value: Any, root: int = 0) -> Generator[Any, Message, Any]:
+    """Binomial-tree broadcast; returns the root's value on every rank.
+
+    MPICH-style: relative rank ``v`` receives from ``v ^ mask`` where ``mask``
+    is ``v``'s lowest set bit, then forwards to ``v + mask'`` for every
+    ``mask' < mask`` (scanning downward), giving ``ceil(log2 P)`` rounds.
+    """
+    size = comm.size
+    if not 0 <= root < size:
+        raise CollectiveMismatchError(f"bcast root {root} outside [0, {size})")
+    v = _vrank(comm.rank, root, size)
+    mask = 1
+    while mask < size:
+        if v & mask:
+            parent = _arank(v ^ mask, root, size)
+            msg = yield Recv(source=parent, tag=_OP_BCAST)
+            value = msg.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        child = v + mask
+        if child < size:
+            comm.send(_arank(child, root, size), value, tag=_OP_BCAST)
+        mask >>= 1
+    return value
+
+
+def gather(comm: "Comm", value: Any, root: int = 0) -> Generator[Any, Message, list[Any] | None]:
+    """Flat gather: everyone sends to root; root returns the rank-ordered list."""
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = value
+        for _ in range(comm.size - 1):
+            msg = yield Recv(tag=_OP_GATHER)
+            out[msg.source] = msg.payload
+        return out
+    comm.send(root, value, tag=_OP_GATHER)
+    return None
+    yield  # pragma: no cover - makes non-root branch a generator too
+
+
+def scatter(comm: "Comm", values: list[Any] | None, root: int = 0) -> Generator[Any, Message, Any]:
+    """Flat scatter from root; returns this rank's element."""
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise CollectiveMismatchError(
+                f"scatter at root needs exactly {comm.size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        for dest in range(comm.size):
+            if dest != root:
+                comm.send(dest, values[dest], tag=_OP_SCATTER)
+        return values[root]
+    msg = yield Recv(source=root, tag=_OP_SCATTER)
+    return msg.payload
+
+
+def allgather(comm: "Comm", value: Any) -> Generator[Any, Message, list[Any]]:
+    """Gather to rank 0, then broadcast the assembled list."""
+    gathered = yield from gather(comm, value, root=0)
+    result = yield from bcast(comm, gathered, root=0)
+    return result
+
+
+def reduce(
+    comm: "Comm",
+    value: Any,
+    op: Callable[[Any, Any], Any] | None = None,
+    root: int = 0,
+) -> Generator[Any, Message, Any]:
+    """Binomial-tree reduction; ``op`` defaults to ``operator.add``.
+
+    Only the root receives the reduced value; other ranks get ``None``.
+    The combine order is deterministic (children combined in virtual-rank
+    order), so non-commutative ``op`` behaves reproducibly.
+    """
+    op = op or operator.add
+    size = comm.size
+    v = _vrank(comm.rank, root, size)
+    acc = value
+    mask = 1
+    while mask < size:
+        if v & mask:
+            comm.send(_arank(v & ~mask, root, size), acc, tag=_OP_REDUCE)
+            return None
+        partner = v | mask
+        if partner < size:
+            msg = yield Recv(source=_arank(partner, root, size), tag=_OP_REDUCE)
+            acc = op(acc, msg.payload)
+        mask <<= 1
+    return acc
+
+
+def allreduce(
+    comm: "Comm", value: Any, op: Callable[[Any, Any], Any] | None = None
+) -> Generator[Any, Message, Any]:
+    """Reduce to rank 0 then broadcast the result to everyone."""
+    reduced = yield from reduce(comm, value, op, root=0)
+    result = yield from bcast(comm, reduced, root=0)
+    return result
+
+
+def alltoall(comm: "Comm", values: list[Any]) -> Generator[Any, Message, list[Any]]:
+    """Personalised exchange: element ``j`` of ``values`` goes to rank ``j``."""
+    if len(values) != comm.size:
+        raise CollectiveMismatchError(
+            f"alltoall needs exactly {comm.size} values, got {len(values)}"
+        )
+    out: list[Any] = [None] * comm.size
+    out[comm.rank] = values[comm.rank]
+    for dest in range(comm.size):
+        if dest != comm.rank:
+            comm.send(dest, values[dest], tag=_OP_ALLTOALL)
+    for _ in range(comm.size - 1):
+        msg = yield Recv(tag=_OP_ALLTOALL)
+        out[msg.source] = msg.payload
+    return out

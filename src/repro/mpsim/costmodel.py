@@ -1,0 +1,120 @@
+"""LogGP-style analytic cost model for the simulated cluster.
+
+The paper reports wall-clock scaling on a Sandy Bridge / QDR InfiniBand
+cluster.  We cannot reproduce those seconds, but the *shape* of the scaling
+curves is determined by quantities the simulator measures exactly: per-rank
+node counts, message counts, byte volumes, and the number of communication
+rounds.  The cost model converts those counters into a virtual per-rank time:
+
+``time(rank) = c * nodes + w * work_items + o * messages + beta * bytes
+               + alpha * rounds``
+
+and the simulated parallel runtime of a superstep program is the max over
+ranks, summed over supersteps (ranks synchronise at each exchange, as the
+buffered MPI implementation effectively does).
+
+The default constants are calibrated in two steps: network terms from the
+testbed's QDR InfiniBand specs (~1.3 us one-way latency, ~3.2 GB/s
+effective bandwidth), and the per-event compute terms against the paper's
+Section 4.5 headline measurement (50 B edges in 123 s on 768 ranks, i.e.
+~19 us per edge per rank *end to end*).  The per-event constants are
+therefore *effective* costs — they absorb cache misses on multi-GB tables
+and MPI library overhead, not just the arithmetic.  The absolute values
+matter only for the extrapolation experiment; every scaling figure is a
+ratio in which the shape is driven by the measured counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "MachinePreset", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event virtual-time charges, in seconds.
+
+    Attributes
+    ----------
+    alpha:
+        Latency per communication round (superstep barrier + message group
+        startup).  LogGP's ``L + 2o`` for the bulk exchange.
+    beta:
+        Transfer time per byte (inverse effective bandwidth).
+    per_message:
+        CPU overhead per logical message (pack/unpack of one request or
+        resolved record) — LogGP's ``o`` at fine granularity.  Buffering many
+        records into one MPI send is what makes this the dominant surviving
+        software cost.
+    per_node:
+        Work to process one node: RNG draws, branch, local bookkeeping.
+    per_work_item:
+        Extra work per retry/queue operation beyond the base node charge.
+    """
+
+    alpha: float = 2.6e-6
+    beta: float = 3.1e-10
+    per_message: float = 3.3e-7
+    per_node: float = 1.5e-6
+    per_work_item: float = 3.6e-7
+
+    def compute_time(self, nodes: int, work_items: int = 0) -> float:
+        """Virtual seconds of pure computation for ``nodes`` node events."""
+        return self.per_node * nodes + self.per_work_item * work_items
+
+    def message_time(self, messages: int, nbytes: int) -> float:
+        """Virtual seconds spent packing/transferring ``messages`` totaling ``nbytes``."""
+        return self.per_message * messages + self.beta * nbytes
+
+    def round_time(self) -> float:
+        """Fixed charge for one bulk exchange round."""
+        return self.alpha
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a copy with every compute charge scaled by ``factor``.
+
+        Used by benchmarks to model slower/faster cores without touching the
+        network terms.
+        """
+        return replace(
+            self,
+            per_node=self.per_node * factor,
+            per_work_item=self.per_work_item * factor,
+            per_message=self.per_message * factor,
+        )
+
+
+@dataclass(frozen=True)
+class MachinePreset:
+    """A named cluster configuration for extrapolation reports."""
+
+    name: str
+    cost: CostModel
+    cores_per_node: int
+    description: str
+
+
+PRESETS: dict[str, MachinePreset] = {
+    "sc13-sandybridge-qdr": MachinePreset(
+        name="sc13-sandybridge-qdr",
+        cost=CostModel(),
+        cores_per_node=16,
+        description=(
+            "48-node dual-socket Intel Sandy Bridge E5-2670 (16 cores/node), "
+            "QLogic QDR InfiniBand — the paper's testbed."
+        ),
+    ),
+    "zero-latency": MachinePreset(
+        name="zero-latency",
+        cost=CostModel(alpha=0.0, beta=0.0, per_message=0.0),
+        cores_per_node=16,
+        description="Idealised machine: communication is free; isolates load imbalance.",
+    ),
+    "slow-network": MachinePreset(
+        name="slow-network",
+        cost=CostModel(alpha=5.0e-5, beta=1.0e-8, per_message=5.0e-7),
+        cores_per_node=16,
+        description="Gigabit-Ethernet-class network; stresses the message terms.",
+    ),
+}

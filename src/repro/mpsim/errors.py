@@ -1,0 +1,51 @@
+"""Exception hierarchy for the simulated message-passing substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MPSimError",
+    "DeadlockError",
+    "RankFailure",
+    "InvalidRankError",
+    "TruncationError",
+    "CollectiveMismatchError",
+]
+
+
+class MPSimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeadlockError(MPSimError):
+    """Raised when no rank can make progress but unreceived work remains.
+
+    The paper discusses exactly this hazard for round-robin partitioning with
+    buffered resolved messages (Section 3.5.2): holding resolved messages in a
+    partially-filled buffer can create circular waiting.  The event-driven
+    engine detects the resulting quiescent-but-unfinished state and raises.
+    """
+
+    def __init__(self, message: str, blocked_ranks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.blocked_ranks = blocked_ranks
+
+
+class RankFailure(MPSimError):
+    """A rank's program raised; wraps the original exception with the rank id."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class InvalidRankError(MPSimError, ValueError):
+    """A rank id outside ``[0, size)`` was used as a source or destination."""
+
+
+class TruncationError(MPSimError):
+    """A receive buffer was too small for the matched message."""
+
+
+class CollectiveMismatchError(MPSimError):
+    """Ranks disagreed about a collective's parameters (e.g. root or shape)."""

@@ -1,0 +1,153 @@
+"""Real-parallelism backend: run BSP rank programs in OS processes.
+
+The in-process :class:`~repro.mpsim.bsp.BSPEngine` *simulates* a distributed
+machine; this backend *is* one (in miniature): each rank program runs in its
+own forked process with its own address space, and all cross-rank data moves
+through pipes.  It exists to prove the rank programs are genuinely
+shared-nothing — any accidental reliance on shared state would produce a
+different graph here than under the in-process engine, and the test-suite
+compares the two bit-for-bit.
+
+Topology: a coordinator (the parent process) performs the superstep exchange.
+Each worker sends its outbox up one pipe; the coordinator routes payloads and
+sends each worker its inbox for the next superstep, plus a global
+``continue/stop`` flag (the quiescence decision needs a global view, exactly
+like the termination detection a real MPI code would run).
+
+This backend favours clarity over throughput — pickling NumPy arrays through
+pipes is not fast — and is intended for validation and small demonstrations,
+not for the scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.mpsim.bsp import BSPRankContext, RankProgram
+from repro.mpsim.costmodel import CostModel
+from repro.mpsim.errors import MPSimError, RankFailure
+from repro.mpsim.stats import RankStats, WorldStats
+
+__all__ = ["MultiprocessingBSPEngine"]
+
+_STOP = "stop"
+_STEP = "step"
+
+
+def _worker_loop(rank: int, size: int, program: RankProgram, conn: Any) -> None:
+    """Run one rank's program inside a worker process."""
+    stats = WorldStats.for_size(size)
+    ctx = BSPRankContext(rank, size, stats, CostModel())
+    try:
+        while True:
+            cmd, inbox = conn.recv()
+            if cmd == _STOP:
+                conn.send(("final", stats[rank], _result_of(program)))
+                return
+            outbox = program.step(ctx, inbox) or {}
+            ctx._drain_step_compute()
+            serializable = {
+                dest: [np.ascontiguousarray(a) for a in arrs if len(a)]
+                for dest, arrs in outbox.items()
+            }
+            conn.send(("out", serializable, bool(program.done)))
+    except Exception as exc:  # pragma: no cover - surfaced in the parent
+        conn.send(("error", repr(exc), None))
+
+
+def _result_of(program: RankProgram) -> Any:
+    """Extract a rank program's result payload, if it exposes one."""
+    getter = getattr(program, "result", None)
+    if callable(getter):
+        return getter()
+    return None
+
+
+class MultiprocessingBSPEngine:
+    """Drive :class:`~repro.mpsim.bsp.RankProgram` objects in real processes.
+
+    The API mirrors :class:`~repro.mpsim.bsp.BSPEngine.run`, with one
+    addition: because programs live in child address spaces, their final
+    state is not visible to the caller.  Programs may expose a ``result()``
+    method; the values are collected into :attr:`results` (rank order) after
+    :meth:`run`.
+    """
+
+    def __init__(self, size: int, max_supersteps: int = 10_000) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self.max_supersteps = max_supersteps
+        self.stats = WorldStats.for_size(size)
+        self.results: list[Any] = []
+        self.supersteps = 0
+
+    def run(self, programs: Sequence[RankProgram]) -> WorldStats:
+        if len(programs) != self.size:
+            raise MPSimError(f"expected {self.size} rank programs, got {len(programs)}")
+        ctx = mp.get_context("fork")
+        parents, procs = [], []
+        for rank, prog in enumerate(programs):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_loop,
+                args=(rank, self.size, prog, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            parents.append(parent_conn)
+            procs.append(proc)
+
+        try:
+            inboxes: list[list[tuple[int, np.ndarray]]] = [[] for _ in range(self.size)]
+            while True:
+                if self.supersteps >= self.max_supersteps:
+                    raise MPSimError(
+                        f"exceeded max_supersteps={self.max_supersteps}"
+                    )
+                self.supersteps += 1
+                for rank, conn in enumerate(parents):
+                    conn.send((_STEP, inboxes[rank]))
+                next_inboxes: list[list[tuple[int, np.ndarray]]] = [
+                    [] for _ in range(self.size)
+                ]
+                any_traffic = False
+                all_done = True
+                for rank, conn in enumerate(parents):
+                    kind, payload, done = conn.recv()
+                    if kind == "error":
+                        raise RankFailure(rank, RuntimeError(payload))
+                    for dest in sorted(payload):
+                        for arr in payload[dest]:
+                            next_inboxes[dest].append((rank, arr))
+                            any_traffic = True
+                            self.stats[rank].record_send(len(arr), arr.nbytes)
+                            self.stats[dest].record_receive(len(arr), arr.nbytes)
+                    all_done = all_done and done
+                inboxes = next_inboxes
+                if not any_traffic and all_done:
+                    break
+
+            self.results = [None] * self.size
+            for rank, conn in enumerate(parents):
+                conn.send((_STOP, None))
+            for rank, conn in enumerate(parents):
+                kind, rank_stats, result = conn.recv()
+                if kind != "final":  # pragma: no cover - protocol violation
+                    raise MPSimError(f"unexpected final message {kind!r} from rank {rank}")
+                assert isinstance(rank_stats, RankStats)
+                self.stats[rank].nodes = rank_stats.nodes
+                self.stats[rank].work_items = rank_stats.work_items
+                self.results[rank] = result
+        finally:
+            for conn in parents:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+        return self.stats

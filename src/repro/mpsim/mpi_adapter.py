@@ -1,0 +1,140 @@
+"""Run BSP rank programs under real MPI (mpi4py) when available.
+
+The rank programs in this library are shared-nothing by construction
+(tested via the multiprocessing backend), so porting to a real cluster is a
+matter of swapping the exchange: this adapter implements the BSP superstep
+loop over ``mpi4py``'s alltoall, letting the *identical* program objects run
+as genuine MPI ranks:
+
+.. code-block:: python
+
+    # mpirun -n 16 python my_driver.py
+    from repro.mpsim.mpi_adapter import mpi_available, run_under_mpi
+
+    program = PAGeneralRankProgram(rank=COMM_WORLD.rank, ...)
+    edges = run_under_mpi(program).local_edges()
+
+Environments without mpi4py (like this repository's CI) can still exercise
+everything except the actual transport: the packing/unpacking helpers and
+the termination logic are transport-independent and unit-tested against the
+in-process engine, and :func:`run_under_mpi` raises a clear error when
+mpi4py is missing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.mpsim.errors import MPSimError
+
+__all__ = [
+    "mpi_available",
+    "pack_outbox",
+    "unpack_inbox",
+    "quiesced",
+    "run_under_mpi",
+]
+
+
+def mpi_available() -> bool:
+    """True when mpi4py can be imported (never in this repo's offline CI)."""
+    try:  # pragma: no cover - depends on environment
+        import mpi4py  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def pack_outbox(
+    outbox: dict[int, list[np.ndarray]] | None, size: int
+) -> list[np.ndarray | None]:
+    """Convert a rank program's outbox into an alltoall send list.
+
+    Element ``j`` is the concatenated record array destined for rank ``j``
+    (``None`` when there is nothing to send) — the shape
+    ``mpi4py.Comm.alltoall`` expects.
+    """
+    sends: list[np.ndarray | None] = [None] * size
+    if not outbox:
+        return sends
+    for dest, payloads in outbox.items():
+        if not 0 <= dest < size:
+            raise MPSimError(f"invalid destination {dest}")
+        chunks = [arr for arr in payloads if len(arr)]
+        if chunks:
+            sends[dest] = np.concatenate(chunks)
+    return sends
+
+
+def unpack_inbox(received: Sequence[np.ndarray | None]) -> list[tuple[int, np.ndarray]]:
+    """Convert an alltoall receive list into the inbox format programs expect."""
+    inbox = []
+    for src, arr in enumerate(received):
+        if arr is not None and len(arr):
+            inbox.append((src, arr))
+    return inbox
+
+
+def quiesced(local_done: bool, local_sent_any: bool, allreduce_and, allreduce_or) -> bool:
+    """Global-termination decision from local state + two reductions.
+
+    ``allreduce_and`` / ``allreduce_or`` are callables mapping a local bool
+    to the global AND/OR — injected so the logic is testable without MPI.
+    The run is over when everyone is done *and* nobody sent anything this
+    superstep (mirroring the in-process engine's rule).
+    """
+    return allreduce_and(local_done) and not allreduce_or(local_sent_any)
+
+
+def run_under_mpi(program: Any, comm: Any = None, max_supersteps: int = 10_000) -> Any:
+    """Drive one rank's program under mpi4py; returns the program.
+
+    Must be launched with ``mpiexec``; every rank constructs its own program
+    (rank ``comm.rank`` of ``comm.size``) and calls this function.
+    """
+    if comm is None:  # pragma: no cover - requires an MPI launch
+        if not mpi_available():
+            raise MPSimError(
+                "mpi4py is not installed; run_under_mpi needs a real MPI "
+                "environment (use BSPEngine or MultiprocessingBSPEngine locally)"
+            )
+        from mpi4py import MPI
+
+        comm = MPI.COMM_WORLD
+
+    size = comm.Get_size()
+    from repro.mpsim.bsp import BSPRankContext
+    from repro.mpsim.costmodel import CostModel
+    from repro.mpsim.stats import WorldStats
+
+    ctx = BSPRankContext(comm.Get_rank(), size, WorldStats.for_size(size), CostModel())
+    inbox: list[tuple[int, np.ndarray]] = []
+    for _ in range(max_supersteps):
+        outbox = program.step(ctx, inbox)
+        sends = pack_outbox(outbox, size)
+        received = comm.alltoall(sends)
+        inbox = unpack_inbox(received)
+        sent_any = any(s is not None for s in sends)
+        if quiesced(
+            bool(program.done) and not inbox,
+            sent_any,
+            lambda flag: comm.allreduce(flag, op=_mpi_and(comm)),
+            lambda flag: comm.allreduce(flag, op=_mpi_or(comm)),
+        ):
+            return program
+    raise MPSimError(f"exceeded max_supersteps={max_supersteps} under MPI")
+
+
+def _mpi_and(comm):  # pragma: no cover - requires mpi4py
+    from mpi4py import MPI
+
+    return MPI.LAND
+
+
+def _mpi_or(comm):  # pragma: no cover - requires mpi4py
+    from mpi4py import MPI
+
+    return MPI.LOR

@@ -1,0 +1,389 @@
+"""Event-driven simulated message-passing runtime.
+
+Each rank runs a Python *coroutine* (a generator function) against a
+:class:`~repro.mpsim.comm.Comm` handle.  Sends are eager and buffered, as in
+the paper's MPI implementation; receives block by yielding an operation
+object to the scheduler:
+
+.. code-block:: python
+
+    def program(comm):
+        if comm.rank == 0:
+            comm.send(1, ("hello", 42))
+        else:
+            msg = yield Recv()          # blocks until a message arrives
+            ...
+
+The scheduler is a conservative discrete-event simulation:
+
+* every rank owns a virtual clock, advanced by the
+  :class:`~repro.mpsim.costmodel.CostModel` charges of the work it does;
+* a send at sender-time ``s`` is deliverable at ``s + alpha + beta*nbytes``;
+* a blocked receiver resumes at ``max(receiver clock, delivery time)``;
+* among runnable events the scheduler always picks the globally smallest
+  timestamp (ties broken by send order), so runs are fully deterministic.
+
+Two termination-related behaviours matter for the paper's algorithms:
+
+* :class:`Recv` with no matching message and no possibility of one is a
+  *deadlock*; the runtime detects global quiescence with unsatisfied plain
+  receives and raises :class:`~repro.mpsim.errors.DeadlockError`.  This is
+  how the test-suite demonstrates the RRP buffering hazard of Section 3.5.2.
+* :class:`RecvOrQuiesce` returns ``None`` instead when *all* ranks are
+  blocked in :class:`RecvOrQuiesce` and no messages are in flight — a
+  built-in termination detector, standing in for the termination protocol a
+  real MPI implementation of Algorithm 3.1 would run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from repro.mpsim.costmodel import CostModel
+from repro.mpsim.datatypes import ANY_SOURCE, ANY_TAG, Envelope, payload_nbytes
+from repro.mpsim.errors import DeadlockError, InvalidRankError, MPSimError, RankFailure
+from repro.mpsim.stats import WorldStats
+
+__all__ = ["Recv", "RecvOrQuiesce", "Barrier", "Simulator", "Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """What a receive operation returns to the rank program."""
+
+    source: int
+    tag: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive for ``(source, tag)``; wildcards allowed."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True)
+class RecvOrQuiesce:
+    """Receive like :class:`Recv`, but yield ``None`` on global quiescence."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Synchronise all ranks; every rank resumes at the max clock."""
+
+
+@dataclass(frozen=True)
+class Noop:
+    """Yieldable that resumes immediately (completed-request waits)."""
+
+
+@dataclass(frozen=True)
+class SendRequest:
+    """Handle for a non-blocking send.
+
+    Sends in the simulator are eager and buffered (as mpi4py's ``isend`` is
+    for small payloads), so the request is born complete; ``wait`` exists
+    for API symmetry.
+    """
+
+    def test(self) -> bool:
+        return True
+
+    def wait(self) -> Noop:
+        return Noop()
+
+
+@dataclass(frozen=True)
+class RecvRequest:
+    """Handle for a non-blocking receive posted with ``Comm.irecv``.
+
+    ``yield req.wait()`` blocks until the matching message arrives and
+    evaluates to it; ``req.test()`` probes without blocking.
+    """
+
+    comm: Any
+    source: int
+    tag: int
+
+    def test(self) -> bool:
+        return self.comm.iprobe(self.source, self.tag)
+
+    def wait(self) -> Recv:
+        return Recv(self.source, self.tag)
+
+
+_RankProgram = Callable[..., Generator[Any, Any, Any]]
+
+
+class _RankState:
+    """Scheduler bookkeeping for one rank."""
+
+    __slots__ = ("rank", "gen", "clock", "mailbox", "blocked_on", "finished", "comm")
+
+    def __init__(self, rank: int, gen: Generator[Any, Any, Any], comm: Any) -> None:
+        self.rank = rank
+        self.gen = gen
+        self.clock = 0.0
+        self.mailbox: list[Envelope] = []
+        self.blocked_on: Recv | RecvOrQuiesce | Barrier | None = None
+        self.finished = False
+        self.comm = comm
+
+    def find_match(self, source: int, tag: int) -> int | None:
+        """Index of the earliest-deliverable matching envelope, or ``None``."""
+        best = None
+        best_key = None
+        for idx, env in enumerate(self.mailbox):
+            if env.matches(source, tag):
+                key = (env.deliver_at, env.seq)
+                if best_key is None or key < best_key:
+                    best, best_key = idx, key
+        return best
+
+
+class Simulator:
+    """Run ``size`` rank coroutines to completion under a virtual clock.
+
+    Parameters
+    ----------
+    size:
+        Number of simulated ranks.
+    cost_model:
+        Charges for compute and communication; defaults to the paper-testbed
+        preset.
+
+    Examples
+    --------
+    >>> from repro.mpsim.runtime import Simulator, Recv
+    >>> def program(comm):
+    ...     if comm.rank == 0:
+    ...         comm.send(1, 99)
+    ...     else:
+    ...         msg = yield Recv()
+    ...         assert msg.payload == 99
+    >>> Simulator(2).run(program)  # doctest: +ELLIPSIS
+    WorldStats(...)
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cost_model: CostModel | None = None,
+        fault_injector: Callable[[Envelope], bool] | None = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self.cost = cost_model or CostModel()
+        #: Optional failure-injection hook: called with every envelope at
+        #: send time; returning False silently *drops* the message (models a
+        #: lossy transport / crashed NIC).  Protocol code is expected to hang
+        #: on loss — which the deadlock/quiescence machinery then surfaces —
+        #: so this is a test hook for failure behaviour, not a retry layer.
+        self.fault_injector = fault_injector
+        self.dropped_messages = 0
+        self.stats = WorldStats.for_size(size)
+        self._seq = 0
+        self._in_flight = 0
+        self._ranks: list[_RankState] = []
+        self._barrier_waiters: list[_RankState] = []
+
+    # ------------------------------------------------------------------ send
+    def post_send(self, source: int, dest: int, payload: Any, tag: int) -> None:
+        """Called by :class:`~repro.mpsim.comm.Comm` to enqueue a message."""
+        if not 0 <= dest < self.size:
+            raise InvalidRankError(f"destination rank {dest} outside [0, {self.size})")
+        sender = self._ranks[source]
+        nbytes = payload_nbytes(payload)
+        sender.clock += self.cost.message_time(1, nbytes)
+        self.stats[source].record_send(1, nbytes)
+        self.stats[source].busy_time = sender.clock
+        self._seq += 1
+        env = Envelope(
+            deliver_at=sender.clock + self.cost.alpha + self.cost.beta * nbytes,
+            seq=self._seq,
+            source=source,
+            dest=dest,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+        )
+        if self.fault_injector is not None and not self.fault_injector(env):
+            self.dropped_messages += 1
+            return
+        self._ranks[dest].mailbox.append(env)
+        self._in_flight += 1
+
+    def iprobe(self, rank: int, source: int, tag: int) -> bool:
+        """Non-blocking probe: is a matching message already deliverable?"""
+        st = self._ranks[rank]
+        idx = st.find_match(source, tag)
+        return idx is not None and st.mailbox[idx].deliver_at <= st.clock
+
+    def charge(self, rank: int, nodes: int = 0, work_items: int = 0) -> None:
+        """Advance a rank's clock by a compute charge (called via Comm)."""
+        st = self._ranks[rank]
+        st.clock += self.cost.compute_time(nodes, work_items)
+        self.stats[rank].nodes += nodes
+        self.stats[rank].work_items += work_items
+        self.stats[rank].busy_time = st.clock
+
+    # ------------------------------------------------------------------- run
+    def run(self, program: _RankProgram, *args: Any, **kwargs: Any) -> WorldStats:
+        """Instantiate ``program`` on every rank and simulate to completion.
+
+        ``program(comm, *args, **kwargs)`` must be a generator function (it
+        may also be a plain function returning ``None`` for send-only ranks).
+        Returns the aggregated :class:`~repro.mpsim.stats.WorldStats`.
+        """
+        from repro.mpsim.comm import Comm  # local import to avoid a cycle
+
+        self._ranks = []
+        for rank in range(self.size):
+            comm = Comm(self, rank)
+            gen = program(comm, *args, **kwargs)
+            if gen is not None and not hasattr(gen, "send"):
+                raise MPSimError(
+                    f"program must be a generator function; rank {rank} returned {type(gen)!r}"
+                )
+            self._ranks.append(_RankState(rank, gen, comm))
+
+        # Kick every rank to its first yield point (or completion).
+        for st in self._ranks:
+            self._advance(st, first=True)
+
+        while True:
+            progressed = self._deliver_one()
+            if progressed:
+                continue
+            if all(st.finished for st in self._ranks):
+                break
+            # No deliverable message, nobody finished everything: decide
+            # between quiescence-termination and deadlock.
+            blocked_plain = [
+                st.rank
+                for st in self._ranks
+                if not st.finished and isinstance(st.blocked_on, Recv)
+            ]
+            blocked_quiesce = [
+                st
+                for st in self._ranks
+                if not st.finished and isinstance(st.blocked_on, RecvOrQuiesce)
+            ]
+            in_barrier = [st for st in self._ranks if isinstance(st.blocked_on, Barrier)]
+            if in_barrier and len(in_barrier) + sum(st.finished for st in self._ranks) == self.size:
+                self._release_barrier(in_barrier)
+                continue
+            if blocked_plain or in_barrier:
+                raise DeadlockError(
+                    "global quiescence with unsatisfied blocking receives "
+                    f"(ranks {sorted(blocked_plain)}, barrier {sorted(st.rank for st in in_barrier)})",
+                    blocked_ranks=tuple(sorted(blocked_plain)),
+                )
+            # All remaining ranks sit in RecvOrQuiesce: terminate them.
+            t_max = max(st.clock for st in self._ranks)
+            for st in blocked_quiesce:
+                st.clock = max(st.clock, t_max)
+                st.blocked_on = None
+                self._advance(st, value=None)
+
+        for st in self._ranks:
+            self.stats[st.rank].busy_time = st.clock
+        return self.stats
+
+    # -------------------------------------------------------------- internal
+    def _deliver_one(self) -> bool:
+        """Resume the blocked rank with the earliest matching delivery."""
+        best: tuple[float, int] | None = None
+        best_st: _RankState | None = None
+        best_idx: int | None = None
+        for st in self._ranks:
+            if st.finished or not isinstance(st.blocked_on, (Recv, RecvOrQuiesce)):
+                continue
+            idx = st.find_match(st.blocked_on.source, st.blocked_on.tag)
+            if idx is None:
+                continue
+            env = st.mailbox[idx]
+            key = (max(env.deliver_at, st.clock), env.seq)
+            if best is None or key < best:
+                best, best_st, best_idx = key, st, idx
+        if best_st is None:
+            return False
+        env = best_st.mailbox.pop(best_idx)  # type: ignore[arg-type]
+        self._in_flight -= 1
+        best_st.clock = max(best_st.clock, env.deliver_at)
+        best_st.clock += self.cost.message_time(1, env.nbytes)
+        self.stats[best_st.rank].record_receive(1, env.nbytes)
+        self.stats[best_st.rank].busy_time = best_st.clock
+        best_st.blocked_on = None
+        self._advance(best_st, value=Message(env.source, env.tag, env.payload))
+        return True
+
+    def _release_barrier(self, waiters: list[_RankState]) -> None:
+        t = max(st.clock for st in waiters) + self.cost.round_time()
+        for st in waiters:
+            st.clock = t
+            st.blocked_on = None
+            self.stats[st.rank].rounds += 1
+        for st in waiters:
+            self._advance(st, value=None)
+
+    def _advance(self, st: _RankState, value: Any = None, first: bool = False) -> None:
+        """Run one rank until it blocks or finishes."""
+        if st.gen is None:
+            st.finished = True
+            return
+        try:
+            while True:
+                op = st.gen.send(None if first else value) if not first else next(st.gen)
+                first = False
+                if isinstance(op, Noop):
+                    value = None
+                    continue
+                if isinstance(op, (Recv, RecvOrQuiesce)):
+                    # Fast path: a matching message is already in the mailbox.
+                    idx = st.find_match(op.source, op.tag)
+                    if idx is not None:
+                        env = st.mailbox.pop(idx)
+                        self._in_flight -= 1
+                        st.clock = max(st.clock, env.deliver_at)
+                        st.clock += self.cost.message_time(1, env.nbytes)
+                        self.stats[st.rank].record_receive(1, env.nbytes)
+                        self.stats[st.rank].busy_time = st.clock
+                        value = Message(env.source, env.tag, env.payload)
+                        continue
+                    st.blocked_on = op
+                    return
+                if isinstance(op, Barrier):
+                    st.blocked_on = op
+                    return
+                raise MPSimError(f"rank {st.rank} yielded unsupported operation {op!r}")
+        except StopIteration:
+            st.finished = True
+            st.blocked_on = None
+        except (DeadlockError, MPSimError):
+            raise
+        except BaseException as exc:  # surface rank crashes with context
+            raise RankFailure(st.rank, exc) from exc
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def in_flight(self) -> int:
+        """Number of messages posted but not yet received."""
+        return self._in_flight
+
+    def clocks(self) -> list[float]:
+        """Current virtual clock of every rank (post-run: completion times)."""
+        return [st.clock for st in self._ranks]
+
+    @property
+    def makespan(self) -> float:
+        """Simulated parallel runtime of the completed program."""
+        return max(self.clocks()) if self._ranks else 0.0

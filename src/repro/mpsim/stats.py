@@ -1,0 +1,122 @@
+"""Per-rank traffic and work counters.
+
+The paper's load-balance evaluation (Section 4.6, Figure 7) measures three
+per-processor quantities: the number of nodes, the number of outgoing
+(request) messages, and the number of incoming (request) messages, and sums
+them into a total load.  :class:`RankStats` tracks those plus byte volumes and
+virtual busy time; :class:`WorldStats` aggregates across ranks and computes
+the imbalance metrics the figures visualise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RankStats", "WorldStats"]
+
+
+@dataclass
+class RankStats:
+    """Counters for one simulated rank."""
+
+    rank: int
+    nodes: int = 0
+    work_items: int = 0
+    msgs_sent: int = 0
+    msgs_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    rounds: int = 0
+    busy_time: float = 0.0
+
+    def record_send(self, count: int = 1, nbytes: int = 0) -> None:
+        self.msgs_sent += count
+        self.bytes_sent += nbytes
+
+    def record_receive(self, count: int = 1, nbytes: int = 0) -> None:
+        self.msgs_received += count
+        self.bytes_received += nbytes
+
+    @property
+    def total_load(self) -> int:
+        """The paper's total-load metric: nodes + incoming + outgoing messages."""
+        return self.nodes + self.msgs_sent + self.msgs_received
+
+    def merge(self, other: "RankStats") -> None:
+        """Accumulate ``other`` into this record (used by multi-phase runs)."""
+        self.nodes += other.nodes
+        self.work_items += other.work_items
+        self.msgs_sent += other.msgs_sent
+        self.msgs_received += other.msgs_received
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.rounds = max(self.rounds, other.rounds)
+        self.busy_time += other.busy_time
+
+
+@dataclass
+class WorldStats:
+    """Aggregate view over all ranks of one run."""
+
+    ranks: list[RankStats] = field(default_factory=list)
+
+    @classmethod
+    def for_size(cls, size: int) -> "WorldStats":
+        return cls(ranks=[RankStats(rank=r) for r in range(size)])
+
+    def __getitem__(self, rank: int) -> RankStats:
+        return self.ranks[rank]
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+    def array(self, attr: str) -> np.ndarray:
+        """Vector of one counter across ranks, in rank order."""
+        return np.array([getattr(r, attr) for r in self.ranks], dtype=np.float64)
+
+    @property
+    def total_loads(self) -> np.ndarray:
+        return np.array([r.total_load for r in self.ranks], dtype=np.int64)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean total load — 1.0 is perfect balance.
+
+        This single number summarises Figure 7(d): RRP should sit near 1,
+        LCP slightly above, UCP far above.
+        """
+        loads = self.total_loads
+        mean = loads.mean()
+        if mean == 0:
+            return 1.0
+        return float(loads.max() / mean)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated parallel time: the busiest rank's virtual busy time."""
+        if not self.ranks:
+            return 0.0
+        return max(r.busy_time for r in self.ranks)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.msgs_sent for r in self.ranks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes_sent for r in self.ranks)
+
+    def summary(self) -> dict[str, float]:
+        """Compact dict used by the benchmark reporters."""
+        loads = self.total_loads
+        return {
+            "ranks": float(len(self.ranks)),
+            "total_messages": float(self.total_messages),
+            "total_bytes": float(self.total_bytes),
+            "load_max": float(loads.max()) if len(loads) else 0.0,
+            "load_mean": float(loads.mean()) if len(loads) else 0.0,
+            "imbalance": self.imbalance,
+            "makespan": self.makespan,
+        }

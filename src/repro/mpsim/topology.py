@@ -1,0 +1,121 @@
+"""Interconnect topology models for the simulated cluster.
+
+The default cost model charges every byte the same regardless of which
+ranks exchange it — a flat (full-bisection) network, which QDR InfiniBand
+with a non-blocking fat-tree approximates.  Real interconnects are not
+always flat; a :class:`Topology` gives each (src, dst) pair a *hop count*,
+and the BSP engine multiplies the per-byte transfer charge by
+``1 + hop_penalty * (hops - 1)``.
+
+This enables a locality ablation the paper's flat testbed could not run:
+consecutive partitions (UCP/LCP) send most traffic to *lower* ranks —
+long-range on a ring — while round-robin traffic is all-to-all either way.
+
+Provided topologies:
+
+* :class:`FlatTopology` — every pair 1 hop (the default behaviour);
+* :class:`RingTopology` — ranks on a ring, hops = circular distance;
+* :class:`Torus2D` — ranks folded into a 2-D torus, Manhattan hops;
+* :class:`FatTreeTopology` — two-level tree: 1 hop within a leaf block of
+  ``radix`` ranks, 3 hops across blocks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Topology",
+    "FlatTopology",
+    "RingTopology",
+    "Torus2D",
+    "FatTreeTopology",
+]
+
+
+class Topology(ABC):
+    """Hop counts between ranks; factors into per-byte transfer charges."""
+
+    def __init__(self, size: int, hop_penalty: float = 0.5) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if hop_penalty < 0:
+            raise ValueError(f"hop_penalty must be >= 0, got {hop_penalty}")
+        self.size = size
+        self.hop_penalty = hop_penalty
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Network hops between two ranks (>= 1 for distinct ranks)."""
+
+    def multiplier(self, src: int, dst: int) -> float:
+        """Per-byte charge factor: ``1 + hop_penalty * (hops - 1)``."""
+        if src == dst:
+            return 0.0
+        return 1.0 + self.hop_penalty * (self.hops(src, dst) - 1)
+
+    def multiplier_matrix(self) -> np.ndarray:
+        """Dense ``(P, P)`` multiplier table (the engine precomputes this)."""
+        m = np.zeros((self.size, self.size))
+        for a in range(self.size):
+            for b in range(self.size):
+                m[a, b] = self.multiplier(a, b)
+        return m
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.size and 0 <= dst < self.size):
+            raise ValueError(f"ranks ({src}, {dst}) outside [0, {self.size})")
+
+
+class FlatTopology(Topology):
+    """Full-bisection network: every distinct pair is one hop."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else 1
+
+
+class RingTopology(Topology):
+    """Ranks on a bidirectional ring; hops = circular distance."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        d = abs(src - dst)
+        return min(d, self.size - d)
+
+
+class Torus2D(Topology):
+    """Ranks folded row-major into a ``rows x cols`` torus (Manhattan hops)."""
+
+    def __init__(self, rows: int, cols: int, hop_penalty: float = 0.5) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"rows and cols must be >= 1, got {rows}x{cols}")
+        super().__init__(rows * cols, hop_penalty)
+        self.rows = rows
+        self.cols = cols
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        r1, c1 = divmod(src, self.cols)
+        r2, c2 = divmod(dst, self.cols)
+        dr = abs(r1 - r2)
+        dc = abs(c1 - c2)
+        return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+
+class FatTreeTopology(Topology):
+    """Two-level tree: leaf blocks of ``radix`` ranks share a switch."""
+
+    def __init__(self, size: int, radix: int = 16, hop_penalty: float = 0.5) -> None:
+        if radix < 1:
+            raise ValueError(f"radix must be >= 1, got {radix}")
+        super().__init__(size, hop_penalty)
+        self.radix = radix
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        if src == dst:
+            return 0
+        return 1 if src // self.radix == dst // self.radix else 3

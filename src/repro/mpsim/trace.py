@@ -1,0 +1,126 @@
+"""Execution tracing for BSP runs: per-superstep, per-rank timelines.
+
+Load-balance numbers like Figure 7's are end-of-run aggregates; diagnosing
+*why* a scheme loses time needs the time axis too.  A :class:`Tracer`
+attached to a :class:`~repro.mpsim.bsp.BSPEngine` records, per superstep,
+each rank's virtual busy time and traffic, from which it derives:
+
+* per-superstep utilisation (mean busy / max busy — the barrier wait),
+* an ASCII Gantt/heatmap of rank activity over supersteps,
+* the cumulative barrier-wait per rank (the cost of imbalance).
+
+The tracer is observation-only: it never changes scheduling and adds two
+array writes per (rank, superstep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tracer"]
+
+_SHADES = " .:-=+*#%@"
+
+
+class Tracer:
+    """Record per-(superstep, rank) activity of a BSP run.
+
+    Use by passing ``tracer=`` to :meth:`repro.mpsim.bsp.BSPEngine.run`.
+
+    Examples
+    --------
+    >>> from repro.mpsim.bsp import BSPEngine
+    >>> from repro.core.parallel_pa import PAx1RankProgram
+    >>> from repro.core.partitioning import make_partition
+    >>> from repro.rng import StreamFactory
+    >>> part = make_partition("rrp", 500, 4)
+    >>> f = StreamFactory(0)
+    >>> progs = [PAx1RankProgram(r, part, 0.5, f.stream(r)) for r in range(4)]
+    >>> tracer = Tracer()
+    >>> eng = BSPEngine(4)
+    >>> _ = eng.run(progs, tracer=tracer)
+    >>> tracer.num_supersteps == eng.supersteps
+    True
+    """
+
+    def __init__(self) -> None:
+        self._times: list[np.ndarray] = []
+        self._records: list[np.ndarray] = []
+
+    # ----------------------------------------------------------- recording
+    def record(self, step_times: np.ndarray, step_records: np.ndarray) -> None:
+        """Engine hook: one row per superstep."""
+        self._times.append(step_times.copy())
+        self._records.append(step_records.copy())
+
+    # ------------------------------------------------------------ analysis
+    @property
+    def num_supersteps(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """``(supersteps, ranks)`` matrix of per-step busy times."""
+        return np.array(self._times) if self._times else np.zeros((0, 0))
+
+    @property
+    def records(self) -> np.ndarray:
+        """``(supersteps, ranks)`` matrix of per-step records sent."""
+        return np.array(self._records) if self._records else np.zeros((0, 0))
+
+    def utilisation(self) -> np.ndarray:
+        """Per-superstep mean/max busy ratio (1.0 = no barrier waiting)."""
+        t = self.times
+        if t.size == 0:
+            return np.zeros(0)
+        peaks = t.max(axis=1)
+        peaks[peaks == 0] = 1.0
+        return t.mean(axis=1) / peaks
+
+    def barrier_wait(self) -> np.ndarray:
+        """Per-rank total virtual time spent waiting at superstep barriers."""
+        t = self.times
+        if t.size == 0:
+            return np.zeros(0)
+        return (t.max(axis=1, keepdims=True) - t).sum(axis=0)
+
+    def gantt(self, max_width: int = 80) -> str:
+        """ASCII heatmap: rows = ranks, columns = supersteps, shade = load.
+
+        Each cell's shade is that rank's busy time relative to the
+        superstep's busiest rank, so barrier waits show up as light cells.
+        """
+        t = self.times
+        if t.size == 0:
+            return "(no supersteps recorded)"
+        steps, ranks = t.shape
+        # pool supersteps into at most max_width columns
+        cols = min(steps, max_width)
+        pooled = np.zeros((cols, ranks))
+        bounds = np.linspace(0, steps, cols + 1).astype(int)
+        for c in range(cols):
+            pooled[c] = t[bounds[c]:bounds[c + 1]].sum(axis=0)
+        peaks = pooled.max(axis=1, keepdims=True)
+        peaks[peaks == 0] = 1.0
+        rel = pooled / peaks
+        lines = [f"BSP Gantt: {ranks} ranks x {steps} supersteps "
+                 f"(shade = share of the step's busiest rank)"]
+        for r in range(ranks):
+            cells = "".join(
+                _SHADES[min(int(rel[c, r] * (len(_SHADES) - 1) + 0.5), len(_SHADES) - 1)]
+                for c in range(cols)
+            )
+            lines.append(f"rank {r:>3} |{cells}|")
+        util = self.utilisation()
+        lines.append(f"mean utilisation: {util.mean():.2%} "
+                     f"(min superstep {util.min():.2%})")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, float]:
+        util = self.utilisation()
+        return {
+            "supersteps": float(self.num_supersteps),
+            "mean_utilisation": float(util.mean()) if util.size else 1.0,
+            "min_utilisation": float(util.min()) if util.size else 1.0,
+            "total_barrier_wait": float(self.barrier_wait().sum()),
+        }

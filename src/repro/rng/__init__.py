@@ -1,0 +1,12 @@
+"""Deterministic random-number stream management.
+
+Everything random in :mod:`repro` flows from a single integer seed through
+:class:`StreamFactory`, which hands out statistically independent
+:class:`numpy.random.Generator` streams keyed by ``(rank, purpose)``.  This
+mirrors how a careful MPI code seeds one independent stream per rank, and it
+is what makes every run reproducible given ``(seed, n, x, p, P, scheme)``.
+"""
+
+from repro.rng.streams import StreamFactory, rank_stream, spawn_streams
+
+__all__ = ["StreamFactory", "rank_stream", "spawn_streams"]

@@ -1,0 +1,37 @@
+"""Sequential random-graph generators (Section 3.1 of the paper + context models).
+
+This subpackage provides the sequential algorithms the paper discusses or
+compares against:
+
+* :mod:`repro.seq.ba_naive` — the Θ(n²) degree-scan Barabási–Albert
+  implementation (the paper's strawman);
+* :mod:`repro.seq.batagelj_brandes` — the O(m) repeated-nodes-list algorithm
+  of Batagelj & Brandes, the efficient sequential baseline (what NetworkX
+  implements);
+* :mod:`repro.seq.copy_model` — the copy model of Kumar et al., the basis of
+  the parallel algorithms; exact BA dynamics at ``p = 1/2``;
+* :mod:`repro.seq.erdos_renyi`, :mod:`repro.seq.small_world`,
+  :mod:`repro.seq.chung_lu` — the other random-graph families the
+  introduction situates the work against, implemented with the efficient
+  (geometric-skip) techniques from the same Batagelj–Brandes paper.
+
+All generators return a :class:`repro.graph.edgelist.EdgeList` and accept a
+``rng``/``seed`` for reproducibility.
+"""
+
+from repro.seq.ba_naive import ba_naive
+from repro.seq.batagelj_brandes import batagelj_brandes
+from repro.seq.copy_model import copy_model, copy_model_x1
+from repro.seq.erdos_renyi import erdos_renyi_gnp
+from repro.seq.small_world import watts_strogatz
+from repro.seq.chung_lu import chung_lu
+
+__all__ = [
+    "ba_naive",
+    "batagelj_brandes",
+    "copy_model",
+    "copy_model_x1",
+    "erdos_renyi_gnp",
+    "watts_strogatz",
+    "chung_lu",
+]

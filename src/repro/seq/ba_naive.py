@@ -1,0 +1,93 @@
+"""Naive Θ(n²) Barabási–Albert generator (the paper's strawman).
+
+Section 3.1: "One naive approach is to maintain a list of the degrees of the
+nodes, and in each phase t, generate a uniform random number in
+[1, Σ d_i] and scan the list of the degrees sequentially to find F_t.  In
+this case, phase t takes Θ(t) time, and the total time is Ω(n²)."
+
+This implementation exists as the asymptotic baseline for the sequential
+benchmark (``benchmarks/bench_sequential.py``); do not use it above a few
+tens of thousands of nodes.  The degree "scan" is a vectorised cumulative-sum
+search, which keeps the constant small without changing the Θ(t)-per-phase
+asymptotics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["ba_naive"]
+
+
+def ba_naive(
+    n: int,
+    x: int = 1,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> EdgeList:
+    """Generate a BA graph by per-phase degree scanning.
+
+    Parameters
+    ----------
+    n:
+        Total number of nodes.
+    x:
+        Edges contributed by each new node (the BA parameter ``m``).
+    seed, rng:
+        Either a seed or a ready generator (``rng`` wins).
+
+    Returns
+    -------
+    EdgeList with ``C(x,2) + (n - x) x`` edges (``n - 1`` when ``x = 1``).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if x < 1:
+        raise ValueError(f"x must be >= 1, got {x}")
+    if n <= x and x > 1:
+        raise ValueError(f"need n > x, got n={n}, x={x}")
+    rng = rng or np.random.default_rng(seed)
+
+    edges = EdgeList(capacity=max(n * x, 1))
+    degrees = np.zeros(n, dtype=np.int64)
+
+    start = _seed_initial(edges, degrees, n, x)
+
+    for t in range(start, n):
+        chosen: set[int] = set()
+        while len(chosen) < min(x, t):
+            # Scan: draw in [0, sum degrees) and walk the cumulative sums.
+            total = int(degrees[:t].sum())
+            r = rng.integers(0, total)
+            target = int(np.searchsorted(np.cumsum(degrees[:t]), r, side="right"))
+            if target in chosen:
+                continue
+            chosen.add(target)
+        for target in sorted(chosen):
+            edges.append(t, target)
+            degrees[t] += 1
+            degrees[target] += 1
+    return edges
+
+
+def _seed_initial(edges: EdgeList, degrees: np.ndarray, n: int, x: int) -> int:
+    """Install the initial structure; return the first growing node id.
+
+    ``x = 1`` starts from the single edge (1, 0); ``x > 1`` starts from the
+    clique on nodes ``0 .. x-1`` (the paper's Algorithm 3.2 initialisation).
+    """
+    if x == 1:
+        if n == 1:
+            return n
+        edges.append(1, 0)
+        degrees[0] += 1
+        degrees[1] += 1
+        return 2
+    for i in range(x):
+        for j in range(i + 1, x):
+            edges.append(j, i)
+            degrees[i] += 1
+            degrees[j] += 1
+    return x

@@ -1,0 +1,104 @@
+"""Batagelj–Brandes O(m) Barabási–Albert generator.
+
+The efficient sequential algorithm the paper credits (Section 3.1):
+"maintain a list of nodes such that each node i appears in this list exactly
+d_i times"; appending both endpoints of every new edge keeps the list
+current, and sampling it uniformly samples nodes proportionally to degree.
+NetworkX's ``barabasi_albert_graph`` implements the same idea; this version
+preallocates the repeated-nodes list as one NumPy array (its final length is
+exactly ``2m``, known in advance), making it the fastest sequential
+generator in this repository and the ``T_s`` baseline for the speedup
+figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["batagelj_brandes"]
+
+
+def batagelj_brandes(
+    n: int,
+    x: int = 1,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> EdgeList:
+    """Generate a BA graph with the repeated-nodes-list algorithm.
+
+    Parameters mirror :func:`repro.seq.ba_naive.ba_naive`.  Duplicate targets
+    within one node's ``x`` draws are rejected and redrawn, which keeps the
+    graph simple (the "separate lists of neighbors" the paper mentions,
+    realised as a per-phase set).
+
+    Examples
+    --------
+    >>> el = batagelj_brandes(1000, x=3, seed=7)
+    >>> len(el)
+    2994
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if x < 1:
+        raise ValueError(f"x must be >= 1, got {x}")
+    if n <= x and x > 1:
+        raise ValueError(f"need n > x, got n={n}, x={x}")
+    rng = rng or np.random.default_rng(seed)
+
+    if x == 1:
+        return _bb_x1(n, rng)
+    return _bb_general(n, x, rng)
+
+
+def _bb_x1(n: int, rng: np.random.Generator) -> EdgeList:
+    """x = 1 specialisation: no duplicate hazard, tight loop."""
+    edges = EdgeList(capacity=max(n - 1, 1))
+    if n == 1:
+        return edges
+    # repeated[0:2m] with m = n - 1 eventually; seeded with edge (1, 0).
+    repeated = np.empty(2 * (n - 1), dtype=np.int64)
+    repeated[0] = 1
+    repeated[1] = 0
+    fill = 2
+    edges.append(1, 0)
+    # Draw all randoms up front: target index for node t is uniform in
+    # [0, fill_t) with fill_t = 2 (t - 1).
+    u = rng.random(max(n - 2, 0))
+    for t in range(2, n):
+        idx = int(u[t - 2] * fill)
+        target = int(repeated[idx])
+        edges.append(t, target)
+        repeated[fill] = t
+        repeated[fill + 1] = target
+        fill += 2
+    return edges
+
+
+def _bb_general(n: int, x: int, rng: np.random.Generator) -> EdgeList:
+    clique_edges = x * (x - 1) // 2
+    m = clique_edges + (n - x) * x
+    edges = EdgeList(capacity=m)
+    repeated = np.empty(2 * m, dtype=np.int64)
+    fill = 0
+    for i in range(x):
+        for j in range(i + 1, x):
+            edges.append(j, i)
+            repeated[fill] = j
+            repeated[fill + 1] = i
+            fill += 2
+    for t in range(x, n):
+        chosen: set[int] = set()
+        while len(chosen) < x:
+            target = int(repeated[int(rng.integers(0, fill))])
+            chosen.add(target)
+        for target in sorted(chosen):
+            edges.append(t, target)
+        # Update the repeated list only after all x draws: matches the BA
+        # convention that a phase's edges attach to the *previous* network.
+        for target in sorted(chosen):
+            repeated[fill] = t
+            repeated[fill + 1] = target
+            fill += 2
+    return edges

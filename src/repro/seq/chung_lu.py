@@ -1,0 +1,74 @@
+"""Chung–Lu expected-degree generator (Miller–Hagberg style).
+
+Context model from the paper's introduction (reference [23]).  Given target
+weights ``w``, edge ``(u, v)`` appears independently with probability
+``min(1, w_u w_v / S)`` where ``S = Σ w``.  Implemented with the
+weight-sorted geometric-skipping technique of Miller & Hagberg, giving
+expected O(n + m) time instead of Θ(n²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["chung_lu"]
+
+
+def chung_lu(
+    weights: np.ndarray,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> EdgeList:
+    """Sample a Chung–Lu graph for the given expected-degree weights.
+
+    Node ids refer to positions in ``weights`` (the implementation sorts
+    internally and maps back).
+
+    Examples
+    --------
+    >>> w = np.full(200, 5.0)
+    >>> el = chung_lu(w, seed=5)         # ~ G(n, p) at uniform weights
+    >>> 300 < len(el) < 700
+    True
+    """
+    rng = rng or np.random.default_rng(seed)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1:
+        raise ValueError("weights must be 1-D")
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    n = len(w)
+    edges = EdgeList()
+    if n < 2:
+        return edges
+    S = float(w.sum())
+    if S <= 0:
+        return edges
+
+    order = np.argsort(-w, kind="stable")  # descending weights
+    ws = w[order]
+
+    us: list[int] = []
+    vs: list[int] = []
+    for i in range(n - 1):
+        if ws[i] <= 0:
+            break
+        j = i + 1
+        p = min(1.0, ws[i] * ws[j] / S)
+        while j < n and p > 0:
+            if p < 1.0:
+                # Skip ahead geometrically at the current probability bound.
+                r = rng.random()
+                j += int(np.floor(np.log(r) / np.log1p(-p)))
+            if j < n:
+                q = min(1.0, ws[i] * ws[j] / S)
+                if rng.random() < q / p:
+                    us.append(i)
+                    vs.append(j)
+                p = q
+                j += 1
+    if us:
+        edges.append_arrays(order[np.array(us)], order[np.array(vs)])
+    return edges

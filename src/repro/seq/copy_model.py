@@ -1,0 +1,185 @@
+"""Sequential copy model (Kumar et al.), the basis of the parallel algorithms.
+
+Section 3.1 of the paper: in each phase ``t``,
+
+1. pick ``k`` uniformly among existing nodes;
+2. with probability ``p`` set ``F_t = k`` (a *direct* attachment), otherwise
+   set ``F_t = F_k`` (a *copy* attachment).
+
+At ``p = 1/2`` this reproduces the Barabási–Albert attachment probabilities
+exactly, and the exponent of the resulting power law varies with ``p``.
+
+Two implementations are provided:
+
+* :func:`copy_model_x1` — the ``x = 1`` case.  All variates are drawn up
+  front and the copy chains are resolved by vectorised *pointer jumping*
+  (the parallel-algorithms classic: ``ptr <- ptr[ptr]`` until fixed point),
+  which finishes in ``O(log L_max) = O(log log n)`` NumPy passes because
+  dependency chains are ``O(log n)`` long (Theorem 3.3).
+* :func:`copy_model` — the general ``x >= 1`` case with the initial
+  ``x``-clique and duplicate-edge rejection, matching Algorithm 3.2's
+  sequential semantics.
+
+Both return the attachment table ``F`` on request so analyses (dependency
+chains, cross-validation against the parallel engines) can inspect it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["copy_model_x1", "copy_model", "resolve_pointers"]
+
+#: Safety bound on duplicate-rejection attempts per edge slot; a correct
+#: configuration retries a handful of times at worst, so hitting this means
+#: a logic error rather than bad luck.
+_MAX_RETRIES = 10_000
+
+
+def resolve_pointers(ptr: np.ndarray) -> np.ndarray:
+    """Pointer-jump ``ptr`` to its fixed point (``ptr[i] == ptr[ptr[i]]``).
+
+    ``ptr`` must be acyclic-with-self-loops: following pointers from any
+    index must reach a self-pointing index.  Each pass squares the distance
+    covered, so the number of passes is logarithmic in the longest chain.
+    """
+    ptr = ptr.copy()
+    while True:
+        nxt = ptr[ptr]
+        if np.array_equal(nxt, ptr):
+            return ptr
+        ptr = nxt
+
+
+def copy_model_x1(
+    n: int,
+    p: float = 0.5,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    return_attachments: bool = False,
+) -> EdgeList | tuple[EdgeList, np.ndarray]:
+    """Copy-model PA network with one edge per node.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; nodes are ``0 .. n-1`` and node 1 attaches to 0.
+    p:
+        Direct-attachment probability; ``0 < p <= 1``.  ``p = 1/2`` gives BA.
+    return_attachments:
+        Also return ``F`` where ``F[t]`` is the node ``t`` attached to
+        (``F[0] = -1``).
+
+    Examples
+    --------
+    >>> el, F = copy_model_x1(10, seed=1, return_attachments=True)
+    >>> len(el), F[0]
+    (9, np.int64(-1))
+    >>> bool((F[1:] < np.arange(1, 10)).all())
+    True
+    """
+    _check_params(n, 1, p)
+    rng = rng or np.random.default_rng(seed)
+
+    F = np.full(n, -1, dtype=np.int64)
+    edges = EdgeList(capacity=max(n - 1, 1))
+    if n >= 2:
+        F[1] = 0
+    if n > 2:
+        ts = np.arange(2, n, dtype=np.int64)
+        # Two uniforms per node in node order (k first, then the coin): the
+        # library-wide draw protocol, shared with the parallel engines and
+        # the streaming generator so equal seeds give bit-identical graphs.
+        u = rng.random(2 * (n - 2))
+        k = 1 + (u[0::2] * (ts - 1)).astype(np.int64)
+        direct = u[1::2] < p
+        # anchor pointers: direct nodes point to themselves, copy nodes to k.
+        ptr = np.arange(n, dtype=np.int64)
+        ptr[ts[~direct]] = k[~direct]
+        anchors = resolve_pointers(ptr)
+        # target[a] = the k drawn at direct node a (node 1's "draw" is 0).
+        target = np.full(n, -1, dtype=np.int64)
+        if n >= 2:
+            target[1] = 0
+        target[ts[direct]] = k[direct]
+        F[2:] = target[anchors[2:]]
+    if n >= 2:
+        edges.append_arrays(np.arange(1, n), F[1:])
+    if return_attachments:
+        return edges, F
+    return edges
+
+
+def copy_model(
+    n: int,
+    x: int = 1,
+    p: float = 0.5,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    return_attachments: bool = False,
+) -> EdgeList | tuple[EdgeList, np.ndarray]:
+    """Copy-model PA network with ``x`` edges per node (Algorithm 3.2, serial).
+
+    Starts from a clique on nodes ``0 .. x-1``; node ``x`` necessarily
+    attaches to all clique nodes; every later node ``t`` draws, per edge
+    slot, a uniform ``k in [x, t-1]`` and attaches to ``k`` (probability
+    ``p``) or to ``F_k[l]`` with ``l`` uniform in ``[0, x)`` (probability
+    ``1 - p``), rejecting duplicates.
+
+    Returns the edge list, plus the ``(n, x)`` attachment table if
+    ``return_attachments`` (clique rows are ``-1``).
+    """
+    if x == 1:
+        return copy_model_x1(
+            n, p=p, seed=seed, rng=rng, return_attachments=return_attachments
+        )
+    _check_params(n, x, p)
+    rng = rng or np.random.default_rng(seed)
+
+    m = x * (x - 1) // 2 + (n - x) * x
+    edges = EdgeList(capacity=m)
+    F = np.full((n, x), -1, dtype=np.int64)
+
+    for i in range(x):
+        for j in range(i + 1, x):
+            edges.append(j, i)
+
+    if n > x:
+        F[x, :] = np.arange(x)
+        edges.append_arrays(np.full(x, x, dtype=np.int64), np.arange(x, dtype=np.int64))
+
+    for t in range(x + 1, n):
+        row = F[t]
+        for e in range(x):
+            for attempt in range(_MAX_RETRIES):
+                k = int(rng.integers(x, t))
+                if rng.random() < p:
+                    v = k
+                else:
+                    l = int(rng.integers(0, x))
+                    v = int(F[k, l])
+                if v not in row[:e]:
+                    row[e] = v
+                    break
+            else:  # pragma: no cover - indicates a logic error
+                raise RuntimeError(
+                    f"exceeded {_MAX_RETRIES} duplicate-rejection attempts at t={t}"
+                )
+        edges.append_arrays(np.full(x, t, dtype=np.int64), row.copy())
+
+    if return_attachments:
+        return edges, F
+    return edges
+
+
+def _check_params(n: int, x: int, p: float) -> None:
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if x < 1:
+        raise ValueError(f"x must be >= 1, got {x}")
+    if x > 1 and n <= x:
+        raise ValueError(f"need n > x, got n={n}, x={x}")
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")

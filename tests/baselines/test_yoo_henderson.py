@@ -1,0 +1,76 @@
+"""Tests for the Yoo–Henderson approximate parallel baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import yoo_henderson
+from repro.graph.degree import degrees_from_edges
+
+
+class TestStructure:
+    def test_simple_graph(self):
+        el = yoo_henderson(2000, x=2, ranks=4, sync_interval=32, seed=0)
+        assert not el.has_duplicates()
+        assert not el.has_self_loops()
+
+    def test_deterministic(self):
+        a = yoo_henderson(1000, x=2, ranks=4, sync_interval=16, seed=1)
+        b = yoo_henderson(1000, x=2, ranks=4, sync_interval=16, seed=1)
+        assert a == b
+
+    def test_single_rank_single_step_is_near_exact(self):
+        """ranks=1, sync_interval=1 degenerates to sequential BB-style PA."""
+        n = 3000
+        el = yoo_henderson(n, x=2, ranks=1, sync_interval=1, seed=2)
+        deg = degrees_from_edges(el, n)
+        # rich-get-richer fingerprint
+        assert deg[: n // 100].mean() > 3 * deg[-n // 100 :].mean()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            yoo_henderson(2, x=2)
+        with pytest.raises(ValueError):
+            yoo_henderson(100, ranks=0)
+        with pytest.raises(ValueError):
+            yoo_henderson(100, sync_interval=0)
+
+
+class TestApproximationError:
+    def test_stale_sync_distorts_the_tail(self):
+        """The paper's criticism: accuracy depends on the control parameter.
+
+        With rare synchronisation, every rank keeps sampling the *stale*
+        global pool, over-concentrating attachment on early nodes: the hubs
+        come out far heavier than exact preferential attachment produces.
+        """
+        n, x, reps = 6000, 2, 3
+        exact_max, stale_max = 0, 0
+        for seed in range(reps):
+            from repro.seq.copy_model import copy_model
+
+            exact = degrees_from_edges(copy_model(n, x=x, seed=seed), n)
+            stale = degrees_from_edges(
+                yoo_henderson(n, x=x, ranks=8, sync_interval=1000, seed=seed), n
+            )
+            exact_max += exact.max()
+            stale_max += stale.max()
+        assert stale_max > 1.5 * exact_max
+
+    def test_tighter_sync_tracks_exact_hubs_better(self):
+        """Smaller sync_interval => max degree closer to exact PA's."""
+        n, x, reps = 6000, 2, 3
+        from repro.seq.copy_model import copy_model
+
+        exact_max = np.mean(
+            [degrees_from_edges(copy_model(n, x=x, seed=s), n).max()
+             for s in range(reps)]
+        )
+        err = {}
+        for interval in (4, 2000):
+            mx = np.mean(
+                [degrees_from_edges(
+                    yoo_henderson(n, x=x, ranks=8, sync_interval=interval, seed=s), n
+                ).max() for s in range(reps)]
+            )
+            err[interval] = abs(mx - exact_max) / exact_max
+        assert err[4] < err[2000]

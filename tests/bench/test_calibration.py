@@ -1,0 +1,71 @@
+"""Tests for cost-model calibration (round-trip recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.calibration import Observation, collect_observations, fit_cost_model
+from repro.mpsim.costmodel import CostModel
+
+
+GRID = [
+    dict(n=2000, x=1, ranks=4, scheme="rrp"),
+    dict(n=4000, x=1, ranks=8, scheme="rrp"),
+    dict(n=1500, x=3, ranks=4, scheme="ucp"),
+    dict(n=3000, x=2, ranks=6, scheme="lcp"),
+    dict(n=2500, x=4, ranks=2, scheme="rrp"),
+    dict(n=5000, x=2, ranks=10, scheme="rrp"),
+    dict(n=1000, x=5, ranks=3, scheme="ucp"),
+]
+
+
+class TestRoundTrip:
+    def test_recovers_known_constants(self):
+        """Observations generated under a known model fit back to it."""
+        true = CostModel(
+            alpha=3e-6, beta=5e-10, per_message=2e-7, per_node=1e-6, per_work_item=4e-7
+        )
+        configs = [dict(cfg, cost_model=true) for cfg in GRID]
+        obs = collect_observations(configs, timer="simulated", seed=1)
+        fitted = fit_cost_model(obs)
+        for attr in ("alpha", "beta", "per_message", "per_node", "per_work_item"):
+            assert getattr(fitted, attr) == pytest.approx(
+                getattr(true, attr), rel=0.05
+            ), attr
+
+    def test_fitted_model_predicts_held_out_run(self):
+        true = CostModel()
+        configs = [dict(cfg, cost_model=true) for cfg in GRID]
+        fitted = fit_cost_model(collect_observations(configs, seed=2))
+        held_out = collect_observations(
+            [dict(n=6000, x=3, ranks=12, scheme="rrp", cost_model=true)], seed=3
+        )[0]
+        predicted = float(held_out.drivers() @ np.array([
+            fitted.per_node, fitted.per_work_item, fitted.per_message,
+            fitted.beta, fitted.alpha,
+        ]))
+        assert predicted == pytest.approx(held_out.measured_time, rel=0.02)
+
+
+class TestValidation:
+    def test_too_few_observations(self):
+        obs = [Observation(1, 1, 1, 1, 1, 1.0)] * 4
+        with pytest.raises(ValueError, match="at least 5"):
+            fit_cost_model(obs)
+
+    def test_bad_timer(self):
+        with pytest.raises(ValueError, match="timer"):
+            collect_observations([], timer="sundial")
+
+    def test_wall_timer_runs(self):
+        obs = collect_observations(
+            [dict(n=500, x=1, ranks=2, scheme="rrp")], timer="wall", seed=4
+        )
+        assert obs[0].measured_time > 0
+
+    def test_constants_non_negative(self):
+        configs = [dict(cfg) for cfg in GRID]
+        fitted = fit_cost_model(collect_observations(configs, seed=5))
+        assert min(
+            fitted.alpha, fitted.beta, fitted.per_message,
+            fitted.per_node, fitted.per_work_item,
+        ) >= 0

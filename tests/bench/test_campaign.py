@@ -1,0 +1,76 @@
+"""Tests for the campaign grid runner and CSV persistence."""
+
+import pytest
+
+from repro.bench.campaign import (
+    expand_grid,
+    read_csv,
+    run_campaign,
+    summarize_campaign,
+    write_csv,
+)
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        grid = expand_grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(grid) == 6
+        assert {"a": 2, "b": "z"} in grid
+
+    def test_single_axis(self):
+        assert expand_grid(n=[5]) == [{"n": 5}]
+
+    def test_empty(self):
+        assert expand_grid() == [{}]
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def records(self):
+        configs = expand_grid(n=[500, 1000], x=[2], ranks=[4], scheme=["ucp", "rrp"])
+        return run_campaign("unit", configs, seed=0)
+
+    def test_one_record_per_config(self, records):
+        assert len(records) == 4
+
+    def test_records_have_measurements(self, records):
+        for record in records:
+            assert record.num_edges > 0
+            assert record.simulated_time > 0
+            assert record.scheme in ("ucp", "rrp")
+
+    def test_summary_groups(self, records):
+        summary = summarize_campaign(records, by="scheme")
+        assert set(summary) == {"ucp", "rrp"}
+        assert summary["ucp"]["runs"] == 2
+
+    def test_summary_by_other_field(self, records):
+        summary = summarize_campaign(records, by="n")
+        assert set(summary) == {500, 1000}
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        configs = expand_grid(n=[300], x=[2], ranks=[2, 4], scheme=["rrp"])
+        records = run_campaign("csv-test", configs, seed=1)
+        path = write_csv(tmp_path / "out.csv", records)
+        rows = read_csv(path)
+        assert len(rows) == 2
+        assert rows[0]["experiment"] == "csv-test"
+        assert rows[0]["n"] == 300
+        assert isinstance(rows[0]["simulated_time"], float)
+        assert rows[0]["num_edges"] == 2 * (2 - 1) // 2 + (300 - 2) * 2
+
+    def test_cli_campaign(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "grid.csv"
+        rc = main([
+            "campaign", "-n", "400", "-x", "2", "-P", "2", "4",
+            "--schemes", "rrp", "-o", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        cap = capsys.readouterr().out
+        assert "wrote 2 rows" in cap
+        assert "mean imbalance" in cap

@@ -1,0 +1,30 @@
+"""Tests for the experiment harness records."""
+
+from repro.bench.harness import run_generation_experiment
+
+
+class TestRunGenerationExperiment:
+    def test_record_contents(self):
+        record, result = run_generation_experiment(
+            "unit-test", n=500, x=2, ranks=4, scheme="rrp", seed=0
+        )
+        assert record.experiment == "unit-test"
+        assert record.num_edges == len(result.edges)
+        assert record.wall_time > 0
+        assert record.simulated_time > 0
+        assert record.supersteps == result.supersteps
+        assert record.imbalance >= 1.0
+
+    def test_to_dict_flattens_extra(self):
+        record, _ = run_generation_experiment(
+            "unit-test", n=200, x=1, ranks=2, scheme="ucp", seed=1
+        )
+        d = record.to_dict()
+        assert "requests_total" in d
+        assert "extra" not in d
+
+    def test_sequential_engine_supported(self):
+        record, _ = run_generation_experiment(
+            "unit-test", n=200, x=2, ranks=1, scheme="rrp", seed=2, engine="sequential"
+        )
+        assert record.total_messages == 0

@@ -1,0 +1,49 @@
+"""Tests for the plain-text report formatting."""
+
+import numpy as np
+
+from repro.bench.reporting import ascii_loglog, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (10, 0.001)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+        # all rows same width
+        assert len(set(len(l) for l in lines[1:])) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(0.00001,), (12345.6,), (0.5,), (0,)])
+        assert "1.000e-05" in out
+        assert "1.235e+04" in out
+        assert "0.500" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestFormatSeries:
+    def test_series(self):
+        out = format_series("speedup", [1, 2], [1.0, 1.9])
+        assert out.startswith("series: speedup")
+        assert "1.900" in out
+
+
+class TestAsciiLogLog:
+    def test_power_law_renders(self):
+        k = np.logspace(0, 3, 40)
+        pk = k**-2.5
+        out = ascii_loglog(k, pk, label="degree dist")
+        assert "degree dist" in out
+        assert out.count("*") >= 20
+
+    def test_empty_data(self):
+        assert "no positive data" in ascii_loglog(np.array([0.0]), np.array([0.0]))
+
+    def test_single_point(self):
+        out = ascii_loglog(np.array([10.0]), np.array([0.1]))
+        assert "*" in out

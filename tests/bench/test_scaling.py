@@ -1,0 +1,62 @@
+"""Tests for the scaling drivers (Figures 5, 6 and Section 4.5)."""
+
+import math
+
+import pytest
+
+from repro.bench.scaling import (
+    extrapolate_large_network,
+    sequential_time,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+class TestSequentialTime:
+    def test_scales_linearly_in_m(self):
+        t1 = sequential_time(1000, 4)
+        t2 = sequential_time(2000, 4)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+
+class TestStrongScaling:
+    def test_speedup_grows_with_ranks(self):
+        curves = strong_scaling(20_000, 4, [2, 8, 32], schemes=("rrp",), seed=0)
+        pts = curves["rrp"]
+        speedups = [p.speedup for p in pts]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 2.0
+
+    def test_rrp_beats_ucp_at_scale(self):
+        """Figure 5's key qualitative claim."""
+        curves = strong_scaling(30_000, 6, [32], schemes=("ucp", "rrp"), seed=0)
+        assert curves["rrp"][0].speedup > curves["ucp"][0].speedup
+
+    def test_point_fields(self):
+        curves = strong_scaling(5_000, 2, [4], schemes=("lcp",), seed=1)
+        pt = curves["lcp"][0]
+        assert pt.scheme == "lcp" and pt.ranks == 4 and pt.n == 5_000
+        assert pt.simulated_time > 0 and pt.supersteps > 0
+
+
+class TestWeakScaling:
+    def test_runtime_roughly_flat_for_rrp(self):
+        """Figure 6: good weak scaling = runtime nearly constant in P."""
+        curves = weak_scaling(4_000, 4, [2, 4, 8, 16], schemes=("rrp",), seed=0)
+        times = [p.simulated_time for p in curves["rrp"]]
+        assert max(times) / min(times) < 2.0
+
+    def test_problem_size_grows(self):
+        curves = weak_scaling(2_000, 2, [2, 8], schemes=("rrp",), seed=0)
+        ns = [p.n for p in curves["rrp"]]
+        assert ns[1] == pytest.approx(4 * ns[0], rel=0.05)
+
+
+class TestExtrapolation:
+    def test_report_fields_and_magnitude(self):
+        report = extrapolate_large_network(n_sample=30_000, seed=0)
+        assert report["edges_target"] == 5e9
+        assert report["ranks_target"] == 768
+        assert math.isfinite(report["estimated_time_target"])
+        # sanity: within two orders of magnitude of the paper's 123 s
+        assert 1.0 < report["estimated_time_target"] < 12_300

@@ -1,0 +1,26 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpsim.costmodel import CostModel
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that need ad-hoc randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def zero_cost():
+    """A cost model with all charges zero (pure-logic tests)."""
+    return CostModel(alpha=0.0, beta=0.0, per_message=0.0, per_node=0.0, per_work_item=0.0)
+
+
+def pytest_make_parametrize_id(config, val, argname):
+    if isinstance(val, (int, float, str)):
+        return f"{argname}={val}"
+    return None

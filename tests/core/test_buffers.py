@@ -1,0 +1,75 @@
+"""Tests for per-destination message buffering."""
+
+import pytest
+
+from repro.core.buffers import FLUSH_EVERY_GROUP, FLUSH_WHEN_FULL, MessageBuffers
+
+
+class TestAddAndFlush:
+    def test_add_below_capacity_buffers(self):
+        mb = MessageBuffers(4, capacity=3)
+        assert mb.add(1, "a") is None
+        assert mb.add(1, "b") is None
+        assert mb.pending(1) == 2
+
+    def test_add_at_capacity_flushes(self):
+        mb = MessageBuffers(4, capacity=2)
+        assert mb.add(2, "a") is None
+        batch = mb.add(2, "b")
+        assert batch == ["a", "b"]
+        assert mb.pending(2) == 0
+
+    def test_flush_empties(self):
+        mb = MessageBuffers(2, capacity=10)
+        mb.add(0, 1)
+        assert mb.flush(0) == [1]
+        assert mb.flush(0) == []
+
+    def test_flush_all_only_nonempty(self):
+        mb = MessageBuffers(4, capacity=10)
+        mb.add(1, "x")
+        mb.add(3, "y")
+        flushed = dict(mb.flush_all())
+        assert flushed == {1: ["x"], 3: ["y"]}
+        assert mb.pending() == 0
+
+    def test_counters(self):
+        mb = MessageBuffers(2, capacity=2)
+        mb.add(0, 1)
+        mb.add(0, 2)  # flush 1
+        mb.add(1, 3)
+        list(mb.flush_all())  # flush 2
+        assert mb.flush_count == 2
+        assert mb.record_count == 3
+
+    def test_order_preserved(self):
+        mb = MessageBuffers(2, capacity=100)
+        for i in range(10):
+            mb.add(0, i)
+        assert mb.flush(0) == list(range(10))
+
+
+class TestValidation:
+    def test_bad_dest(self):
+        mb = MessageBuffers(2)
+        with pytest.raises(ValueError):
+            mb.add(5, "x")
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            MessageBuffers(0)
+        with pytest.raises(ValueError):
+            MessageBuffers(2, capacity=0)
+        with pytest.raises(ValueError):
+            MessageBuffers(2, policy="whenever")
+
+
+class TestPolicy:
+    def test_group_flush_flag(self):
+        assert MessageBuffers(2, policy=FLUSH_EVERY_GROUP).needs_group_flush()
+        assert not MessageBuffers(2, policy=FLUSH_WHEN_FULL).needs_group_flush()
+
+    def test_repr(self):
+        mb = MessageBuffers(2, capacity=5)
+        mb.add(0, 1)
+        assert "pending=1" in repr(mb)

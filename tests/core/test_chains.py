@@ -1,0 +1,136 @@
+"""Tests for selection/dependency chains (Section 3.4, Lemma 3.1, Thm 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chains import (
+    chain_statistics,
+    dependency_chain_lengths,
+    dependency_chains,
+    draw_attachment_variates,
+    selection_chain,
+    selection_chain_lengths,
+)
+
+
+class TestDraws:
+    def test_shapes_and_ranges(self):
+        k, direct = draw_attachment_variates(1000, seed=0)
+        assert len(k) == len(direct) == 1000
+        ts = np.arange(2, 1000)
+        assert (k[2:] >= 1).all()
+        assert (k[2:] < ts).all()
+        assert direct[1]
+
+    def test_p_one_all_direct(self):
+        _, direct = draw_attachment_variates(500, p=1.0, seed=1)
+        assert direct[1:].all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            draw_attachment_variates(0)
+        with pytest.raises(ValueError):
+            draw_attachment_variates(10, p=0.0)
+
+
+class TestExplicitChains:
+    def test_selection_chain_ends_at_one(self):
+        k, _ = draw_attachment_variates(200, seed=2)
+        for t in (5, 50, 199):
+            chain = selection_chain(t, k)
+            assert chain[0] == t
+            assert chain[-1] == 1
+            assert all(chain[i] > chain[i + 1] for i in range(len(chain) - 1))
+
+    def test_dependency_is_prefix_of_selection(self):
+        k, direct = draw_attachment_variates(200, seed=3)
+        for t in range(2, 200):
+            dep = dependency_chains(t, k, direct)
+            sel = selection_chain(t, k)
+            assert dep == sel[: len(dep)]
+            assert direct[dep[-1]]
+
+    def test_invalid_start(self):
+        with pytest.raises(ValueError):
+            selection_chain(0, np.zeros(5, dtype=np.int64))
+
+
+class TestVectorisedLengths:
+    @given(n=st.integers(min_value=2, max_value=500),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_explicit_walk(self, n, seed):
+        k, direct = draw_attachment_variates(n, seed=seed)
+        dep_len = dependency_chain_lengths(k, direct)
+        sel_len = selection_chain_lengths(k)
+        for t in range(1, n):
+            assert dep_len[t] == len(dependency_chains(t, k, direct))
+            assert sel_len[t] == len(selection_chain(t, k))
+
+    def test_dependency_never_exceeds_selection(self):
+        k, direct = draw_attachment_variates(5000, seed=4)
+        assert (dependency_chain_lengths(k, direct) <= selection_chain_lengths(k)).all()
+
+
+class TestLemma31:
+    def test_membership_probability_is_one_over_i(self):
+        """Monte Carlo: P(i in S_t) = 1/i for i < t."""
+        n, reps = 40, 4000
+        t = n - 1
+        counts = np.zeros(n)
+        rng = np.random.default_rng(5)
+        for _ in range(reps):
+            k, _ = draw_attachment_variates(n, rng=rng)
+            for node in selection_chain(t, k):
+                counts[node] += 1
+        for i in (1, 2, 4, 8, 16):
+            est = counts[i] / reps
+            expect = 1 / i
+            sd = np.sqrt(expect * (1 - expect) / reps)
+            assert abs(est - expect) < 5 * sd + 1e-9, (i, est, expect)
+
+    def test_expected_selection_length_is_harmonic(self):
+        """E|S_t| = 1 + H_{t-1}: check the empirical mean at a fixed t."""
+        from repro.core.load_model import harmonic
+
+        n, reps = 200, 1500
+        rng = np.random.default_rng(6)
+        total = 0
+        for _ in range(reps):
+            k, _ = draw_attachment_variates(n, rng=rng)
+            total += len(selection_chain(n - 1, k))
+        mean = total / reps
+        expect = 1 + float(harmonic(n - 2))
+        assert mean == pytest.approx(expect, rel=0.05)
+
+
+class TestTheorem33:
+    @pytest.mark.parametrize("n", [1000, 30_000, 300_000])
+    def test_bounds_hold(self, n):
+        st_ = chain_statistics(n, p=0.5, seed=7)
+        assert st_.mean_within_bounds
+        assert st_.max_within_bounds
+
+    def test_mean_approaches_one_over_p(self):
+        """For constant p the average chain length converges to 1/p."""
+        for p in (0.3, 0.5, 0.8):
+            st_ = chain_statistics(200_000, p=p, seed=8)
+            assert st_.mean == pytest.approx(1 / p, rel=0.05)
+
+    def test_max_grows_slowly(self):
+        """L_max should grow like log n, i.e. gain only a few when n x100."""
+        small = chain_statistics(1000, seed=9).max
+        large = chain_statistics(100_000, seed=9).max
+        assert large <= small + 15
+        assert large <= 5 * np.log(100_000)
+
+    def test_p_one_degenerate(self):
+        st_ = chain_statistics(10_000, p=1.0, seed=10)
+        assert st_.max == 1
+        assert st_.mean == pytest.approx(1.0)
+
+    def test_tiny_n(self):
+        st_ = chain_statistics(1, seed=0)
+        assert st_.mean == 0.0 and st_.max == 0

@@ -1,0 +1,84 @@
+"""Cross-validation: BSP bulk engine vs literal event-driven engine.
+
+For ``x = 1`` both engines consume the identical per-node uniforms from the
+same rank streams, so they must produce **bit-identical** graphs.  For
+``x >= 1`` retry interleaving differs, so the comparison is distributional.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.event_driven import run_event_driven_pa, run_event_driven_pa_x1
+from repro.core.parallel_pa import run_parallel_pa_x1
+from repro.core.parallel_pa_general import run_parallel_pa
+from repro.core.partitioning import make_partition
+from repro.graph.degree import degrees_from_edges
+
+
+@pytest.mark.parametrize("scheme", ["ucp", "lcp", "rrp"])
+@pytest.mark.parametrize("P", [1, 2, 5, 11])
+def test_x1_bit_identical(scheme, P):
+    n, seed = 1200, 99
+    part = make_partition(scheme, n, P)
+    bulk, _, _ = run_parallel_pa_x1(n, part, seed=seed)
+    literal, _ = run_event_driven_pa_x1(n, part, seed=seed)
+    assert np.array_equal(bulk.canonical(), literal.canonical())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_x1_bit_identical_many_seeds(seed):
+    n, P = 700, 6
+    part = make_partition("rrp", n, P)
+    bulk, _, _ = run_parallel_pa_x1(n, part, seed=seed)
+    literal, _ = run_event_driven_pa_x1(n, part, seed=seed)
+    assert np.array_equal(bulk.canonical(), literal.canonical())
+
+
+def test_general_distributional_agreement():
+    """x>1: same degree-tail mass between the two engines (different seeds
+    average out retry-path differences)."""
+    n, x, P = 4000, 3, 6
+    part = make_partition("rrp", n, P)
+    tails_bulk, tails_lit = [], []
+    for seed in range(3):
+        bulk, _, _ = run_parallel_pa(n, x, part, seed=seed)
+        lit, _ = run_event_driven_pa(n, x, part, seed=seed + 100)
+        tails_bulk.append((degrees_from_edges(bulk, n) >= 2 * x).mean())
+        tails_lit.append((degrees_from_edges(lit, n) >= 2 * x).mean())
+    assert abs(np.mean(tails_bulk) - np.mean(tails_lit)) < 0.02
+
+
+def test_partitioning_changes_instance_not_distribution():
+    """Different schemes give different graphs (rank streams shift) but the
+    same degree law."""
+    n, seed = 20_000, 5
+    tails = []
+    for scheme in ("ucp", "lcp", "rrp"):
+        part = make_partition(scheme, n, 8)
+        edges, _, _ = run_parallel_pa_x1(n, part, seed=seed)
+        tails.append((degrees_from_edges(edges, n) >= 4).mean())
+    assert max(tails) - min(tails) < 0.01
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    n=st.integers(min_value=2, max_value=400),
+    P=st.integers(min_value=1, max_value=10),
+    scheme=st.sampled_from(["ucp", "lcp", "rrp", "ecp"]),
+    p=st.floats(min_value=0.1, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_x1_bit_identical_property(n, P, scheme, p, seed):
+    """Property form of the cross-engine guarantee: for any configuration,
+    the bulk and literal engines produce the identical graph."""
+    P = min(P, n)
+    part = make_partition(scheme, n, P)
+    bulk, _, _ = run_parallel_pa_x1(n, part, p=p, seed=seed)
+    from repro.core.event_driven import run_event_driven_pa_x1 as _run_ed
+
+    literal, _ = _run_ed(n, part, p=p, seed=seed)
+    assert np.array_equal(bulk.canonical(), literal.canonical())

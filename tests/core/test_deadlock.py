@@ -1,0 +1,82 @@
+"""Deadlock reproduction: the Section 3.5.2 buffering hazard.
+
+The paper warns that under round-robin partitioning, resolved messages held
+in partially-filled buffers can produce circular waiting.  We reproduce the
+hazard by running the literal event-driven implementation with the
+hold-until-full policy (``flush_on_idle=False``): quiescence is then reached
+with unresolved nodes and records stuck in buffers, which the rank programs
+surface as :class:`DeadlockError`.  The safe policies never deadlock.
+"""
+
+import pytest
+
+from repro.core.event_driven import run_event_driven_pa_x1
+from repro.core.partitioning import make_partition
+from repro.mpsim.errors import DeadlockError
+
+
+def _deadlocks(scheme: str, seed: int, capacity: int = 1 << 20) -> bool:
+    """Run with hold-until-full buffering; report whether it deadlocked."""
+    n, P = 400, 8
+    part = make_partition(scheme, n, P)
+    try:
+        run_event_driven_pa_x1(
+            n, part, seed=seed, buffer_capacity=capacity, flush_on_idle=False
+        )
+        return False
+    except DeadlockError:
+        return True
+
+
+class TestHazard:
+    def test_rrp_hold_until_full_deadlocks(self):
+        """Huge buffers that never fill: requests/resolved never leave."""
+        assert any(_deadlocks("rrp", seed) for seed in range(3))
+
+    def test_ucp_hold_until_full_also_stuck_without_final_flush(self):
+        """Even consecutive partitioning needs outstanding-buffer flushing:
+        records parked in never-full buffers are lost work.  (The paper's
+        acyclic-waiting argument assumes buffers are eventually sent.)"""
+        assert any(_deadlocks("ucp", seed) for seed in range(3))
+
+    @pytest.mark.parametrize("scheme", ["ucp", "lcp", "rrp"])
+    def test_flush_on_idle_never_deadlocks(self, scheme):
+        n, P = 400, 8
+        part = make_partition(scheme, n, P)
+        for seed in range(3):
+            edges, _ = run_event_driven_pa_x1(
+                n, part, seed=seed, buffer_capacity=1 << 20, flush_on_idle=True
+            )
+            assert len(edges) == n - 1
+
+    @pytest.mark.parametrize("scheme", ["ucp", "lcp", "rrp"])
+    def test_small_buffers_self_flush(self, scheme):
+        """capacity=1 degenerates to unbuffered sends: always safe."""
+        n, P = 300, 6
+        part = make_partition(scheme, n, P)
+        edges, _ = run_event_driven_pa_x1(
+            n, part, seed=0, buffer_capacity=1, flush_on_idle=False
+        )
+        assert len(edges) == n - 1
+
+
+class TestBSPStallDetector:
+    def test_bsp_detects_programmatic_stall(self):
+        """The BSP engine's quiet-superstep detector is the bulk analogue."""
+        import numpy as np
+
+        from repro.mpsim import BSPEngine
+
+        class Waits:
+            def __init__(self, rank):
+                self.rank = rank
+
+            def step(self, ctx, inbox):
+                return None  # never sends what the other rank needs
+
+            @property
+            def done(self):
+                return self.rank == 0
+
+        with pytest.raises(DeadlockError):
+            BSPEngine(2).run([Waits(0), Waits(1)])

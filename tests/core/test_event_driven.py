@@ -1,0 +1,88 @@
+"""Tests for the literal per-message Algorithm 3.1/3.2 implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.event_driven import run_event_driven_pa, run_event_driven_pa_x1
+from repro.core.partitioning import make_partition
+from repro.graph.validation import validate_pa_graph
+
+
+class TestX1:
+    @pytest.mark.parametrize("scheme", ["ucp", "lcp", "rrp"])
+    @pytest.mark.parametrize("P", [1, 3, 7])
+    def test_valid(self, scheme, P):
+        n = 200
+        part = make_partition(scheme, n, P)
+        edges, _ = run_event_driven_pa_x1(n, part, seed=0)
+        assert validate_pa_graph(edges, n, 1).ok
+
+    def test_seven_node_figure1_scale(self):
+        """The paper's Figure 1 instance size: n=7 on 2 ranks."""
+        part = make_partition("ucp", 7, 2)
+        edges, sim = run_event_driven_pa_x1(7, part, seed=1)
+        assert validate_pa_graph(edges, 7, 1).ok
+        assert len(edges) == 6
+
+    def test_messages_flow_between_ranks(self):
+        part = make_partition("rrp", 500, 4)
+        _, sim = run_event_driven_pa_x1(500, part, seed=2)
+        assert sim.stats.total_messages > 0
+
+    def test_partition_mismatch(self):
+        part = make_partition("rrp", 100, 2)
+        with pytest.raises(ValueError):
+            run_event_driven_pa_x1(50, part, seed=0)
+
+
+class TestGeneral:
+    @pytest.mark.parametrize("scheme", ["ucp", "rrp"])
+    @pytest.mark.parametrize("x", [2, 4])
+    def test_valid(self, scheme, x):
+        n, P = 150, 5
+        part = make_partition(scheme, n, P)
+        edges, _ = run_event_driven_pa(n, x, part, seed=3)
+        report = validate_pa_graph(edges, n, x)
+        assert report.ok, report.errors
+
+    def test_x1_dispatches(self):
+        part = make_partition("rrp", 100, 3)
+        a, _ = run_event_driven_pa(100, 1, part, seed=4)
+        b, _ = run_event_driven_pa_x1(100, part, seed=4)
+        assert a == b
+
+    def test_deterministic(self):
+        part = make_partition("rrp", 120, 4)
+        a, _ = run_event_driven_pa(120, 3, part, seed=5)
+        b, _ = run_event_driven_pa(120, 3, part, seed=5)
+        assert np.array_equal(a.canonical(), b.canonical())
+
+
+class TestBuffered:
+    @pytest.mark.parametrize("capacity", [1, 4, 64])
+    def test_buffered_same_graph_as_unbuffered(self, capacity):
+        """Buffering changes message packaging, not the protocol outcome."""
+        n, P = 400, 5
+        part = make_partition("rrp", n, P)
+        plain, _ = run_event_driven_pa_x1(n, part, seed=6)
+        buffered, _ = run_event_driven_pa_x1(
+            n, part, seed=6, buffer_capacity=capacity, flush_on_idle=True
+        )
+        assert plain == buffered
+
+    def test_buffering_reduces_mpi_sends(self):
+        n, P = 2000, 4
+        part = make_partition("rrp", n, P)
+        _, sim_plain = run_event_driven_pa_x1(n, part, seed=7)
+        _, sim_buf = run_event_driven_pa_x1(
+            n, part, seed=7, buffer_capacity=64, flush_on_idle=True
+        )
+        assert sim_buf.stats.total_messages < sim_plain.stats.total_messages / 4
+
+    def test_buffered_general_case_valid(self):
+        n, x, P = 200, 3, 4
+        part = make_partition("rrp", n, P)
+        edges, _ = run_event_driven_pa(
+            n, x, part, seed=8, buffer_capacity=16, flush_on_idle=True
+        )
+        assert validate_pa_graph(edges, n, x).ok

@@ -1,0 +1,91 @@
+"""Tests for the top-level generate() facade."""
+
+import numpy as np
+import pytest
+
+from repro import generate
+from repro.core.partitioning import make_partition
+from repro.mpsim.costmodel import CostModel
+
+
+class TestFacade:
+    @pytest.mark.parametrize("engine", ["bsp", "event", "sequential"])
+    def test_engines_produce_valid_graphs(self, engine):
+        ranks = 1 if engine == "sequential" else 4
+        r = generate(300, x=2, ranks=ranks, engine=engine, seed=0)
+        assert r.validate().ok
+        assert r.engine == engine
+
+    def test_x1_bsp(self):
+        r = generate(500, x=1, ranks=8, seed=1)
+        assert r.validate().ok
+        assert len(r.edges) == 499
+
+    def test_result_telemetry(self):
+        r = generate(2000, x=3, ranks=8, scheme="rrp", seed=2)
+        assert r.supersteps > 0
+        assert r.simulated_time > 0
+        assert r.nodes_per_rank.sum() == 2000
+        assert len(r.requests_sent) == 8
+        assert r.requests_sent.sum() == r.requests_received.sum()
+        assert r.world_stats is not None
+
+    def test_total_load_and_imbalance(self):
+        r = generate(2000, x=3, ranks=8, scheme="rrp", seed=3)
+        assert np.array_equal(
+            r.total_load_per_rank,
+            r.nodes_per_rank + r.requests_sent + r.requests_received,
+        )
+        assert r.imbalance >= 1.0
+
+    def test_degrees_helper(self):
+        r = generate(100, x=2, ranks=2, seed=4)
+        deg = r.degrees()
+        assert len(deg) == 100
+        assert deg.sum() == 2 * len(r.edges)
+
+    def test_custom_partition(self):
+        part = make_partition("lcp", 400, 5)
+        r = generate(400, x=2, partition=part, seed=5)
+        assert r.scheme == "lcp"
+        assert r.ranks == 5
+
+    def test_custom_cost_model_changes_time(self):
+        slow = CostModel(per_node=1.0)
+        fast = CostModel(per_node=1e-9)
+        a = generate(200, ranks=2, seed=6, cost_model=slow).simulated_time
+        b = generate(200, ranks=2, seed=6, cost_model=fast).simulated_time
+        assert a > b
+
+    def test_sequential_ranks_must_be_one(self):
+        with pytest.raises(ValueError, match="ranks=1"):
+            generate(100, ranks=2, engine="sequential")
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            generate(100, engine="quantum")
+
+    def test_partition_mismatch(self):
+        part = make_partition("rrp", 100, 2)
+        with pytest.raises(ValueError):
+            generate(200, partition=part)
+
+    def test_docstring_example(self):
+        r = generate(2000, x=3, ranks=8, seed=1)
+        assert r.validate().ok
+        assert len(r.edges) == 5994
+
+
+class TestReproducibility:
+    def test_full_config_reproducible(self):
+        kwargs = dict(n=1500, x=4, ranks=6, scheme="lcp", seed=77)
+        a = generate(**kwargs)
+        b = generate(**kwargs)
+        assert a.edges == b.edges
+        assert a.supersteps == b.supersteps
+        assert np.array_equal(a.requests_sent, b.requests_sent)
+
+    def test_rank_count_changes_instance(self):
+        a = generate(1000, x=2, ranks=4, seed=8)
+        b = generate(1000, x=2, ranks=8, seed=8)
+        assert a.edges != b.edges  # different draw ownership, as on a cluster

@@ -1,0 +1,109 @@
+"""Tests for the parallel ER and Chung–Lu generators (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_er import run_parallel_chung_lu, run_parallel_er
+
+
+class TestParallelER:
+    def test_communication_free(self):
+        _, engine, _ = run_parallel_er(500, 0.02, ranks=8, seed=0)
+        assert engine.stats.total_messages == 0
+
+    def test_simple_graph(self):
+        edges, _, _ = run_parallel_er(400, 0.05, ranks=4, seed=1)
+        assert not edges.has_duplicates()
+        assert not edges.has_self_loops()
+
+    def test_edge_count_within_ci(self):
+        n, p = 1500, 0.01
+        edges, _, _ = run_parallel_er(n, p, ranks=8, seed=2)
+        mean = p * n * (n - 1) / 2
+        sd = np.sqrt(mean * (1 - p))
+        assert abs(len(edges) - mean) < 5 * sd
+
+    @pytest.mark.parametrize("ranks", [1, 2, 7, 16])
+    def test_rank_count_does_not_bias(self, ranks):
+        """Different rank counts partition the pair space differently but
+        sample the same distribution."""
+        n, p, reps = 500, 0.03, 5
+        total = sum(
+            len(run_parallel_er(n, p, ranks=ranks, seed=s)[0]) for s in range(reps)
+        )
+        mean = reps * p * n * (n - 1) / 2
+        assert abs(total - mean) < 5 * np.sqrt(mean)
+
+    def test_p_extremes(self):
+        n = 60
+        empty, _, _ = run_parallel_er(n, 0.0, ranks=4, seed=0)
+        assert len(empty) == 0
+        full, _, _ = run_parallel_er(n, 1.0, ranks=4, seed=0)
+        assert len(full) == n * (n - 1) // 2
+        assert not full.has_duplicates()
+
+    def test_ranks_partition_pair_space_disjointly(self):
+        n = 80
+        edges, _, programs = run_parallel_er(n, 1.0, ranks=5, seed=0)
+        spans = [(p.lo, p.hi) for p in programs]
+        assert spans[0][0] == 0
+        assert spans[-1][1] == n * (n - 1) // 2
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            run_parallel_er(10, 0.5, ranks=0)
+        with pytest.raises(ValueError):
+            run_parallel_er(10, 1.5, ranks=2)
+
+    def test_deterministic(self):
+        a, _, _ = run_parallel_er(300, 0.05, ranks=4, seed=9)
+        b, _, _ = run_parallel_er(300, 0.05, ranks=4, seed=9)
+        assert a == b
+
+
+class TestParallelChungLu:
+    def test_communication_free_and_simple(self):
+        w = np.full(400, 6.0)
+        edges, engine, _ = run_parallel_chung_lu(w, ranks=4, seed=0)
+        assert engine.stats.total_messages == 0
+        assert not edges.has_duplicates()
+        assert not edges.has_self_loops()
+
+    def test_edge_count_tracks_expected(self):
+        n, wv = 1200, 8.0
+        edges, _, _ = run_parallel_chung_lu(np.full(n, wv), ranks=8, seed=1)
+        expected = wv * n / 2
+        assert abs(len(edges) - expected) < 5 * np.sqrt(expected)
+
+    def test_degrees_track_weights(self):
+        from repro.graph.degree import degrees_from_edges
+
+        n = 2500
+        w = np.ones(n)
+        w[:25] = 60.0
+        edges, _, _ = run_parallel_chung_lu(w, ranks=6, seed=2)
+        deg = degrees_from_edges(edges, n)
+        assert deg[:25].mean() > 10 * deg[25:].mean()
+
+    def test_matches_sequential_distribution(self):
+        from repro.seq.chung_lu import chung_lu
+
+        n, wv, reps = 800, 6.0, 4
+        par = sum(len(run_parallel_chung_lu(np.full(n, wv), ranks=4, seed=s)[0])
+                  for s in range(reps))
+        seq = sum(len(chung_lu(np.full(n, wv), seed=100 + s)) for s in range(reps))
+        assert abs(par - seq) < 6 * np.sqrt(max(par, seq))
+
+    def test_degenerate_inputs(self):
+        assert len(run_parallel_chung_lu(np.zeros(50), ranks=4, seed=0)[0]) == 0
+        assert len(run_parallel_chung_lu(np.array([3.0]), ranks=1, seed=0)[0]) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            run_parallel_chung_lu(np.array([-1.0]), ranks=1)
+        with pytest.raises(ValueError):
+            run_parallel_chung_lu(np.ones((2, 2)), ranks=1)
+        with pytest.raises(ValueError):
+            run_parallel_chung_lu(np.ones(5), ranks=0)

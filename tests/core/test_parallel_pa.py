@@ -1,0 +1,108 @@
+"""Tests for Algorithm 3.1 (x = 1) on the BSP engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel_pa import run_parallel_pa_x1
+from repro.core.partitioning import make_partition
+from repro.graph.validation import validate_pa_graph
+
+SCHEMES = ["ucp", "lcp", "rrp"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestCorrectness:
+    @pytest.mark.parametrize("n,P", [(50, 1), (100, 4), (1000, 16), (64, 64)])
+    def test_valid_structure(self, scheme, n, P):
+        part = make_partition(scheme, n, P)
+        edges, _, _ = run_parallel_pa_x1(n, part, seed=0)
+        report = validate_pa_graph(edges, n, 1)
+        assert report.ok, report.errors
+
+    def test_deterministic(self, scheme):
+        part = make_partition(scheme, 500, 8)
+        a, _, _ = run_parallel_pa_x1(500, part, seed=42)
+        b, _, _ = run_parallel_pa_x1(500, part, seed=42)
+        assert a == b
+
+    def test_seed_changes_graph(self, scheme):
+        part = make_partition(scheme, 500, 8)
+        a, _, _ = run_parallel_pa_x1(500, part, seed=1)
+        b, _, _ = run_parallel_pa_x1(500, part, seed=2)
+        assert a != b
+
+    def test_single_rank_no_messages(self, scheme):
+        part = make_partition(scheme, 300, 1)
+        _, engine, programs = run_parallel_pa_x1(300, part, seed=3)
+        assert engine.stats.total_messages == 0
+        assert programs[0].requests_sent == 0
+
+
+class TestProtocol:
+    def test_request_counters_match_engine(self):
+        """Every protocol record is a request or its resolved reply."""
+        part = make_partition("rrp", 2000, 8)
+        _, engine, programs = run_parallel_pa_x1(2000, part, seed=4)
+        requests = sum(p.requests_sent for p in programs)
+        received = sum(p.requests_received for p in programs)
+        assert requests == received
+        # each remote request eventually yields >= 1 resolved record;
+        # chains can relay, so total records >= 2 * requests
+        assert engine.stats.total_messages >= 2 * requests
+
+    def test_supersteps_logarithmic(self):
+        """Quiescence in O(log n) supersteps (Theorem 3.3 consequence)."""
+        for n in (1000, 10_000, 100_000):
+            part = make_partition("rrp", n, 16)
+            _, engine, _ = run_parallel_pa_x1(n, part, seed=5)
+            assert engine.supersteps <= 6 * np.log(n)
+
+    def test_expected_request_volume(self):
+        """About (1 - p) of nodes send a request, minus same-rank targets."""
+        n, P = 20_000, 10
+        part = make_partition("rrp", n, P)
+        _, _, programs = run_parallel_pa_x1(n, part, p=0.5, seed=6)
+        total = sum(pr.requests_sent for pr in programs)
+        expect = 0.5 * n * (P - 1) / P
+        assert total == pytest.approx(expect, rel=0.1)
+
+    def test_p_one_no_copies(self):
+        part = make_partition("rrp", 1000, 4)
+        _, engine, programs = run_parallel_pa_x1(1000, part, p=1.0, seed=7)
+        assert sum(pr.requests_sent for pr in programs) == 0
+        assert engine.supersteps <= 2
+
+
+class TestDistribution:
+    def test_degree_tail_matches_sequential(self):
+        """Parallel and sequential copy model share the attachment law."""
+        from repro.graph.degree import degrees_from_edges
+        from repro.seq.copy_model import copy_model_x1
+
+        n = 30_000
+        part = make_partition("rrp", n, 12)
+        par_edges, _, _ = run_parallel_pa_x1(n, part, seed=8)
+        seq_edges = copy_model_x1(n, seed=9)
+        d_par = degrees_from_edges(par_edges, n)
+        d_seq = degrees_from_edges(seq_edges, n)
+        assert abs((d_par >= 4).mean() - (d_seq >= 4).mean()) < 0.01
+        assert abs((d_par >= 16).mean() - (d_seq >= 16).mean()) < 0.005
+
+    @given(n=st.integers(min_value=2, max_value=300),
+           P=st.integers(min_value=1, max_value=12),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, n, P, seed):
+        P = min(P, n)
+        part = make_partition("rrp", n, P)
+        edges, _, _ = run_parallel_pa_x1(n, part, seed=seed)
+        assert validate_pa_graph(edges, n, 1).ok
+
+
+class TestErrors:
+    def test_partition_size_mismatch(self):
+        part = make_partition("rrp", 100, 4)
+        with pytest.raises(ValueError, match="partition covers"):
+            run_parallel_pa_x1(200, part, seed=0)

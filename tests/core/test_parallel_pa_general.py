@@ -1,0 +1,143 @@
+"""Tests for Algorithm 3.2 (x >= 1) on the BSP engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel_pa_general import run_parallel_pa
+from repro.core.partitioning import make_partition
+from repro.graph.degree import degrees_from_edges
+from repro.graph.validation import validate_pa_graph
+
+SCHEMES = ["ucp", "lcp", "rrp"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestCorrectness:
+    @pytest.mark.parametrize("n,x,P", [(100, 2, 4), (500, 5, 8), (300, 10, 3), (64, 3, 64)])
+    def test_valid_structure(self, scheme, n, x, P):
+        part = make_partition(scheme, n, P)
+        edges, _, _ = run_parallel_pa(n, x, part, seed=0)
+        report = validate_pa_graph(edges, n, x)
+        assert report.ok, report.errors
+
+    def test_deterministic(self, scheme):
+        part = make_partition(scheme, 400, 8)
+        a, _, _ = run_parallel_pa(400, 3, part, seed=11)
+        b, _, _ = run_parallel_pa(400, 3, part, seed=11)
+        assert a == b
+
+    def test_single_rank(self, scheme):
+        part = make_partition(scheme, 300, 1)
+        edges, engine, _ = run_parallel_pa(300, 4, part, seed=1)
+        assert engine.stats.total_messages == 0
+        assert validate_pa_graph(edges, 300, 4).ok
+
+
+class TestEdgeSemantics:
+    def test_clique_present(self):
+        n, x = 200, 5
+        part = make_partition("rrp", n, 7)
+        edges, _, _ = run_parallel_pa(n, x, part, seed=2)
+        canon = {tuple(row) for row in edges.canonical().tolist()}
+        for i in range(x):
+            for j in range(i + 1, x):
+                assert (i, j) in canon
+
+    def test_node_x_attaches_to_clique(self):
+        n, x = 100, 4
+        part = make_partition("ucp", n, 5)
+        edges, _, _ = run_parallel_pa(n, x, part, seed=3)
+        targets = sorted(
+            int(v) for u, v in zip(edges.sources, edges.targets) if u == x
+        )
+        assert targets == list(range(x))
+
+    def test_all_attachments_point_backwards(self):
+        n, x = 300, 3
+        part = make_partition("rrp", n, 6)
+        edges, _, _ = run_parallel_pa(n, x, part, seed=4)
+        hi = np.maximum(edges.sources, edges.targets)
+        lo = np.minimum(edges.sources, edges.targets)
+        assert (lo < hi).all()
+
+    def test_x_distinct_targets_per_node(self):
+        n, x = 500, 6
+        part = make_partition("lcp", n, 9)
+        edges, _, _ = run_parallel_pa(n, x, part, seed=5)
+        from collections import defaultdict
+
+        targets = defaultdict(set)
+        for u, v in zip(edges.sources.tolist(), edges.targets.tolist()):
+            hi, lo = max(u, v), min(u, v)
+            targets[hi].add(lo)
+        for t in range(x, n):
+            assert len(targets[t]) == x
+
+
+class TestRetryBehaviour:
+    def test_retries_occur_but_bounded(self):
+        """Small ranges (t near x) force duplicate retries; they stay modest."""
+        n, x = 400, 8
+        part = make_partition("rrp", n, 8)
+        _, _, programs = run_parallel_pa(n, x, part, seed=6)
+        total_retries = sum(p.retries for p in programs)
+        assert total_retries > 0
+        assert total_retries < n * x  # far fewer retries than slots
+
+    def test_x1_general_path_matches_specialised(self):
+        """run_parallel_pa with x=1 produces a valid x=1 graph too."""
+        n = 300
+        part = make_partition("rrp", n, 4)
+        edges, _, _ = run_parallel_pa(n, 1, part, seed=7)
+        assert validate_pa_graph(edges, n, 1).ok
+
+
+class TestDistribution:
+    def test_degree_tail_matches_sequential(self):
+        from repro.seq.copy_model import copy_model
+
+        n, x = 20_000, 4
+        part = make_partition("rrp", n, 10)
+        par_edges, _, _ = run_parallel_pa(n, x, part, seed=8)
+        seq_edges = copy_model(n, x=x, seed=9)
+        d_par = degrees_from_edges(par_edges, n)
+        d_seq = degrees_from_edges(seq_edges, n)
+        for threshold in (8, 16, 32):
+            assert abs(
+                (d_par >= threshold).mean() - (d_seq >= threshold).mean()
+            ) < 0.01, threshold
+
+    def test_min_degree_is_x(self):
+        n, x = 5000, 5
+        part = make_partition("rrp", n, 8)
+        edges, _, _ = run_parallel_pa(n, x, part, seed=10)
+        deg = degrees_from_edges(edges, n)
+        assert deg.min() == x
+
+    @given(n=st.integers(min_value=10, max_value=200),
+           x=st.integers(min_value=2, max_value=5),
+           P=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid(self, n, x, P, seed):
+        if n <= x:
+            n = x + 2
+        P = min(P, n)
+        part = make_partition("rrp", n, P)
+        edges, _, _ = run_parallel_pa(n, x, part, seed=seed)
+        report = validate_pa_graph(edges, n, x)
+        assert report.ok, report.errors
+
+
+class TestErrors:
+    def test_x_too_large(self):
+        part = make_partition("rrp", 5, 2)
+        with pytest.raises(ValueError):
+            run_parallel_pa(5, 5, part, seed=0)
+
+    def test_partition_mismatch(self):
+        part = make_partition("rrp", 100, 4)
+        with pytest.raises(ValueError, match="partition covers"):
+            run_parallel_pa(50, 2, part, seed=0)

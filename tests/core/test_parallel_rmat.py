@@ -1,0 +1,86 @@
+"""Tests for the parallel R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_rmat import rmat_edges, run_parallel_rmat
+from repro.graph.degree import degrees_from_edges
+
+
+class TestSampler:
+    def test_shapes_and_range(self):
+        u, v = rmat_edges(7, 500, seed=0)
+        assert len(u) == len(v) == 500
+        assert 0 <= u.min() and max(u.max(), v.max()) < 128
+
+    def test_no_self_loops(self):
+        u, v = rmat_edges(5, 2000, seed=1)
+        assert (u != v).all()
+
+    def test_uniform_parameters_like_er(self):
+        """a=b=c=d=0.25 spreads endpoints uniformly."""
+        u, v = rmat_edges(6, 20_000, a=0.25, b=0.25, c=0.25, seed=2)
+        counts = np.bincount(u, minlength=64)
+        assert counts.max() < 2.0 * counts.mean()
+
+    def test_skewed_parameters_concentrate_low_ids(self):
+        """Graph500 parameters favour quadrant a: low node ids dominate."""
+        u, v = rmat_edges(8, 20_000, seed=3)
+        deg = np.bincount(u, minlength=256) + np.bincount(v, minlength=256)
+        assert deg[:16].sum() > 4 * deg[-16:].sum()
+
+    def test_zero_edges(self):
+        u, v = rmat_edges(4, 0, seed=0)
+        assert len(u) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0, 10)
+        with pytest.raises(ValueError):
+            rmat_edges(4, -1)
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, a=0.9, b=0.2, c=0.2)
+
+
+class TestParallelRun:
+    def test_communication_free_and_exact_count(self):
+        edges, engine, _ = run_parallel_rmat(8, 5_000, ranks=8, seed=0)
+        assert engine.stats.total_messages == 0
+        assert len(edges) == 5_000
+
+    def test_quota_split_exact(self):
+        _, _, programs = run_parallel_rmat(6, 1_003, ranks=7, seed=1)
+        quotas = [p.quota for p in programs]
+        assert sum(quotas) == 1_003
+        assert max(quotas) - min(quotas) <= 1
+
+    def test_deterministic(self):
+        a, _, _ = run_parallel_rmat(7, 1000, ranks=4, seed=9)
+        b, _, _ = run_parallel_rmat(7, 1000, ranks=4, seed=9)
+        assert a == b
+
+    def test_dedup_gives_simple_graph(self):
+        edges, _, _ = run_parallel_rmat(6, 3_000, ranks=4, dedup=True, seed=2)
+        assert not edges.has_duplicates()
+        assert not edges.has_self_loops()
+        assert len(edges) <= 3_000
+
+    def test_rank_count_does_not_bias(self):
+        """Mean degree of node 0 (the hottest id) is rank-count invariant."""
+        means = []
+        for ranks in (1, 8):
+            tot = 0
+            for s in range(4):
+                edges, _, _ = run_parallel_rmat(7, 4_000, ranks=ranks, seed=s)
+                tot += int(degrees_from_edges(edges, 128)[0])
+            means.append(tot / 4)
+        assert abs(means[0] - means[1]) < 0.25 * max(means)
+
+    def test_heavy_tail(self):
+        edges, _, _ = run_parallel_rmat(10, 30_000, ranks=8, seed=4)
+        deg = degrees_from_edges(edges, 1024)
+        assert deg.max() > 20 * max(deg.mean(), 1)
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            run_parallel_rmat(5, 100, ranks=0)

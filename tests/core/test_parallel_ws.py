@@ -1,0 +1,102 @@
+"""Tests for the parallel Watts–Strogatz generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_ws import run_parallel_ws
+from repro.core.partitioning import make_partition
+from repro.graph.degree import degrees_from_edges
+
+
+class TestStructure:
+    @pytest.mark.parametrize("scheme", ["ucp", "rrp"])
+    @pytest.mark.parametrize("beta", [0.0, 0.2, 0.8, 1.0])
+    def test_edge_count_conserved(self, scheme, beta):
+        n, k, P = 200, 6, 5
+        part = make_partition(scheme, n, P)
+        edges, _, _ = run_parallel_ws(n, k, beta, part, seed=0)
+        assert len(edges) == n * k // 2
+
+    @pytest.mark.parametrize("beta", [0.1, 0.5, 1.0])
+    def test_simple_graph(self, beta):
+        n, k, P = 300, 4, 6
+        part = make_partition("ucp", n, P)
+        edges, _, _ = run_parallel_ws(n, k, beta, part, seed=1)
+        assert not edges.has_duplicates()
+        assert not edges.has_self_loops()
+
+    def test_beta_zero_is_exact_lattice(self):
+        n, k, P = 100, 4, 4
+        part = make_partition("rrp", n, P)
+        edges, engine, _ = run_parallel_ws(n, k, 0.0, part, seed=2)
+        deg = degrees_from_edges(edges, n)
+        assert (deg == k).all()
+        canon = {tuple(row) for row in edges.canonical().tolist()}
+        for v in range(n):
+            for j in range(1, k // 2 + 1):
+                a, b = sorted((v, (v + j) % n))
+                assert (a, b) in canon
+
+    def test_rewiring_changes_graph(self):
+        n, k, P = 200, 4, 4
+        part = make_partition("ucp", n, P)
+        lattice, _, _ = run_parallel_ws(n, k, 0.0, part, seed=3)
+        rewired, _, _ = run_parallel_ws(n, k, 0.9, part, seed=3)
+        assert lattice != rewired
+
+    def test_deterministic(self):
+        part = make_partition("ucp", 150, 3)
+        a, _, _ = run_parallel_ws(150, 4, 0.3, part, seed=4)
+        b, _, _ = run_parallel_ws(150, 4, 0.3, part, seed=4)
+        assert np.array_equal(a.canonical(), b.canonical())
+
+    def test_single_rank(self):
+        part = make_partition("ucp", 120, 1)
+        edges, engine, _ = run_parallel_ws(120, 4, 0.5, part, seed=5)
+        assert len(edges) == 240
+        assert engine.stats.total_messages == 0
+
+
+class TestSmallWorldProperties:
+    def test_matches_sequential_clustering_trend(self):
+        """Rewiring kills clustering in both implementations alike."""
+        from repro.graph.metrics import sampled_clustering_coefficient
+        from repro.seq.small_world import watts_strogatz
+
+        n, k = 400, 6
+        part = make_partition("ucp", n, 4)
+        rng = np.random.default_rng(0)
+        cc = {}
+        for beta in (0.0, 0.9):
+            par, _, _ = run_parallel_ws(n, k, beta, part, seed=6)
+            seq = watts_strogatz(n, k, beta, seed=7)
+            cc[("par", beta)] = sampled_clustering_coefficient(par, n, samples=n, rng=rng)
+            cc[("seq", beta)] = sampled_clustering_coefficient(seq, n, samples=n, rng=rng)
+        assert cc[("par", 0.0)] == pytest.approx(cc[("seq", 0.0)], abs=0.02)
+        assert cc[("par", 0.9)] < 0.3 * cc[("par", 0.0)]
+        assert cc[("seq", 0.9)] < 0.3 * cc[("seq", 0.0)]
+
+    def test_small_rewiring_shrinks_distances(self):
+        from repro.graph.metrics import sampled_mean_shortest_path
+
+        n, k = 500, 4
+        part = make_partition("ucp", n, 4)
+        rng = np.random.default_rng(1)
+        lattice, _, _ = run_parallel_ws(n, k, 0.0, part, seed=8)
+        shortcut, _, _ = run_parallel_ws(n, k, 0.2, part, seed=8)
+        d0 = sampled_mean_shortest_path(lattice, n, sources=4, rng=rng)
+        d1 = sampled_mean_shortest_path(shortcut, n, sources=4, rng=rng)
+        assert d1 < 0.5 * d0
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        part = make_partition("ucp", 50, 2)
+        with pytest.raises(ValueError):
+            run_parallel_ws(50, 3, 0.1, part)   # odd k
+        with pytest.raises(ValueError):
+            run_parallel_ws(50, 50, 0.1, part)  # k >= n
+        with pytest.raises(ValueError):
+            run_parallel_ws(50, 4, 1.5, part)
+        with pytest.raises(ValueError):
+            run_parallel_ws(60, 4, 0.1, part)   # partition mismatch

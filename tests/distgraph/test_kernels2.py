@@ -1,0 +1,118 @@
+"""Tests for the second wave of distributed kernels: k-core and triangles."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import make_partition
+from repro.distgraph import DistributedGraph
+from repro.distgraph.kcore import distributed_core_numbers, distributed_kcore
+from repro.distgraph.triangles import distributed_triangles
+from repro.graph.analysis import k_core_decomposition, triangle_count
+from repro.graph.edgelist import EdgeList
+from repro.seq.copy_model import copy_model
+
+
+def dist_graph(edges, n, P=4, scheme="rrp"):
+    return DistributedGraph.from_edgelist(edges, make_partition(scheme, n, P))
+
+
+def clique_edges(k):
+    us, vs = [], []
+    for i in range(k):
+        for j in range(i + 1, k):
+            us.append(j)
+            vs.append(i)
+    return EdgeList.from_arrays(us, vs)
+
+
+class TestDistributedKCore:
+    def test_triangle_with_tail(self):
+        el = EdgeList.from_arrays([1, 2, 2, 3], [0, 0, 1, 2])
+        g = dist_graph(el, 5, P=2)
+        mask, _ = distributed_kcore(g, 2)
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_k_zero_everyone(self):
+        g = dist_graph(clique_edges(4), 4, P=2)
+        mask, _ = distributed_kcore(g, 0)
+        assert mask.all()
+
+    def test_k_above_max_empty(self):
+        g = dist_graph(clique_edges(4), 4, P=2)
+        mask, _ = distributed_kcore(g, 4)
+        assert not mask.any()
+
+    def test_cascading_prune(self):
+        """A long pendant path unravels over multiple rounds."""
+        el = clique_edges(4)
+        for i in range(4, 10):
+            el.append(i, i - 1)  # path hanging off the clique
+        g = dist_graph(el, 10, P=3)
+        mask, engine = distributed_kcore(g, 2)
+        assert mask[:4].all()
+        assert not mask[4:].any()
+        assert engine.supersteps >= 3  # pruning cascades round by round
+
+    @pytest.mark.parametrize("P", [1, 3, 8])
+    def test_membership_matches_exact(self, P):
+        n = 600
+        edges = copy_model(n, x=3, seed=0)
+        g = dist_graph(edges, n, P=P)
+        exact = k_core_decomposition(edges, n)
+        for k in (1, 3, 4, exact.max()):
+            mask, _ = distributed_kcore(g, int(k))
+            assert np.array_equal(mask, exact >= k), k
+
+    def test_full_decomposition_matches_exact(self):
+        n = 400
+        edges = copy_model(n, x=2, seed=1)
+        g = dist_graph(edges, n, P=5)
+        assert np.array_equal(
+            distributed_core_numbers(g), k_core_decomposition(edges, n)
+        )
+
+    def test_invalid_inputs(self):
+        g = dist_graph(clique_edges(3), 3, P=2)
+        with pytest.raises(ValueError):
+            distributed_kcore(g, -1)
+        with pytest.raises(ValueError):
+            distributed_kcore(g, 1, alive=np.ones(5, dtype=bool))
+
+
+class TestDistributedTriangles:
+    def test_clique_counts(self):
+        for k in (3, 5, 7):
+            g = dist_graph(clique_edges(k), k, P=2)
+            count, _ = distributed_triangles(g)
+            assert count == k * (k - 1) * (k - 2) // 6
+
+    def test_triangle_free(self):
+        el = EdgeList.from_arrays([1, 2, 3], [0, 1, 2])
+        g = dist_graph(el, 4, P=2)
+        assert distributed_triangles(g)[0] == 0
+
+    @pytest.mark.parametrize("P", [1, 2, 5, 8])
+    @pytest.mark.parametrize("scheme", ["ucp", "rrp"])
+    def test_matches_exact_on_pa_graph(self, P, scheme):
+        n = 500
+        edges = copy_model(n, x=3, seed=2)
+        g = dist_graph(edges, n, P=P, scheme=scheme)
+        count, _ = distributed_triangles(g)
+        assert count == triangle_count(edges, n)
+
+    def test_queries_deduplicated(self):
+        """Remote traffic counts distinct closing pairs, not raw wedges."""
+        n = 800
+        edges = copy_model(n, x=4, seed=3)
+        g = dist_graph(edges, n, P=6)
+        _, engine = distributed_triangles(g)
+        # raw wedge count is far larger than messages when hubs repeat pairs
+        assert engine.stats.total_messages > 0
+
+    def test_single_rank_no_messages(self):
+        n = 300
+        edges = copy_model(n, x=2, seed=4)
+        g = dist_graph(edges, n, P=1)
+        count, engine = distributed_triangles(g)
+        assert engine.stats.total_messages == 0
+        assert count == triangle_count(edges, n)

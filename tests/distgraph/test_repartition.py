@@ -1,0 +1,93 @@
+"""Tests for degree-balanced repartitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import make_partition
+from repro.distgraph import DistributedGraph, distributed_bfs, distributed_degrees
+from repro.distgraph.repartition import (
+    DegreeBalancedPartition,
+    degree_balanced_boundaries,
+    repartition,
+)
+from repro.graph.degree import degrees_from_edges
+from repro.seq.copy_model import copy_model
+
+
+class TestBoundaries:
+    def test_hub_isolated(self):
+        deg = np.array([6, 1, 1, 1, 1, 1, 1])
+        assert degree_balanced_boundaries(deg, 2).tolist() == [0, 1, 7]
+
+    def test_uniform_degrees_even_split(self):
+        deg = np.full(100, 4)
+        bounds = degree_balanced_boundaries(deg, 4)
+        assert bounds.tolist() == [0, 25, 50, 75, 100]
+
+    def test_mass_balanced_on_pa_graph(self):
+        n, P = 5000, 8
+        deg = degrees_from_edges(copy_model(n, x=3, seed=0), n)
+        part = DegreeBalancedPartition(deg, P)
+        masses = np.array([part.degree_mass(r) for r in range(P)])
+        assert masses.max() / masses.mean() < 1.25
+
+    def test_beats_ucp_on_pa_graph(self):
+        n, P = 5000, 8
+        deg = degrees_from_edges(copy_model(n, x=3, seed=1), n)
+        dbp = DegreeBalancedPartition(deg, P)
+        ucp = make_partition("ucp", n, P)
+        def imbalance(part):
+            masses = np.array([
+                deg[part.partition_nodes(r)].sum() for r in range(P)
+            ])
+            return masses.max() / masses.mean()
+        assert imbalance(dbp) < imbalance(ucp)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            degree_balanced_boundaries(np.ones(5, dtype=int), 0)
+        with pytest.raises(ValueError):
+            degree_balanced_boundaries(np.ones(5, dtype=int), 6)
+
+
+class TestRepartition:
+    def test_adjacency_preserved(self):
+        n, P = 800, 5
+        edges = copy_model(n, x=2, seed=2)
+        g = DistributedGraph.from_edgelist(edges, make_partition("ucp", n, P))
+        deg = distributed_degrees(g)
+        g2 = repartition(g, DegreeBalancedPartition(deg, P))
+        assert g2.num_edges == g.num_edges
+        for node in (0, 1, 7, n // 2, n - 1):
+            assert np.array_equal(
+                np.sort(g.neighbors_of(node)), np.sort(g2.neighbors_of(node))
+            )
+
+    def test_kernels_still_correct(self):
+        nx = pytest.importorskip("networkx")
+        n, P = 400, 4
+        edges = copy_model(n, x=2, seed=3)
+        g = DistributedGraph.from_edgelist(edges, make_partition("rrp", n, P))
+        deg = distributed_degrees(g)
+        g2 = repartition(g, DegreeBalancedPartition(deg, P))
+        dist, _ = distributed_bfs(g2, 0)
+        ref = nx.single_source_shortest_path_length(edges.to_networkx(), 0)
+        for node in range(n):
+            assert dist[node] == ref.get(node, -1)
+
+    def test_adjacency_volume_balanced_after(self):
+        n, P = 6000, 8
+        edges = copy_model(n, x=3, seed=4)
+        g = DistributedGraph.from_edgelist(edges, make_partition("ucp", n, P))
+        deg = distributed_degrees(g)
+        g2 = repartition(g, DegreeBalancedPartition(deg, P))
+        before = np.array([len(g.neighbors[r]) for r in range(P)], dtype=float)
+        after = np.array([len(g2.neighbors[r]) for r in range(P)], dtype=float)
+        assert after.max() / after.mean() < before.max() / before.mean()
+
+    def test_node_count_mismatch_rejected(self):
+        g = DistributedGraph.from_edgelist(
+            copy_model(100, x=1, seed=5), make_partition("rrp", 100, 2)
+        )
+        with pytest.raises(ValueError):
+            repartition(g, make_partition("rrp", 50, 2))

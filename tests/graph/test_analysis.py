@@ -1,0 +1,122 @@
+"""Tests for k-core, triangle, and rich-club analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graph.analysis import (
+    k_core_decomposition,
+    rich_club_coefficient,
+    triangle_count,
+)
+from repro.graph.edgelist import EdgeList
+
+
+def clique(k):
+    us, vs = [], []
+    for i in range(k):
+        for j in range(i + 1, k):
+            us.append(j)
+            vs.append(i)
+    return EdgeList.from_arrays(us, vs)
+
+
+class TestKCore:
+    def test_triangle(self):
+        assert k_core_decomposition(clique(3)).tolist() == [2, 2, 2]
+
+    def test_clique_k(self):
+        assert (k_core_decomposition(clique(6)) == 5).all()
+
+    def test_path(self):
+        el = EdgeList.from_arrays([1, 2, 3], [0, 1, 2])
+        assert (k_core_decomposition(el, 4) == 1).all()
+
+    def test_clique_with_pendant(self):
+        el = clique(4)
+        el.append(4, 0)  # pendant node hanging off the clique
+        core = k_core_decomposition(el, 5)
+        assert core[4] == 1
+        assert (core[:4] == 3).all()
+
+    def test_isolated_nodes(self):
+        el = EdgeList.from_arrays([1], [0])
+        core = k_core_decomposition(el, 4)
+        assert core.tolist() == [1, 1, 0, 0]
+
+    def test_empty(self):
+        assert len(k_core_decomposition(EdgeList(), 0)) == 0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.seq.batagelj_brandes import batagelj_brandes
+
+        n = 400
+        el = batagelj_brandes(n, x=3, seed=0)
+        ours = k_core_decomposition(el, n)
+        theirs = nx.core_number(el.to_networkx())
+        for node, c in theirs.items():
+            assert ours[node] == c
+
+    def test_pa_graph_core_is_x(self):
+        """A PA graph's minimum core is x and the deepest cores are small."""
+        from repro.seq.copy_model import copy_model
+
+        n, x = 3000, 3
+        el = copy_model(n, x=x, seed=1)
+        core = k_core_decomposition(el, n)
+        assert core.min() == x
+        assert core.max() >= x
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        assert triangle_count(clique(3)) == 1
+
+    def test_clique_counts(self):
+        # C(k,3) triangles in a k-clique
+        assert triangle_count(clique(5)) == 10
+        assert triangle_count(clique(7)) == 35
+
+    def test_triangle_free(self):
+        el = EdgeList.from_arrays([1, 2, 3], [0, 1, 2])  # path
+        assert triangle_count(el, 4) == 0
+
+    def test_empty(self):
+        assert triangle_count(EdgeList(), 0) == 0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.seq.copy_model import copy_model
+
+        n = 500
+        el = copy_model(n, x=3, seed=2)
+        ours = triangle_count(el, n)
+        theirs = sum(nx.triangles(el.to_networkx()).values()) // 3
+        assert ours == theirs
+
+
+class TestRichClub:
+    def test_clique_is_maximal_club(self):
+        assert rich_club_coefficient(clique(10), fraction=0.5) == pytest.approx(1.0)
+
+    def test_star_club_sparse(self):
+        el = EdgeList.from_arrays(np.arange(1, 50), np.zeros(49, dtype=np.int64))
+        # club = hub + one leaf: only the hub-leaf edge can be inside
+        phi = rich_club_coefficient(el, fraction=0.04)
+        assert phi <= 1.0
+
+    def test_pa_hubs_denser_than_graph(self):
+        from repro.seq.copy_model import copy_model
+
+        n, x = 10_000, 3
+        el = copy_model(n, x=x, seed=3)
+        phi = rich_club_coefficient(el, n, fraction=0.01)
+        overall = 2 * len(el) / (n * (n - 1))
+        assert phi > 20 * overall
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            rich_club_coefficient(clique(3), fraction=0.0)
+
+    def test_tiny_graph(self):
+        assert rich_club_coefficient(EdgeList(), 1) == 0.0

@@ -1,0 +1,119 @@
+"""Tests for label propagation and modularity."""
+
+import numpy as np
+import pytest
+
+from repro.graph.communities import label_propagation, modularity
+from repro.graph.edgelist import EdgeList
+from repro.seq.erdos_renyi import erdos_renyi_gnp
+
+
+def planted_partition(blocks, size, p_in, p_out, seed):
+    """Simple SBM: dense blocks, sparse cross links."""
+    rng = np.random.default_rng(seed)
+    n = blocks * size
+    us, vs = [], []
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_in if u // size == v // size else p_out
+            if rng.random() < p:
+                us.append(v)
+                vs.append(u)
+    return EdgeList.from_arrays(us, vs), n
+
+
+class TestLabelPropagation:
+    def test_two_triangles(self):
+        el = EdgeList.from_arrays([1, 2, 2, 4, 5, 5], [0, 0, 1, 3, 3, 4])
+        labels = label_propagation(el, 6, seed=0)
+        assert len(set(labels[:3].tolist())) == 1
+        assert len(set(labels[3:].tolist())) == 1
+        assert labels[0] != labels[3]
+
+    def test_planted_partition_recovered(self):
+        el, n = planted_partition(blocks=4, size=25, p_in=0.4, p_out=0.01, seed=1)
+        labels = label_propagation(el, n, seed=2)
+        # every block should be (almost) label-pure
+        purity = []
+        for b in range(4):
+            block = labels[b * 25:(b + 1) * 25]
+            _, counts = np.unique(block, return_counts=True)
+            purity.append(counts.max() / 25)
+        assert min(purity) > 0.9
+
+    def test_isolated_nodes_keep_own_label(self):
+        el = EdgeList.from_arrays([1], [0])
+        labels = label_propagation(el, 4, seed=3)
+        assert labels[0] == labels[1]
+        assert len({labels[2], labels[3], labels[0]}) == 3
+
+    def test_deterministic_given_seed(self):
+        el, n = planted_partition(blocks=3, size=15, p_in=0.5, p_out=0.02, seed=4)
+        a = label_propagation(el, n, seed=5)
+        b = label_propagation(el, n, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_empty(self):
+        assert len(label_propagation(EdgeList(), 0)) == 0
+
+    def test_labels_compacted(self):
+        el, n = planted_partition(blocks=2, size=20, p_in=0.5, p_out=0.01, seed=6)
+        labels = label_propagation(el, n, seed=7)
+        assert labels.min() == 0
+        assert set(np.unique(labels)) == set(range(labels.max() + 1))
+
+
+class TestModularity:
+    def test_disjoint_dyads(self):
+        el = EdgeList.from_arrays([1, 3], [0, 2])
+        assert modularity(el, np.array([0, 0, 1, 1]), 4) == pytest.approx(0.5)
+
+    def test_single_community_zero(self):
+        el = EdgeList.from_arrays([1, 2, 2], [0, 0, 1])
+        assert modularity(el, np.zeros(3, dtype=int), 3) == pytest.approx(0.0)
+
+    def test_bad_split_negative(self):
+        # split a triangle: worse than no split
+        el = EdgeList.from_arrays([1, 2, 2], [0, 0, 1])
+        q = modularity(el, np.array([0, 0, 1]), 3)
+        assert q < 0
+
+    def test_planted_partition_high_q(self):
+        el, n = planted_partition(blocks=4, size=25, p_in=0.4, p_out=0.01, seed=8)
+        truth = np.repeat(np.arange(4), 25)
+        q_truth = modularity(el, truth, n)
+        assert q_truth > 0.5
+        # a random labelling scores far worse
+        rng = np.random.default_rng(9)
+        q_rand = modularity(el, rng.integers(0, 4, n), n)
+        assert q_rand < 0.1
+
+    def test_pa_graph_weak_communities(self):
+        """Negative control: pure PA has no planted structure."""
+        from repro.seq.copy_model import copy_model
+
+        n = 2000
+        el = copy_model(n, x=3, seed=10)
+        labels = label_propagation(el, n, seed=11, max_rounds=30)
+        q = modularity(el, labels, n)
+        # compare with the planted benchmark's ~0.6+: PA stays low
+        assert q < 0.4
+
+    def test_label_length_mismatch(self):
+        el = EdgeList.from_arrays([1], [0])
+        with pytest.raises(ValueError):
+            modularity(el, np.zeros(5, dtype=int), 2)
+
+    def test_empty_graph(self):
+        assert modularity(EdgeList(), np.zeros(0, dtype=int), 0) == 0.0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        el, n = planted_partition(blocks=3, size=20, p_in=0.4, p_out=0.02, seed=12)
+        labels = np.repeat(np.arange(3), 20)
+        ours = modularity(el, labels, n)
+        g = el.to_networkx()
+        g.add_nodes_from(range(n))
+        communities = [set(np.flatnonzero(labels == c).tolist()) for c in range(3)]
+        theirs = nx.algorithms.community.modularity(g, communities)
+        assert ours == pytest.approx(theirs, abs=1e-9)

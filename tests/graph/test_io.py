@@ -1,0 +1,102 @@
+"""Tests for edge-list file I/O and the per-rank output model."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.io import (
+    merge_rank_files,
+    rank_file_path,
+    read_edges_binary,
+    read_edges_text,
+    read_rank_edges,
+    write_edges_binary,
+    write_edges_text,
+    write_rank_edges,
+)
+
+
+@pytest.fixture
+def sample_edges():
+    rng = np.random.default_rng(0)
+    return EdgeList.from_arrays(rng.integers(0, 1000, 500), rng.integers(0, 1000, 500))
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path, sample_edges):
+        path = tmp_path / "edges.bin"
+        write_edges_binary(path, sample_edges)
+        assert read_edges_binary(path) == sample_edges
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_edges_binary(path, EdgeList())
+        assert len(read_edges_binary(path)) == 0
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 32)
+        with pytest.raises(ValueError, match="magic"):
+            read_edges_binary(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc.bin"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(ValueError, match="truncated"):
+            read_edges_binary(path)
+
+    def test_truncated_body(self, tmp_path, sample_edges):
+        path = tmp_path / "cut.bin"
+        write_edges_binary(path, sample_edges)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(ValueError, match="expected"):
+            read_edges_binary(path)
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path, sample_edges):
+        path = tmp_path / "edges.txt"
+        write_edges_text(path, sample_edges)
+        assert read_edges_text(path) == sample_edges
+
+    def test_wrong_columns(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n4 5 6\n")
+        with pytest.raises(ValueError, match="2 columns"):
+            read_edges_text(path)
+
+
+class TestRankFiles:
+    def test_rank_path_unique_and_sortable(self, tmp_path):
+        paths = [rank_file_path(tmp_path, r, 16) for r in range(16)]
+        assert len(set(paths)) == 16
+        assert paths == sorted(paths)
+
+    def test_write_read_merge(self, tmp_path):
+        size = 4
+        per_rank = []
+        for r in range(size):
+            el = EdgeList.from_arrays(
+                np.arange(r * 10 + 1, r * 10 + 6), np.zeros(5, dtype=np.int64)
+            )
+            per_rank.append(el)
+            write_rank_edges(tmp_path, r, size, el)
+        for r in range(size):
+            assert read_rank_edges(tmp_path, r, size) == per_rank[r]
+        merged = merge_rank_files(tmp_path, size)
+        assert len(merged) == 20
+
+    def test_parallel_run_to_disk(self, tmp_path):
+        """End-to-end: generate on 4 ranks, write per-rank, merge, validate."""
+        from repro.core.parallel_pa_general import run_parallel_pa
+        from repro.core.partitioning import make_partition
+        from repro.graph.validation import validate_pa_graph
+
+        n, x, P = 400, 2, 4
+        part = make_partition("rrp", n, P)
+        _, _, programs = run_parallel_pa(n, x, part, seed=1)
+        for r, prog in enumerate(programs):
+            write_rank_edges(tmp_path, r, P, prog.local_edges())
+        merged = merge_rank_files(tmp_path, P)
+        assert validate_pa_graph(merged, n, x).ok

@@ -1,0 +1,131 @@
+"""Tests for graph metrics (validated against NetworkX where exact)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.metrics import (
+    adjacency_from_edges,
+    connected_components,
+    degree_assortativity,
+    largest_component_fraction,
+    sampled_clustering_coefficient,
+    sampled_mean_shortest_path,
+)
+
+
+def triangle_plus_isolated():
+    """Triangle 0-1-2 plus isolated node 3."""
+    return EdgeList.from_arrays([1, 2, 2], [0, 0, 1]), 4
+
+
+class TestAdjacency:
+    def test_neighbor_sets(self):
+        el, n = triangle_plus_isolated()
+        indptr, nbrs = adjacency_from_edges(el, n)
+        assert set(nbrs[indptr[0]:indptr[1]].tolist()) == {1, 2}
+        assert set(nbrs[indptr[2]:indptr[3]].tolist()) == {0, 1}
+        assert indptr[3] == indptr[4]  # node 3 isolated
+
+    def test_total_entries(self):
+        el, n = triangle_plus_isolated()
+        indptr, nbrs = adjacency_from_edges(el, n)
+        assert len(nbrs) == 2 * len(el)
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, 50, 200)
+        v = rng.integers(0, 50, 200)
+        keep = u != v
+        el = EdgeList.from_arrays(u[keep], v[keep])
+        indptr, nbrs = adjacency_from_edges(el, 50)
+        g = el.to_networkx()
+        for node in range(50):
+            ours = set(nbrs[indptr[node]:indptr[node + 1]].tolist())
+            theirs = set(g.neighbors(node)) if node in g else set()
+            # ours keeps multiplicity; compare sets
+            assert ours == theirs
+
+
+class TestComponents:
+    def test_two_components(self):
+        el = EdgeList.from_arrays([1, 3], [0, 2])
+        labels = connected_components(el, 4)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_largest_fraction(self):
+        el, n = triangle_plus_isolated()
+        assert largest_component_fraction(el, n) == pytest.approx(0.75)
+
+    def test_pa_graph_connected(self):
+        from repro.seq.copy_model import copy_model
+
+        el = copy_model(500, x=2, seed=0)
+        assert largest_component_fraction(el, 500) == 1.0
+
+    def test_empty(self):
+        assert largest_component_fraction(EdgeList(), 0) == 0.0
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self):
+        el, _ = triangle_plus_isolated()
+        c = sampled_clustering_coefficient(el, 3, samples=3, rng=np.random.default_rng(0))
+        assert c == pytest.approx(1.0)
+
+    def test_star_unclustered(self):
+        el = EdgeList.from_arrays([1, 2, 3, 4], [0, 0, 0, 0])
+        c = sampled_clustering_coefficient(el, 5, samples=5, rng=np.random.default_rng(0))
+        assert c == pytest.approx(0.0)
+
+    def test_matches_networkx_average(self):
+        nx = pytest.importorskip("networkx")
+        from repro.seq.batagelj_brandes import batagelj_brandes
+
+        n = 300
+        el = batagelj_brandes(n, x=3, seed=1)
+        ours = sampled_clustering_coefficient(el, n, samples=n, rng=np.random.default_rng(1))
+        theirs = nx.average_clustering(el.to_networkx())
+        assert ours == pytest.approx(theirs, abs=0.02)
+
+
+class TestAssortativity:
+    def test_star_disassortative(self):
+        el = EdgeList.from_arrays([1, 2, 3, 4], [0, 0, 0, 0])
+        assert degree_assortativity(el, 5) < 0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.seq.batagelj_brandes import batagelj_brandes
+
+        n = 500
+        el = batagelj_brandes(n, x=2, seed=2)
+        ours = degree_assortativity(el, n)
+        theirs = nx.degree_assortativity_coefficient(el.to_networkx())
+        assert ours == pytest.approx(theirs, abs=1e-6)
+
+    def test_regular_graph_degenerate(self):
+        # cycle: all degrees equal -> zero variance -> defined as 0
+        el = EdgeList.from_arrays([1, 2, 3, 0], [0, 1, 2, 3])
+        assert degree_assortativity(el, 4) == 0.0
+
+
+class TestShortestPath:
+    def test_path_graph(self):
+        el = EdgeList.from_arrays([1, 2, 3], [0, 1, 2])
+        d = sampled_mean_shortest_path(el, 4, sources=4, rng=np.random.default_rng(0))
+        # exact mean over all ordered pairs of the path P4: 20 dist / 12 pairs
+        assert d == pytest.approx(20 / 12)
+
+    def test_small_world_distance(self):
+        from repro.seq.copy_model import copy_model
+
+        el = copy_model(2000, x=3, seed=3)
+        d = sampled_mean_shortest_path(el, 2000, sources=4, rng=np.random.default_rng(3))
+        assert 1.0 < d < 8.0  # ultra-small world
+
+    def test_single_node(self):
+        assert sampled_mean_shortest_path(EdgeList(), 1) == 0.0

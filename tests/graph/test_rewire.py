@@ -1,0 +1,94 @@
+"""Tests for degree-preserving randomisation and null models."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import degrees_from_edges
+from repro.graph.edgelist import EdgeList
+from repro.graph.rewire import double_edge_swap, normalized_rich_club
+from repro.seq.copy_model import copy_model
+
+
+class TestDoubleEdgeSwap:
+    def test_degrees_preserved(self):
+        n = 500
+        el = copy_model(n, x=3, seed=0)
+        swapped = double_edge_swap(el, 1000, seed=1)
+        assert np.array_equal(
+            degrees_from_edges(swapped, n), degrees_from_edges(el, n)
+        )
+
+    def test_stays_simple(self):
+        el = copy_model(400, x=2, seed=2)
+        swapped = double_edge_swap(el, 800, seed=3)
+        assert not swapped.has_duplicates()
+        assert not swapped.has_self_loops()
+
+    def test_graph_actually_changes(self):
+        el = copy_model(400, x=2, seed=4)
+        swapped = double_edge_swap(el, 500, seed=5)
+        assert swapped != el
+        assert not np.array_equal(swapped.canonical(), el.canonical())
+
+    def test_zero_swaps_identity(self):
+        el = copy_model(100, x=2, seed=6)
+        assert np.array_equal(double_edge_swap(el, 0, seed=7).canonical(),
+                              el.canonical())
+
+    def test_deterministic(self):
+        el = copy_model(300, x=2, seed=8)
+        a = double_edge_swap(el, 200, seed=9)
+        b = double_edge_swap(el, 200, seed=9)
+        assert a == b
+
+    def test_saturated_graph_gives_up_gracefully(self):
+        """A complete graph admits no swap; the budget caps the retries."""
+        k = 6
+        us, vs = [], []
+        for i in range(k):
+            for j in range(i + 1, k):
+                us.append(j)
+                vs.append(i)
+        el = EdgeList.from_arrays(us, vs)
+        swapped = double_edge_swap(el, 10, seed=10)
+        assert np.array_equal(swapped.canonical(), el.canonical())
+
+    def test_invalid(self):
+        el = copy_model(50, x=1, seed=11)
+        with pytest.raises(ValueError):
+            double_edge_swap(el, -1)
+        with pytest.raises(ValueError):
+            double_edge_swap(EdgeList.from_arrays([1], [0]), 5)
+
+    def test_null_is_structurally_disassortative(self):
+        """The simple-graph configuration null of a heavy-tailed degree
+        sequence is *more* disassortative than BA itself: forbidding
+        multi-edges starves hub-hub pairs (the structural cutoff)."""
+        from repro.graph.metrics import degree_assortativity
+
+        n = 3000
+        el = copy_model(n, x=3, seed=12)
+        r_orig = degree_assortativity(el, n)
+        swapped = double_edge_swap(el, 5 * len(el), seed=13)
+        r_null = degree_assortativity(swapped, n)
+        assert r_orig < 0.02            # BA: mildly disassortative
+        assert r_null < r_orig - 0.02   # null: strictly more so
+
+
+class TestNormalizedRichClub:
+    def test_returns_triple(self):
+        n = 2000
+        el = copy_model(n, x=3, seed=14)
+        rho, phi, phi_null = normalized_rich_club(el, n, fraction=0.02, seed=15)
+        assert phi > 0 and phi_null > 0
+        assert rho == pytest.approx(phi / phi_null)
+
+    def test_pa_rich_club_exceeds_degree_null(self):
+        """Early PA hubs wired together while the network was small — a
+        temporal correlation the degree sequence alone cannot produce, so
+        the normalised coefficient sits clearly above 1."""
+        n = 4000
+        el = copy_model(n, x=3, seed=16)
+        rho, phi, phi_null = normalized_rich_club(el, n, fraction=0.02, seed=17)
+        assert phi > phi_null
+        assert rho > 1.5

@@ -1,0 +1,96 @@
+"""Tests for graph sampling estimators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import degrees_from_edges
+from repro.graph.sampling import (
+    edge_endpoint_sample,
+    estimate_mean_degree,
+    friendship_paradox_ratio,
+    node_sample,
+    snowball_sample,
+)
+from repro.seq.copy_model import copy_model
+
+
+@pytest.fixture(scope="module")
+def pa_graph():
+    n = 8000
+    edges = copy_model(n, x=3, seed=0)
+    return edges, degrees_from_edges(edges, n), n
+
+
+class TestNodeSample:
+    def test_without_replacement(self):
+        s = node_sample(100, 50, seed=0)
+        assert len(np.unique(s)) == 50
+
+    def test_size_too_big(self):
+        with pytest.raises(ValueError):
+            node_sample(10, 11)
+
+    def test_unbiased_mean_degree(self, pa_graph):
+        _, deg, _ = pa_graph
+        est, se = estimate_mean_degree(deg, 2000, seed=1)
+        assert abs(est - deg.mean()) < 4 * se
+
+
+class TestEndpointSample:
+    def test_degree_biased(self, pa_graph):
+        edges, deg, _ = pa_graph
+        picks = edge_endpoint_sample(edges, 5000, seed=2)
+        assert deg[picks].mean() > 1.5 * deg.mean()
+
+    def test_sampling_distribution_proportional_to_degree(self, pa_graph):
+        edges, deg, n = pa_graph
+        picks = edge_endpoint_sample(edges, 50_000, seed=3)
+        counts = np.bincount(picks, minlength=n)
+        hub = int(np.argmax(deg))
+        expected = deg[hub] / (2 * len(edges)) * 50_000
+        assert counts[hub] == pytest.approx(expected, rel=0.3)
+
+    def test_empty_rejected(self):
+        from repro.graph.edgelist import EdgeList
+
+        with pytest.raises(ValueError):
+            edge_endpoint_sample(EdgeList(), 5)
+
+
+class TestSnowball:
+    def test_ball_is_connected_and_bounded(self, pa_graph):
+        edges, _, n = pa_graph
+        ball = snowball_sample(edges, 0, 200, n)
+        assert len(ball) == 200
+        assert ball[0] == 0
+        assert len(np.unique(ball)) == 200
+
+    def test_small_component_saturates(self):
+        from repro.graph.edgelist import EdgeList
+
+        edges = EdgeList.from_arrays([1, 2], [0, 1])  # path of 3 + isolate
+        ball = snowball_sample(edges, 0, 10, num_nodes=4)
+        assert sorted(ball.tolist()) == [0, 1, 2]
+
+    def test_invalid_seed(self, pa_graph):
+        edges, _, n = pa_graph
+        with pytest.raises(ValueError):
+            snowball_sample(edges, n + 5, 10, n)
+
+
+class TestFriendshipParadox:
+    def test_strong_on_scale_free(self, pa_graph):
+        edges, deg, _ = pa_graph
+        ratio = friendship_paradox_ratio(edges, deg, seed=4)
+        assert ratio > 2.0  # heavy tail: friends have many more friends
+
+    def test_weak_on_regular_graph(self):
+        from repro.graph.edgelist import EdgeList
+
+        n = 1000  # ring: everyone degree 2, no paradox
+        edges = EdgeList.from_arrays(
+            np.arange(n), np.roll(np.arange(n), 1)
+        )
+        deg = degrees_from_edges(edges, n)
+        ratio = friendship_paradox_ratio(edges, deg, seed=5)
+        assert ratio == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Tests for the closed-form BA degree law and goodness-of-fit."""
+
+import numpy as np
+import pytest
+
+from repro.graph.theory import (
+    ba_chi_square_gof,
+    ba_degree_ccdf,
+    ba_degree_pmf,
+    expected_max_degree,
+)
+
+
+class TestPmfCcdf:
+    @pytest.mark.parametrize("x", [1, 2, 5])
+    def test_pmf_sums_to_one(self, x):
+        ks = np.arange(x, 200_000)
+        assert ba_degree_pmf(ks, x).sum() == pytest.approx(1.0, abs=1e-4)
+
+    @pytest.mark.parametrize("x", [1, 3])
+    def test_ccdf_matches_pmf_tailsum(self, x):
+        ks = np.arange(x, 500)
+        pmf = ba_degree_pmf(np.arange(x, 100_000), x)
+        for k in (x, x + 3, 50):
+            tail = pmf[k - x:].sum()
+            assert ba_degree_ccdf(k, x) == pytest.approx(tail, rel=1e-3)
+
+    def test_ccdf_at_x_is_one(self):
+        for x in (1, 2, 7):
+            assert ba_degree_ccdf(x, x) == pytest.approx(1.0)
+
+    def test_below_x_zero_pmf(self):
+        assert ba_degree_pmf(2, 3) == 0.0
+
+    def test_cubic_tail(self):
+        """P(k) ~ k^-3 for large k."""
+        assert ba_degree_pmf(1000, 2) / ba_degree_pmf(2000, 2) == pytest.approx(8, rel=0.01)
+
+    def test_invalid_x(self):
+        with pytest.raises(ValueError):
+            ba_degree_pmf(3, 0)
+        with pytest.raises(ValueError):
+            ba_degree_ccdf(3, 0)
+
+
+class TestGOF:
+    def test_exact_generator_passes(self):
+        """The parallel generator's degrees fit the exact BA law."""
+        from repro import generate
+
+        n, x = 40_000, 3
+        r = generate(n, x=x, ranks=8, scheme="rrp", seed=0)
+        _, pvalue = ba_chi_square_gof(r.degrees(), x)
+        assert pvalue > 1e-3, pvalue
+
+    def test_sequential_bb_passes(self):
+        from repro.graph.degree import degrees_from_edges
+        from repro.seq.batagelj_brandes import batagelj_brandes
+
+        n, x = 40_000, 2
+        deg = degrees_from_edges(batagelj_brandes(n, x=x, seed=1), n)
+        _, pvalue = ba_chi_square_gof(deg, x)
+        assert pvalue > 1e-3, pvalue
+
+    def test_wrong_distribution_fails(self):
+        """A uniform-attachment tree is decisively rejected."""
+        from repro.graph.degree import degrees_from_edges
+        from repro.seq.copy_model import copy_model_x1
+
+        n = 40_000
+        deg = degrees_from_edges(copy_model_x1(n, p=1.0, seed=2), n)  # uniform
+        _, pvalue = ba_chi_square_gof(deg, 1)
+        assert pvalue < 1e-6
+
+    def test_stale_yoo_henderson_fails(self):
+        """The approximate baseline is rejected by the exact-law test."""
+        from repro.baselines import yoo_henderson
+        from repro.graph.degree import degrees_from_edges
+
+        n, x = 40_000, 2
+        deg = degrees_from_edges(
+            yoo_henderson(n, x=x, ranks=8, sync_interval=2048, seed=3), n
+        )
+        _, pvalue = ba_chi_square_gof(deg, x)
+        assert pvalue < 1e-4
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            ba_chi_square_gof(np.array([3, 4, 5]), 3)
+
+
+class TestMaxDegree:
+    def test_scaling_estimate(self):
+        assert expected_max_degree(10_000, 2) == pytest.approx(200.0)
+
+    def test_generated_hub_in_range(self):
+        from repro import generate
+
+        n, x = 50_000, 4
+        r = generate(n, x=x, ranks=8, seed=4)
+        est = expected_max_degree(n, x)
+        assert est / 5 < r.degrees().max() < est * 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_max_degree(0, 1)

@@ -1,0 +1,93 @@
+"""Tests for PA-graph structural validation (crafted failures)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.validation import expected_edge_count, validate_pa_graph
+
+
+def make_valid_x1(n):
+    """A hand-built valid x=1 PA graph: everyone attaches to node 0."""
+    return EdgeList.from_arrays(np.arange(1, n), np.zeros(n - 1, dtype=np.int64))
+
+
+class TestExpectedEdgeCount:
+    def test_x1(self):
+        assert expected_edge_count(10, 1) == 9
+        assert expected_edge_count(1, 1) == 0
+
+    def test_general(self):
+        # C(3,2) + (10 - 3) * 3 = 3 + 21
+        assert expected_edge_count(10, 3) == 24
+
+
+class TestValidGraphs:
+    def test_star_is_valid_x1(self):
+        report = validate_pa_graph(make_valid_x1(50), 50, 1)
+        assert report.ok
+
+    def test_generated_general_valid(self):
+        from repro.seq.copy_model import copy_model
+
+        el = copy_model(100, x=3, seed=0)
+        assert validate_pa_graph(el, 100, 3).ok
+
+    def test_raise_if_failed_noop_on_ok(self):
+        validate_pa_graph(make_valid_x1(10), 10, 1).raise_if_failed()
+
+
+class TestCraftedFailures:
+    def test_wrong_edge_count(self):
+        el = make_valid_x1(10)
+        el.append(9, 5)  # node 9 now has two attachments
+        report = validate_pa_graph(el, 10, 1)
+        assert not report.ok
+        assert any("edge count" in e for e in report.errors)
+
+    def test_self_loop(self):
+        el = make_valid_x1(10)
+        arr = el.as_array()
+        arr[3] = [4, 4]
+        bad = EdgeList.from_arrays(arr[:, 0], arr[:, 1])
+        report = validate_pa_graph(bad, 10, 1)
+        assert any("self-loop" in e for e in report.errors)
+
+    def test_duplicate_edge(self):
+        el = EdgeList.from_arrays([1, 2, 2], [0, 0, 0])
+        report = validate_pa_graph(el, 3, 1)
+        assert any("duplicate" in e for e in report.errors)
+
+    def test_out_of_range_node(self):
+        el = EdgeList.from_arrays([1, 99], [0, 0])
+        report = validate_pa_graph(el, 3, 1)
+        assert any("out of range" in e for e in report.errors)
+
+    def test_negative_node(self):
+        el = EdgeList.from_arrays([1, 2], [0, -1])
+        report = validate_pa_graph(el, 3, 1)
+        assert any("negative" in e for e in report.errors)
+
+    def test_wrong_attachment_count(self):
+        # node 2 missing its second edge for x=2
+        el = EdgeList.from_arrays([1, 2, 3, 3], [0, 0, 0, 1])
+        report = validate_pa_graph(el, 4, 2)
+        assert not report.ok
+        assert any("attachment count" in e for e in report.errors)
+
+    def test_malformed_clique(self):
+        # x=3 graph whose "clique" edge (2,1) is missing, replaced by (2,0) dup
+        from repro.seq.copy_model import copy_model
+
+        good = copy_model(20, x=3, seed=1)
+        arr = good.as_array()
+        # clique rows are the first three: (1,0), (2,0), (2,1)
+        arr[2] = [19, 0]  # corrupt one clique edge into something else
+        bad = EdgeList.from_arrays(arr[:, 0], arr[:, 1])
+        report = validate_pa_graph(bad, 20, 3)
+        assert not report.ok
+
+    def test_raise_if_failed(self):
+        el = EdgeList.from_arrays([1, 1], [0, 0])
+        with pytest.raises(AssertionError, match="validation failed"):
+            validate_pa_graph(el, 2, 1).raise_if_failed()

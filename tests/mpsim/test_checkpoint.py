@@ -1,0 +1,136 @@
+"""Tests for BSP checkpoint/restart: crash-recovery is bit-exact."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_pa import PAx1RankProgram
+from repro.core.parallel_pa_general import PAGeneralRankProgram
+from repro.core.partitioning import make_partition
+from repro.graph.edgelist import EdgeList
+from repro.graph.validation import validate_pa_graph
+from repro.mpsim.bsp import BSPEngine
+from repro.mpsim.checkpoint import Checkpointer, load_checkpoint, resume
+from repro.mpsim.errors import MPSimError
+from repro.rng import StreamFactory
+
+
+def _collect(programs) -> EdgeList:
+    edges = EdgeList()
+    for prog in programs:
+        edges.extend(prog.local_edges())
+    return edges
+
+
+def _make_programs(n, x, P, seed, scheme="rrp"):
+    part = make_partition(scheme, n, P)
+    factory = StreamFactory(seed)
+    if x == 1:
+        return [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(P)]
+    return [PAGeneralRankProgram(r, part, x, 0.5, factory.stream(r)) for r in range(P)]
+
+
+class TestCheckpointing:
+    def test_snapshots_written(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "run.ckpt", every=2)
+        engine = BSPEngine(4)
+        engine.run(_make_programs(2000, 3, 4, seed=0), checkpointer=ckpt)
+        assert ckpt.snapshots >= 2
+        assert (tmp_path / "run.ckpt").exists()
+
+    def test_checkpoint_loads(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "run.ckpt")
+        engine = BSPEngine(4)
+        engine.run(_make_programs(1000, 2, 4, seed=1), checkpointer=ckpt)
+        data = load_checkpoint(tmp_path / "run.ckpt")
+        assert data.size == 4
+        assert data.supersteps >= 1
+
+    @pytest.mark.parametrize("x", [1, 4])
+    def test_resume_is_bit_exact(self, tmp_path, x):
+        """Kill a run mid-flight; the resumed run matches the clean run."""
+        n, P, seed = 3000, 6, 7
+
+        clean_programs = _make_programs(n, x, P, seed)
+        BSPEngine(P).run(clean_programs)
+        clean_edges = _collect(clean_programs)
+
+        # "Crash" after 3 supersteps by bounding the engine.
+        crash_programs = _make_programs(n, x, P, seed)
+        ckpt = Checkpointer(tmp_path / "crash.ckpt", every=1)
+        with pytest.raises(MPSimError):
+            BSPEngine(P, max_supersteps=3).run(crash_programs, checkpointer=ckpt)
+
+        engine, resumed_programs = resume(tmp_path / "crash.ckpt")
+        resumed_edges = _collect(resumed_programs)
+        assert np.array_equal(resumed_edges.canonical(), clean_edges.canonical())
+        assert validate_pa_graph(resumed_edges, n, x).ok
+
+    def test_resume_continues_counters(self, tmp_path):
+        n, P = 2000, 4
+        ckpt = Checkpointer(tmp_path / "c.ckpt", every=1)
+        with pytest.raises(MPSimError):
+            BSPEngine(P, max_supersteps=2).run(
+                _make_programs(n, 2, P, seed=3), checkpointer=ckpt
+            )
+        engine, _ = resume(tmp_path / "c.ckpt")
+        assert engine.supersteps > 2
+        assert engine.simulated_time > 0
+
+    def test_bad_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        import pickle
+
+        bad.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(MPSimError, match="not a BSP checkpoint"):
+            load_checkpoint(bad)
+
+    def test_invalid_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path / "x", every=0)
+
+    def test_checkpoint_overwritten_atomically(self, tmp_path):
+        path = tmp_path / "atomic.ckpt"
+        ckpt = Checkpointer(path, every=1)
+        engine = BSPEngine(4)
+        engine.run(_make_programs(1500, 2, 4, seed=5), checkpointer=ckpt)
+        # no stray temp files left behind
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert load_checkpoint(path).size == 4
+
+
+class TestNonblockingOps:
+    def test_isend_irecv_roundtrip(self):
+        from repro.mpsim import Simulator
+
+        got = {}
+
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, {"a": 7})
+                assert req.test()
+                yield req.wait()
+            else:
+                req = comm.irecv(source=0)
+                msg = yield req.wait()
+                got["payload"] = msg.payload
+
+        Simulator(2).run(prog)
+        assert got["payload"] == {"a": 7}
+
+    def test_irecv_test_probes(self):
+        from repro.mpsim import Simulator
+
+        probes = []
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.isend(1, 1)
+            else:
+                req = comm.irecv()
+                # message needs virtual latency to arrive; wait then re-test
+                msg = yield req.wait()
+                probes.append(msg.payload)
+
+        Simulator(2).run(prog)
+        assert probes == [1]

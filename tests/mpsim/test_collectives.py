@@ -1,0 +1,196 @@
+"""Tests for collectives layered on simulated point-to-point."""
+
+import operator
+
+import pytest
+
+from repro.mpsim import Simulator
+from repro.mpsim.errors import CollectiveMismatchError
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 13]
+
+
+def run(size, prog):
+    return Simulator(size).run(prog)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_bcast_from_zero(self, size):
+        got = {}
+
+        def prog(comm):
+            value = "payload" if comm.rank == 0 else None
+            out = yield from comm.bcast(value, root=0)
+            got[comm.rank] = out
+
+        run(size, prog)
+        assert all(v == "payload" for v in got.values())
+        assert len(got) == size
+
+    @pytest.mark.parametrize("size", [2, 5, 8])
+    @pytest.mark.parametrize("root_offset", [0, 1, -1])
+    def test_bcast_any_root(self, size, root_offset):
+        root = root_offset % size
+        got = {}
+
+        def prog(comm):
+            value = 123 if comm.rank == root else None
+            out = yield from comm.bcast(value, root=root)
+            got[comm.rank] = out
+
+        run(size, prog)
+        assert all(v == 123 for v in got.values())
+
+    def test_bcast_invalid_root(self):
+        def prog(comm):
+            yield from comm.bcast(1, root=5)
+
+        with pytest.raises(CollectiveMismatchError):
+            run(2, prog)
+
+    @pytest.mark.parametrize("size", [4, 8, 16])
+    def test_bcast_uses_log_rounds(self, size):
+        """Binomial tree: root sends ceil(log2 P) messages, not P - 1."""
+
+        def prog(comm):
+            yield from comm.bcast("x" if comm.rank == 0 else None, root=0)
+
+        stats = run(size, prog)
+        assert stats[0].msgs_sent == size.bit_length() - 1
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather(self, size):
+        got = {}
+
+        def prog(comm):
+            out = yield from comm.gather(comm.rank * 10, root=0)
+            got[comm.rank] = out
+
+        run(size, prog)
+        assert got[0] == [r * 10 for r in range(size)]
+        for r in range(1, size):
+            assert got[r] is None
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter(self, size):
+        got = {}
+
+        def prog(comm):
+            values = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            out = yield from comm.scatter(values, root=0)
+            got[comm.rank] = out
+
+        run(size, prog)
+        assert got == {r: r * r for r in range(size)}
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            values = [1] if comm.rank == 0 else None
+            yield from comm.scatter(values, root=0)
+
+        with pytest.raises(CollectiveMismatchError):
+            run(3, prog)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        got = {}
+
+        def prog(comm):
+            out = yield from comm.allgather(comm.rank + 1)
+            got[comm.rank] = out
+
+        run(size, prog)
+        expected = [r + 1 for r in range(size)]
+        assert all(v == expected for v in got.values())
+
+
+class TestReduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_sum(self, size):
+        got = {}
+
+        def prog(comm):
+            out = yield from comm.reduce(comm.rank, root=0)
+            got[comm.rank] = out
+
+        run(size, prog)
+        assert got[0] == sum(range(size))
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_max(self, size):
+        got = {}
+
+        def prog(comm):
+            out = yield from comm.allreduce(comm.rank, op=max)
+            got[comm.rank] = out
+
+        run(size, prog)
+        assert all(v == size - 1 for v in got.values())
+
+    def test_reduce_non_root_gets_none(self):
+        got = {}
+
+        def prog(comm):
+            out = yield from comm.reduce(1, op=operator.add, root=2)
+            got[comm.rank] = out
+
+        run(4, prog)
+        assert got[2] == 4
+        assert got[0] is None and got[1] is None and got[3] is None
+
+    def test_reduce_deterministic_noncommutative(self):
+        """Combine order is fixed, so string concatenation is reproducible."""
+        outs = []
+        for _ in range(2):
+            got = {}
+
+            def prog(comm):
+                out = yield from comm.reduce(str(comm.rank), op=operator.add, root=0)
+                got[comm.rank] = out
+
+            run(5, prog)
+            outs.append(got[0])
+        assert outs[0] == outs[1]
+        assert sorted(outs[0]) == list("01234")
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_alltoall_transpose(self, size):
+        got = {}
+
+        def prog(comm):
+            values = [comm.rank * 100 + j for j in range(comm.size)]
+            out = yield from comm.alltoall(values)
+            got[comm.rank] = out
+
+        run(size, prog)
+        for r in range(size):
+            assert got[r] == [j * 100 + r for j in range(size)]
+
+    def test_alltoall_wrong_length(self):
+        def prog(comm):
+            yield from comm.alltoall([1, 2])
+
+        with pytest.raises(CollectiveMismatchError):
+            run(3, prog)
+
+
+class TestComposition:
+    def test_collectives_mixed_with_p2p(self):
+        got = {}
+
+        def prog(comm):
+            total = yield from comm.allreduce(comm.rank)
+            if comm.rank == 0:
+                comm.send(comm.size - 1, total)
+            if comm.rank == comm.size - 1:
+                msg = yield comm.recv(source=0)
+                got["final"] = msg.payload
+            yield comm.barrier()
+
+        run(6, prog)
+        assert got["final"] == 15

@@ -1,0 +1,53 @@
+"""Tests for the LogGP-style cost model."""
+
+import pytest
+
+from repro.mpsim.costmodel import PRESETS, CostModel, MachinePreset
+
+
+class TestCostModel:
+    def test_compute_time_linear(self):
+        cm = CostModel(per_node=2.0, per_work_item=0.5)
+        assert cm.compute_time(10) == pytest.approx(20.0)
+        assert cm.compute_time(10, work_items=4) == pytest.approx(22.0)
+
+    def test_message_time(self):
+        cm = CostModel(per_message=1.0, beta=0.01)
+        assert cm.message_time(3, 100) == pytest.approx(4.0)
+
+    def test_round_time_is_alpha(self):
+        cm = CostModel(alpha=7.0)
+        assert cm.round_time() == 7.0
+
+    def test_scaled_changes_compute_only(self):
+        cm = CostModel()
+        fast = cm.scaled(0.5)
+        assert fast.per_node == pytest.approx(cm.per_node * 0.5)
+        assert fast.per_work_item == pytest.approx(cm.per_work_item * 0.5)
+        assert fast.alpha == cm.alpha
+        assert fast.beta == cm.beta
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().alpha = 1.0
+
+    def test_defaults_positive(self):
+        cm = CostModel()
+        assert cm.alpha > 0 and cm.beta > 0 and cm.per_node > 0
+
+
+class TestPresets:
+    def test_paper_preset_exists(self):
+        preset = PRESETS["sc13-sandybridge-qdr"]
+        assert isinstance(preset, MachinePreset)
+        assert preset.cores_per_node == 16
+
+    def test_zero_latency_is_communication_free(self):
+        cm = PRESETS["zero-latency"].cost
+        assert cm.message_time(1000, 10**6) == 0.0
+        assert cm.round_time() == 0.0
+
+    def test_slow_network_costs_more(self):
+        fast = PRESETS["sc13-sandybridge-qdr"].cost
+        slow = PRESETS["slow-network"].cost
+        assert slow.message_time(100, 10000) > fast.message_time(100, 10000)

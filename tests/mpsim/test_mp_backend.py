@@ -1,0 +1,71 @@
+"""Tests for the real-parallelism multiprocessing backend.
+
+These prove the BSP rank programs are genuinely shared-nothing: the same
+programs produce the same graph whether they share an address space or not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_pa import PAx1RankProgram, run_parallel_pa_x1
+from repro.core.parallel_pa_general import PAGeneralRankProgram
+from repro.core.partitioning import make_partition
+from repro.graph.edgelist import EdgeList
+from repro.graph.validation import validate_pa_graph
+from repro.mpsim.errors import MPSimError
+from repro.mpsim.mp_backend import MultiprocessingBSPEngine
+from repro.rng import StreamFactory
+
+
+def _collect_edges(results) -> EdgeList:
+    edges = EdgeList()
+    for pair in results:
+        edges.append_arrays(pair[0], pair[1])
+    return edges
+
+
+@pytest.mark.parametrize("scheme", ["ucp", "rrp"])
+def test_x1_matches_in_process(scheme):
+    n, P, seed = 600, 4, 21
+    part = make_partition(scheme, n, P)
+
+    in_proc, _, _ = run_parallel_pa_x1(n, part, seed=seed)
+
+    factory = StreamFactory(seed)
+    programs = [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(P)]
+    eng = MultiprocessingBSPEngine(P)
+    eng.run(programs)
+    mp_edges = _collect_edges(eng.results)
+
+    assert np.array_equal(in_proc.canonical(), mp_edges.canonical())
+
+
+def test_general_case_valid_graph():
+    n, x, P, seed = 500, 3, 3, 5
+    part = make_partition("rrp", n, P)
+    factory = StreamFactory(seed)
+    programs = [PAGeneralRankProgram(r, part, x, 0.5, factory.stream(r)) for r in range(P)]
+    eng = MultiprocessingBSPEngine(P)
+    eng.run(programs)
+    edges = _collect_edges(eng.results)
+    assert validate_pa_graph(edges, n, x).ok
+
+
+def test_stats_transferred_back():
+    n, P = 300, 2
+    part = make_partition("rrp", n, P)
+    factory = StreamFactory(0)
+    programs = [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(P)]
+    eng = MultiprocessingBSPEngine(P)
+    eng.run(programs)
+    assert sum(eng.stats[r].nodes for r in range(P)) == n
+
+
+def test_wrong_program_count():
+    with pytest.raises(MPSimError):
+        MultiprocessingBSPEngine(2).run([None])
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        MultiprocessingBSPEngine(0)

@@ -1,0 +1,89 @@
+"""Tests for the mpi4py adapter (transport-independent parts)."""
+
+import numpy as np
+import pytest
+
+from repro.mpsim.errors import MPSimError
+from repro.mpsim.mpi_adapter import (
+    mpi_available,
+    pack_outbox,
+    quiesced,
+    unpack_inbox,
+)
+
+
+class TestAvailability:
+    def test_not_available_offline(self):
+        # this repository's environment has no mpi4py by design
+        assert mpi_available() is False
+
+
+class TestPacking:
+    def test_pack_concatenates_per_destination(self):
+        outbox = {1: [np.array([1, 2]), np.array([3])], 3: [np.array([9])]}
+        sends = pack_outbox(outbox, 4)
+        assert sends[0] is None and sends[2] is None
+        assert np.array_equal(sends[1], [1, 2, 3])
+        assert np.array_equal(sends[3], [9])
+
+    def test_pack_empty_outbox(self):
+        assert pack_outbox(None, 3) == [None, None, None]
+        assert pack_outbox({}, 2) == [None, None]
+
+    def test_pack_drops_empty_arrays(self):
+        sends = pack_outbox({0: [np.empty(0, dtype=np.int64)]}, 2)
+        assert sends[0] is None
+
+    def test_pack_invalid_destination(self):
+        with pytest.raises(MPSimError):
+            pack_outbox({5: [np.array([1])]}, 2)
+
+    def test_unpack_orders_by_source(self):
+        received = [None, np.array([7]), np.empty(0), np.array([8, 9])]
+        inbox = unpack_inbox(received)
+        assert [src for src, _ in inbox] == [1, 3]
+        assert np.array_equal(inbox[1][1], [8, 9])
+
+    def test_roundtrip_matches_engine_format(self):
+        """pack + simulated alltoall + unpack == the BSP engine's routing."""
+        from repro.mpsim.bsp import exchange_alltoallv
+
+        outboxes = [
+            {1: [np.array([10, 11])]},
+            {0: [np.array([20])], 2: [np.array([21])]},
+            {},
+        ]
+        packed = [pack_outbox(o, 3) for o in outboxes]
+        # simulate alltoall: received[j][i] = packed[i][j]
+        received = [[packed[i][j] for i in range(3)] for j in range(3)]
+        inboxes = [unpack_inbox(r) for r in received]
+        ref = exchange_alltoallv(
+            [{d: np.concatenate(ps) for d, ps in o.items()} for o in outboxes]
+        )
+        for got, want in zip(inboxes, ref):
+            assert [s for s, _ in got] == [s for s, _ in want]
+            for (_, a), (_, b) in zip(got, want):
+                assert np.array_equal(a, b)
+
+
+class TestQuiescence:
+    def test_done_and_silent_terminates(self):
+        assert quiesced(True, False, lambda f: f, lambda f: f)
+
+    def test_pending_traffic_continues(self):
+        assert not quiesced(True, True, lambda f: f, lambda f: f)
+
+    def test_remote_not_done_continues(self):
+        # the AND reduction reports someone else is unfinished
+        assert not quiesced(True, False, lambda f: False, lambda f: f)
+
+    def test_remote_traffic_continues(self):
+        assert not quiesced(True, False, lambda f: f, lambda f: True)
+
+
+class TestRunUnderMpi:
+    def test_raises_without_mpi(self):
+        from repro.mpsim.mpi_adapter import run_under_mpi
+
+        with pytest.raises(MPSimError, match="mpi4py"):
+            run_under_mpi(object())

@@ -1,0 +1,74 @@
+"""Tests for per-rank traffic/work statistics."""
+
+import numpy as np
+import pytest
+
+from repro.mpsim.stats import RankStats, WorldStats
+
+
+class TestRankStats:
+    def test_record_send_receive(self):
+        rs = RankStats(rank=0)
+        rs.record_send(3, 300)
+        rs.record_receive(2, 200)
+        assert rs.msgs_sent == 3
+        assert rs.bytes_sent == 300
+        assert rs.msgs_received == 2
+        assert rs.bytes_received == 200
+
+    def test_total_load_matches_paper_metric(self):
+        rs = RankStats(rank=0, nodes=10)
+        rs.record_send(4)
+        rs.record_receive(6)
+        assert rs.total_load == 20
+
+    def test_merge(self):
+        a = RankStats(rank=0, nodes=5, busy_time=1.0, rounds=3)
+        b = RankStats(rank=0, nodes=7, busy_time=2.0, rounds=5)
+        a.merge(b)
+        assert a.nodes == 12
+        assert a.busy_time == pytest.approx(3.0)
+        assert a.rounds == 5
+
+
+class TestWorldStats:
+    def test_for_size(self):
+        ws = WorldStats.for_size(4)
+        assert len(ws) == 4
+        assert ws[2].rank == 2
+
+    def test_array_extraction(self):
+        ws = WorldStats.for_size(3)
+        ws[0].nodes, ws[1].nodes, ws[2].nodes = 1, 2, 3
+        assert np.array_equal(ws.array("nodes"), [1.0, 2.0, 3.0])
+
+    def test_imbalance_perfect(self):
+        ws = WorldStats.for_size(2)
+        ws[0].nodes = ws[1].nodes = 10
+        assert ws.imbalance == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self):
+        ws = WorldStats.for_size(2)
+        ws[0].nodes = 30
+        ws[1].nodes = 10
+        assert ws.imbalance == pytest.approx(1.5)
+
+    def test_imbalance_empty_loads(self):
+        assert WorldStats.for_size(3).imbalance == 1.0
+
+    def test_makespan(self):
+        ws = WorldStats.for_size(2)
+        ws[0].busy_time = 5.0
+        ws[1].busy_time = 9.0
+        assert ws.makespan == 9.0
+
+    def test_totals(self):
+        ws = WorldStats.for_size(2)
+        ws[0].record_send(5, 50)
+        ws[1].record_send(3, 30)
+        assert ws.total_messages == 8
+        assert ws.total_bytes == 80
+
+    def test_summary_keys(self):
+        s = WorldStats.for_size(2).summary()
+        assert {"ranks", "total_messages", "imbalance", "makespan"} <= set(s)

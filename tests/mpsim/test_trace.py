@@ -1,0 +1,89 @@
+"""Tests for BSP execution tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_pa_general import PAGeneralRankProgram
+from repro.core.partitioning import make_partition
+from repro.mpsim.bsp import BSPEngine
+from repro.mpsim.trace import Tracer
+from repro.rng import StreamFactory
+
+
+def run_traced(n=2000, x=3, P=6, scheme="rrp", seed=0):
+    part = make_partition(scheme, n, P)
+    factory = StreamFactory(seed)
+    programs = [
+        PAGeneralRankProgram(r, part, x, 0.5, factory.stream(r)) for r in range(P)
+    ]
+    engine = BSPEngine(P)
+    tracer = Tracer()
+    engine.run(programs, tracer=tracer)
+    return engine, tracer
+
+
+class TestRecording:
+    def test_one_row_per_superstep(self):
+        engine, tracer = run_traced()
+        assert tracer.num_supersteps == engine.supersteps
+        assert tracer.times.shape == (engine.supersteps, 6)
+        assert tracer.records.shape == tracer.times.shape
+
+    def test_times_sum_to_busy_time(self):
+        engine, tracer = run_traced()
+        per_rank = tracer.times.sum(axis=0)
+        for r in range(6):
+            assert per_rank[r] == pytest.approx(engine.stats[r].busy_time)
+
+    def test_records_sum_to_sent(self):
+        engine, tracer = run_traced()
+        per_rank = tracer.records.sum(axis=0)
+        for r in range(6):
+            assert per_rank[r] == engine.stats[r].msgs_sent
+
+    def test_tracing_does_not_change_run(self):
+        part = make_partition("rrp", 1000, 4)
+        f1, f2 = StreamFactory(3), StreamFactory(3)
+        plain = [PAGeneralRankProgram(r, part, 2, 0.5, f1.stream(r)) for r in range(4)]
+        traced = [PAGeneralRankProgram(r, part, 2, 0.5, f2.stream(r)) for r in range(4)]
+        BSPEngine(4).run(plain)
+        BSPEngine(4).run(traced, tracer=Tracer())
+        for a, b in zip(plain, traced):
+            assert np.array_equal(a.F, b.F)
+
+
+class TestAnalysis:
+    def test_utilisation_in_unit_interval(self):
+        _, tracer = run_traced()
+        util = tracer.utilisation()
+        assert (util > 0).all() and (util <= 1.0 + 1e-12).all()
+
+    def test_ucp_less_utilised_than_rrp(self):
+        """The Figure 7 imbalance shows up as barrier waiting over time."""
+        _, tr_ucp = run_traced(n=20_000, x=6, P=16, scheme="ucp")
+        _, tr_rrp = run_traced(n=20_000, x=6, P=16, scheme="rrp")
+        assert tr_rrp.utilisation().mean() > tr_ucp.utilisation().mean()
+
+    def test_barrier_wait_shape(self):
+        _, tracer = run_traced()
+        wait = tracer.barrier_wait()
+        assert wait.shape == (6,)
+        assert (wait >= 0).all()
+        assert np.any(wait == 0) or wait.min() >= 0  # busiest rank waits least
+
+    def test_gantt_renders(self):
+        _, tracer = run_traced()
+        art = tracer.gantt(max_width=40)
+        assert "rank   0 |" in art
+        assert "utilisation" in art
+
+    def test_empty_tracer(self):
+        t = Tracer()
+        assert t.num_supersteps == 0
+        assert "(no supersteps recorded)" in t.gantt()
+        assert t.summary()["mean_utilisation"] == 1.0
+
+    def test_summary_keys(self):
+        _, tracer = run_traced()
+        s = tracer.summary()
+        assert {"supersteps", "mean_utilisation", "total_barrier_wait"} <= set(s)

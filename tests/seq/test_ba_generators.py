@@ -1,0 +1,80 @@
+"""Tests for the naive and Batagelj–Brandes BA generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.degree import degrees_from_edges
+from repro.graph.validation import validate_pa_graph
+from repro.seq.ba_naive import ba_naive
+from repro.seq.batagelj_brandes import batagelj_brandes
+
+
+@pytest.mark.parametrize("gen", [ba_naive, batagelj_brandes], ids=["naive", "bb"])
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("x", [1, 2, 4])
+    def test_valid_structure(self, gen, x):
+        n = 300
+        el = gen(n, x=x, seed=0)
+        report = validate_pa_graph(el, n, x)
+        assert report.ok, report.errors
+
+    def test_deterministic(self, gen):
+        assert gen(200, x=2, seed=5) == gen(200, x=2, seed=5)
+
+    def test_invalid_params(self, gen):
+        with pytest.raises(ValueError):
+            gen(0)
+        with pytest.raises(ValueError):
+            gen(100, x=0)
+        with pytest.raises(ValueError):
+            gen(3, x=3)
+
+    def test_single_node(self, gen):
+        assert len(gen(1, x=1, seed=0)) == 0
+
+    def test_rich_get_richer(self, gen):
+        """Early nodes accumulate much higher degree than late nodes."""
+        n = 5000
+        el = gen(n, x=2, seed=1)
+        deg = degrees_from_edges(el, n)
+        early = deg[: n // 100].mean()
+        late = deg[-n // 100 :].mean()
+        assert early > 3 * late
+
+
+class TestEquivalence:
+    def test_naive_and_bb_distributions_agree(self):
+        """Both implement exact BA; compare degree tail masses."""
+        n, x = 4000, 2
+        d1 = degrees_from_edges(ba_naive(n, x=x, seed=3), n)
+        d2 = degrees_from_edges(batagelj_brandes(n, x=x, seed=4), n)
+        assert abs((d1 >= 6).mean() - (d2 >= 6).mean()) < 0.03
+
+    def test_bb_matches_networkx_distribution(self):
+        """Sanity check against NetworkX's reference implementation."""
+        nx = pytest.importorskip("networkx")
+        n, x = 4000, 3
+        ours = degrees_from_edges(batagelj_brandes(n, x=x, seed=6), n)
+        theirs = np.array(
+            [d for _, d in nx.barabasi_albert_graph(n, x, seed=6).degree()]
+        )
+        assert abs((ours >= 8).mean() - (theirs >= 8).mean()) < 0.03
+
+
+class TestBBProperties:
+    @given(n=st.integers(min_value=2, max_value=300),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_x1_always_valid(self, n, seed):
+        el = batagelj_brandes(n, x=1, seed=seed)
+        assert validate_pa_graph(el, n, 1).ok
+
+    def test_repeated_list_invariant(self):
+        """Every node's final degree equals its multiplicity implied by edges."""
+        n, x = 500, 3
+        el = batagelj_brandes(n, x=x, seed=7)
+        deg = degrees_from_edges(el, n)
+        assert deg.sum() == 2 * len(el)
+        assert (deg[x:] >= x).all()

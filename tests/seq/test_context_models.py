@@ -1,0 +1,132 @@
+"""Tests for the ER, small-world, and Chung–Lu context generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.degree import degrees_from_edges
+from repro.seq.chung_lu import chung_lu
+from repro.seq.erdos_renyi import erdos_renyi_gnp
+from repro.seq.small_world import watts_strogatz
+
+
+class TestErdosRenyi:
+    def test_edge_count_within_ci(self):
+        n, p = 2000, 0.01
+        m = len(erdos_renyi_gnp(n, p, seed=0))
+        mean = p * n * (n - 1) / 2
+        sd = np.sqrt(mean * (1 - p))
+        assert abs(m - mean) < 5 * sd
+
+    def test_no_duplicates_or_loops(self):
+        el = erdos_renyi_gnp(500, 0.05, seed=1)
+        assert not el.has_duplicates()
+        assert not el.has_self_loops()
+
+    def test_p_zero(self):
+        assert len(erdos_renyi_gnp(100, 0.0, seed=0)) == 0
+
+    def test_p_one_complete_graph(self):
+        n = 40
+        el = erdos_renyi_gnp(n, 1.0, seed=0)
+        assert len(el) == n * (n - 1) // 2
+        assert not el.has_duplicates()
+
+    def test_empty_graph(self):
+        assert len(erdos_renyi_gnp(0, 0.5, seed=0)) == 0
+        assert len(erdos_renyi_gnp(1, 0.5, seed=0)) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp(-1, 0.5)
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp(10, 1.5)
+
+    @given(n=st.integers(min_value=0, max_value=300),
+           p=st.floats(min_value=0.0, max_value=1.0),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_always_simple(self, n, p, seed):
+        el = erdos_renyi_gnp(n, p, seed=seed)
+        assert not el.has_duplicates()
+        assert not el.has_self_loops()
+        if n > 0:
+            assert el.num_nodes <= n
+
+    def test_unrank_pairs_roundtrip(self):
+        from repro.seq.erdos_renyi import _unrank_pairs
+
+        n = 60
+        total = n * (n - 1) // 2
+        u, v = _unrank_pairs(np.arange(total))
+        assert (v < u).all()
+        assert len(set(zip(u.tolist(), v.tolist()))) == total
+        assert u.max() == n - 1
+
+
+class TestWattsStrogatz:
+    def test_edge_count_preserved(self):
+        n, k = 200, 6
+        el = watts_strogatz(n, k, 0.3, seed=0)
+        assert len(el) == n * k // 2
+
+    def test_beta_zero_is_lattice(self):
+        n, k = 50, 4
+        el = watts_strogatz(n, k, 0.0, seed=0)
+        deg = degrees_from_edges(el, n)
+        assert (deg == k).all()
+
+    def test_rewiring_changes_graph(self):
+        a = watts_strogatz(100, 4, 0.0, seed=1)
+        b = watts_strogatz(100, 4, 0.9, seed=1)
+        assert a != b
+
+    def test_simple_graph(self):
+        el = watts_strogatz(150, 6, 0.5, seed=2)
+        assert not el.has_duplicates()
+        assert not el.has_self_loops()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(2, 2, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 10, 0.1)  # k >= n
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestChungLu:
+    def test_uniform_weights_like_gnp(self):
+        n, w = 800, 6.0
+        el = chung_lu(np.full(n, w), seed=0)
+        expected = w * n / 2
+        assert abs(len(el) - expected) < 5 * np.sqrt(expected)
+
+    def test_degrees_track_weights(self):
+        n = 3000
+        weights = np.ones(n)
+        weights[:30] = 50.0
+        el = chung_lu(weights, seed=1)
+        deg = degrees_from_edges(el, n)
+        assert deg[:30].mean() > 10 * deg[30:].mean()
+
+    def test_simple_graph(self):
+        el = chung_lu(np.full(500, 10.0), seed=2)
+        assert not el.has_duplicates()
+        assert not el.has_self_loops()
+
+    def test_zero_weights(self):
+        assert len(chung_lu(np.zeros(100), seed=0)) == 0
+
+    def test_tiny_inputs(self):
+        assert len(chung_lu(np.array([1.0]), seed=0)) == 0
+        assert len(chung_lu(np.array([]), seed=0)) == 0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            chung_lu(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            chung_lu(np.ones((2, 2)))

@@ -1,0 +1,168 @@
+"""Tests for the sequential copy model (the parallel algorithms' basis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.validation import validate_pa_graph
+from repro.seq.copy_model import copy_model, copy_model_x1, resolve_pointers
+
+
+class TestResolvePointers:
+    def test_identity_fixed_point(self):
+        ptr = np.arange(5)
+        assert np.array_equal(resolve_pointers(ptr), ptr)
+
+    def test_chain_resolves_to_root(self):
+        # 3 -> 2 -> 1 -> 0 -> 0
+        ptr = np.array([0, 0, 1, 2])
+        assert np.array_equal(resolve_pointers(ptr), [0, 0, 0, 0])
+
+    def test_input_not_mutated(self):
+        ptr = np.array([0, 0, 1])
+        _ = resolve_pointers(ptr)
+        assert np.array_equal(ptr, [0, 0, 1])
+
+    @given(st.integers(min_value=2, max_value=300), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_iterative_walk(self, n, seed):
+        rng = np.random.default_rng(seed)
+        ptr = np.arange(n)
+        # random acyclic pointers: each i > 0 points to some j < i or itself
+        for i in range(1, n):
+            if rng.random() < 0.7:
+                ptr[i] = rng.integers(0, i)
+        resolved = resolve_pointers(ptr)
+        for i in range(n):
+            j = i
+            while ptr[j] != j:
+                j = ptr[j]
+            assert resolved[i] == j
+
+
+class TestCopyModelX1:
+    def test_edge_count(self):
+        el = copy_model_x1(100, seed=0)
+        assert len(el) == 99
+
+    def test_structure_valid(self):
+        el = copy_model_x1(500, seed=1)
+        assert validate_pa_graph(el, 500, 1).ok
+
+    def test_attachments_point_backwards(self):
+        _, F = copy_model_x1(300, seed=2, return_attachments=True)
+        t = np.arange(1, 300)
+        assert (F[1:] < t).all()
+        assert F[0] == -1
+
+    def test_p_one_is_uniform_attachment(self):
+        """p=1 always attaches directly to k (a uniform random recursive tree)."""
+        el, F = copy_model_x1(2000, p=1.0, seed=3, return_attachments=True)
+        assert validate_pa_graph(el, 2000, 1).ok
+
+    def test_trivial_sizes(self):
+        assert len(copy_model_x1(1, seed=0)) == 0
+        assert len(copy_model_x1(2, seed=0)) == 1
+        el, F = copy_model_x1(2, seed=0, return_attachments=True)
+        assert F[1] == 0
+
+    def test_deterministic(self):
+        a = copy_model_x1(400, seed=9)
+        b = copy_model_x1(400, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = copy_model_x1(400, seed=9)
+        b = copy_model_x1(400, seed=10)
+        assert a != b
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            copy_model_x1(0)
+        with pytest.raises(ValueError):
+            copy_model_x1(10, p=0.0)
+        with pytest.raises(ValueError):
+            copy_model_x1(10, p=1.5)
+
+    @given(n=st.integers(min_value=1, max_value=400),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid(self, n, seed):
+        el = copy_model_x1(n, seed=seed)
+        report = validate_pa_graph(el, n, 1)
+        assert report.ok, report.errors
+
+
+class TestCopyModelGeneral:
+    @pytest.mark.parametrize("x", [2, 3, 5, 8])
+    def test_structure_valid(self, x):
+        n = 400
+        el = copy_model(n, x=x, seed=4)
+        report = validate_pa_graph(el, n, x)
+        assert report.ok, report.errors
+
+    def test_x1_dispatches_to_specialisation(self):
+        a = copy_model(200, x=1, seed=6)
+        b = copy_model_x1(200, seed=6)
+        assert a == b
+
+    def test_attachment_table(self):
+        n, x = 100, 3
+        _, F = copy_model(n, x=x, seed=7, return_attachments=True)
+        assert F.shape == (n, x)
+        # clique rows unset; growing rows fully set and distinct
+        assert (F[:x] == -1).all()
+        for t in range(x, n):
+            row = F[t]
+            assert len(set(row.tolist())) == x
+            assert (row < t).all()
+            assert (row >= 0).all()
+
+    def test_node_x_attaches_to_whole_clique(self):
+        _, F = copy_model(50, x=4, seed=8, return_attachments=True)
+        assert sorted(F[4].tolist()) == [0, 1, 2, 3]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            copy_model(3, x=3)
+        with pytest.raises(ValueError):
+            copy_model(10, x=0)
+
+    @given(n=st.integers(min_value=5, max_value=200),
+           x=st.integers(min_value=2, max_value=4),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, n, x, seed):
+        if n <= x:
+            n = x + 1
+        el = copy_model(n, x=x, seed=seed)
+        report = validate_pa_graph(el, n, x)
+        assert report.ok, report.errors
+
+
+class TestDegreeDynamics:
+    def test_matches_ba_distribution(self):
+        """Copy model at p=1/2 matches Batagelj-Brandes BA statistically.
+
+        Compares tail mass P(deg >= 8) across the two generators; they
+        implement the same attachment distribution so the masses agree.
+        """
+        from repro.seq.batagelj_brandes import batagelj_brandes
+        from repro.graph.degree import degrees_from_edges
+
+        n, x = 20_000, 3
+        d1 = degrees_from_edges(copy_model(n, x=x, seed=11), n)
+        d2 = degrees_from_edges(batagelj_brandes(n, x=x, seed=12), n)
+        tail1 = (d1 >= 8).mean()
+        tail2 = (d2 >= 8).mean()
+        assert abs(tail1 - tail2) < 0.02
+
+    def test_smaller_p_heavier_tail(self):
+        """Lower p means more copying, hence a heavier degree tail."""
+        from repro.graph.degree import degrees_from_edges
+
+        n = 20_000
+        d_low = degrees_from_edges(copy_model_x1(n, p=0.2, seed=13), n)
+        d_high = degrees_from_edges(copy_model_x1(n, p=0.9, seed=13), n)
+        assert d_low.max() > d_high.max()

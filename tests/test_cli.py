@@ -1,0 +1,160 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestGenerate:
+    def test_generate_binary_and_validate(self, tmp_path, capsys):
+        out = tmp_path / "g.bin"
+        rc = main([
+            "generate", "-n", "500", "-x", "3", "-P", "4",
+            "--scheme", "rrp", "--seed", "1", "--validate", "-o", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "validation: ok" in captured
+        assert "m=1494" in captured
+
+    def test_generate_text_output(self, tmp_path):
+        out = tmp_path / "g.txt"
+        rc = main([
+            "generate", "-n", "100", "-P", "2", "--seed", "0",
+            "--text", "-o", str(out),
+        ])
+        assert rc == 0
+        assert len(out.read_text().splitlines()) == 99
+
+    def test_generate_event_engine(self, capsys):
+        rc = main(["generate", "-n", "80", "-x", "2", "-P", "3",
+                   "--engine", "event", "--seed", "2"])
+        assert rc == 0
+
+    def test_generate_sequential(self, capsys):
+        rc = main(["generate", "-n", "80", "-x", "2", "--engine", "sequential",
+                   "--seed", "2"])
+        assert rc == 0
+
+
+class TestValidateCommand:
+    def test_valid_file(self, tmp_path, capsys):
+        out = tmp_path / "g.bin"
+        main(["generate", "-n", "200", "-x", "2", "-P", "2", "--seed", "3",
+              "-o", str(out)])
+        rc = main(["validate", str(out), "-n", "200", "-x", "2"])
+        assert rc == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        out = tmp_path / "g.bin"
+        main(["generate", "-n", "200", "-x", "2", "-P", "2", "--seed", "3",
+              "-o", str(out)])
+        rc = main(["validate", str(out), "-n", "200", "-x", "3"])  # wrong x
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_output(self, tmp_path, capsys):
+        out = tmp_path / "g.bin"
+        main(["generate", "-n", "3000", "-x", "4", "-P", "4", "--seed", "4",
+              "-o", str(out)])
+        rc = main(["stats", str(out), "--k-min", "8"])
+        assert rc == 0
+        cap = capsys.readouterr().out
+        assert "power-law fit" in cap
+        assert "edges: 11990" in cap
+
+
+class TestScalingCommand:
+    def test_table_printed(self, capsys):
+        rc = main(["scaling", "-n", "2000", "-x", "2", "--ranks", "1", "4",
+                   "--schemes", "rrp"])
+        assert rc == 0
+        cap = capsys.readouterr().out
+        assert "strong scaling" in cap
+        assert "rrp" in cap
+
+
+class TestChainsCommand:
+    def test_within_bounds(self, capsys):
+        rc = main(["chains", "-n", "50000", "--seed", "1"])
+        assert rc == 0
+        assert "within Theorem 3.3 bounds: True" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_n(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestOtherModels:
+    def test_er(self, tmp_path, capsys):
+        out = tmp_path / "er.bin"
+        rc = main(["other", "--model", "er", "-n", "500", "-p", "0.02",
+                   "-P", "4", "--seed", "0", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "G(n=500" in capsys.readouterr().out
+
+    def test_rmat(self, capsys):
+        rc = main(["other", "--model", "rmat", "--scale", "8", "-m", "2000",
+                   "-P", "4", "--seed", "1"])
+        assert rc == 0
+        assert "R-MAT" in capsys.readouterr().out
+
+    def test_chung_lu(self, capsys):
+        rc = main(["other", "--model", "chung-lu", "-n", "500",
+                   "--mean-degree", "6", "-P", "2", "--seed", "2"])
+        assert rc == 0
+        assert "Chung-Lu" in capsys.readouterr().out
+
+
+class TestDegreeDist:
+    def test_series_and_plot(self, tmp_path, capsys):
+        out = tmp_path / "g.bin"
+        main(["generate", "-n", "3000", "-x", "3", "-P", "4", "--seed", "5",
+              "-o", str(out)])
+        rc = main(["degree-dist", str(out), "--plot"])
+        assert rc == 0
+        cap = capsys.readouterr().out
+        assert "log-binned degree distribution" in cap
+        assert "*" in cap
+
+
+class TestCheckpointFlag:
+    def test_checkpoint_written(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        rc = main(["generate", "-n", "2000", "-x", "3", "-P", "4",
+                   "--seed", "6", "--checkpoint", str(ckpt)])
+        assert rc == 0
+        assert ckpt.exists()
+        from repro.mpsim.checkpoint import load_checkpoint
+
+        assert load_checkpoint(ckpt).size == 4
+
+
+class TestAnalyze:
+    def test_distributed_analysis(self, tmp_path, capsys):
+        out = tmp_path / "g.bin"
+        main(["generate", "-n", "800", "-x", "2", "-P", "4", "--seed", "7",
+              "-o", str(out)])
+        rc = main(["analyze", str(out), "-n", "800", "-P", "4",
+                   "--pagerank-iters", "10"])
+        assert rc == 0
+        cap = capsys.readouterr().out
+        assert "BFS from 0" in cap
+        assert "components: 1" in cap
+        assert "top PageRank nodes" in cap
+
+    def test_ecp_scheme_accepted(self, capsys):
+        rc = main(["generate", "-n", "500", "-x", "2", "-P", "4",
+                   "--scheme", "ecp", "--seed", "8", "--validate"])
+        assert rc == 0

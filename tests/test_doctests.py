@@ -1,0 +1,29 @@
+"""Run every module's docstring examples as part of the suite.
+
+Documentation that executes is documentation that stays true; each public
+module carries Examples sections, and this collector keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_iter_modules()))
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

@@ -1,0 +1,128 @@
+"""Acceptance tests: the paper's headline claims, one assertion each.
+
+Every claim here is covered more thoroughly elsewhere (see the experiment
+index in DESIGN.md); this module is the executive summary a reviewer can
+run in under a minute:
+
+    pytest tests/test_paper_claims.py -v
+"""
+
+import numpy as np
+import pytest
+
+from repro import generate
+from repro.core.chains import chain_statistics
+from repro.core.partitioning import make_partition
+
+
+class TestExactness:
+    """Claim: 'the first distributed-memory parallel algorithms for
+    generating random graphs following the preferential attachment model
+    *exactly*.'"""
+
+    def test_degree_law_is_exact_ba(self):
+        from repro.graph.theory import ba_chi_square_gof
+
+        r = generate(30_000, x=3, ranks=12, scheme="rrp", seed=0)
+        _, pvalue = ba_chi_square_gof(r.degrees(), 3)
+        assert pvalue > 1e-3
+
+    def test_prior_art_is_not_exact(self):
+        from repro.baselines import yoo_henderson
+        from repro.graph.degree import degrees_from_edges
+        from repro.graph.theory import ba_chi_square_gof
+
+        deg = degrees_from_edges(
+            yoo_henderson(30_000, x=3, ranks=8, sync_interval=1024, seed=0), 30_000
+        )
+        _, pvalue = ba_chi_square_gof(deg, 3)
+        assert pvalue < 1e-4
+
+
+class TestStructure:
+    """Claim: the algorithm avoids duplicate edges and handles the
+    dependencies exactly (Sections 3.2-3.3)."""
+
+    @pytest.mark.parametrize("scheme", ["ucp", "lcp", "rrp"])
+    def test_structural_invariants(self, scheme):
+        r = generate(5_000, x=5, ranks=16, scheme=scheme, seed=1)
+        r.validate().raise_if_failed()
+
+
+class TestDependencyChains:
+    """Claim (Theorem 3.3): chains are O(log n); average <= 1/p."""
+
+    def test_bounds(self):
+        st = chain_statistics(500_000, p=0.5, seed=2)
+        assert st.mean == pytest.approx(2.0, rel=0.05)
+        assert st.max <= 5 * np.log(500_000)
+
+    def test_rounds_follow_chains(self):
+        r = generate(100_000, x=1, ranks=16, scheme="rrp", seed=3)
+        assert r.supersteps <= 6 * np.log(100_000)
+
+
+class TestScalability:
+    """Claim (Figures 5-6): near-linear speedup; LCP/RRP beat UCP."""
+
+    def test_speedup_and_scheme_ordering(self):
+        from repro.bench.scaling import strong_scaling
+
+        curves = strong_scaling(30_000, 6, [8, 64], schemes=("ucp", "rrp"), seed=4)
+        rrp8, rrp64 = (pt.speedup for pt in curves["rrp"])
+        assert rrp64 > 4 * rrp8 * 0.8          # near-linear: ~8x ranks -> ~8x
+        assert rrp64 > curves["ucp"][1].speedup  # RRP beats UCP
+
+
+class TestLoadBalance:
+    """Claim (Figure 7 / Section 4.6): RRP nearly perfect, UCP poor."""
+
+    def test_imbalance_ordering(self):
+        res = {
+            scheme: generate(20_000, x=10, ranks=40, scheme=scheme, seed=5)
+            for scheme in ("ucp", "lcp", "rrp")
+        }
+        assert res["rrp"].imbalance < 1.1
+        assert res["rrp"].imbalance <= res["lcp"].imbalance <= res["ucp"].imbalance
+        assert res["ucp"].imbalance > 1.4
+
+    def test_lemma_34_rank0_hotspot(self):
+        r = generate(20_000, x=4, ranks=20, scheme="ucp", seed=6)
+        assert r.requests_received[0] > 2 * r.requests_received[-1]
+        assert r.requests_sent[0] == 0
+
+
+class TestBuffering:
+    """Claim (Section 3.5.2): careless resolved-message buffering under RRP
+    can deadlock; the flush rule prevents it."""
+
+    def test_hazard_and_fix(self):
+        from repro.core.event_driven import run_event_driven_pa_x1
+        from repro.mpsim.errors import DeadlockError
+
+        part = make_partition("rrp", 400, 8)
+        hazard_seen = False
+        for seed in range(3):
+            try:
+                run_event_driven_pa_x1(
+                    400, part, seed=seed, buffer_capacity=1 << 20, flush_on_idle=False
+                )
+            except DeadlockError:
+                hazard_seen = True
+        assert hazard_seen
+        edges, _ = run_event_driven_pa_x1(
+            400, part, seed=0, buffer_capacity=1 << 20, flush_on_idle=True
+        )
+        assert len(edges) == 399
+
+
+class TestPowerLaw:
+    """Claim (Figure 4): heavy-tailed power law, gamma near 2.7."""
+
+    def test_gamma_window(self):
+        from repro.graph.powerlaw import fit_powerlaw
+
+        r = generate(60_000, x=4, ranks=16, seed=7)
+        fit = fit_powerlaw(r.degrees(), k_min=8)
+        assert 2.4 < fit.gamma < 3.4
+        assert r.degrees().max() > 50 * r.degrees().mean()
