@@ -48,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--checkpoint", type=Path, default=None,
                    help="snapshot BSP state here every --checkpoint-every supersteps")
     g.add_argument("--checkpoint-every", type=int, default=1)
+    g.add_argument("--checkpoint-dir", type=Path, default=None,
+                   help="rotate checkpoints under this directory and run "
+                        "supervised: crashes are recovered automatically")
+    g.add_argument("--checkpoint-keep", type=int, default=3,
+                   help="checkpoint generations to retain in --checkpoint-dir")
+    g.add_argument("--inject-faults", type=int, default=None, metavar="SEED",
+                   help="inject a deterministic chaos fault plan seeded here "
+                        "(combine with --checkpoint-dir to recover from it)")
+    g.add_argument("--max-retries", type=int, default=3,
+                   help="supervised recovery attempts before giving up")
 
     o = sub.add_parser("other", help="generate non-PA models on the same substrate")
     o.add_argument("--model", choices=["er", "rmat", "chung-lu"], required=True)
@@ -130,6 +140,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         seed=args.seed,
         checkpoint_path=str(args.checkpoint) if args.checkpoint else None,
         checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=str(args.checkpoint_dir) if args.checkpoint_dir else None,
+        checkpoint_keep=args.checkpoint_keep,
+        fault_seed=args.inject_faults,
+        max_retries=args.max_retries,
     )
     wall = time.perf_counter() - t0
     print(
@@ -138,6 +152,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"in {wall:.2f}s wall / {result.simulated_time:.4f}s simulated, "
         f"{result.supersteps} supersteps, imbalance {result.imbalance:.3f}"
     )
+    if result.fault_plan is not None:
+        print(f"fault plan: {result.fault_plan.counts() or 'no faults fired'}")
+    for ev in result.recoveries:
+        origin = ev.checkpoint if ev.checkpoint else "scratch"
+        print(f"recovery #{ev.attempt}: superstep {ev.superstep} from {origin} "
+              f"(+{ev.backoff:g}s simulated backoff) after {ev.error}")
     if args.validate:
         report = result.validate()
         if not report.ok:

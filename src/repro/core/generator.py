@@ -66,6 +66,13 @@ class GenerationResult:
     nodes_per_rank: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
     #: engine statistics object, when a parallel engine ran
     world_stats: Any = None
+    #: supervised crash-recovery events
+    #: (:class:`repro.mpsim.supervisor.RecoveryEvent`) applied during the
+    #: run — empty unless faults were injected or a recovery happened
+    recoveries: list = field(default_factory=list)
+    #: the :class:`repro.mpsim.faults.FaultPlan` the run executed under
+    #: (``None`` for fault-free runs); its ``log`` lists every applied fault
+    fault_plan: Any = None
 
     @property
     def total_load_per_rank(self) -> np.ndarray:
@@ -99,6 +106,11 @@ def generate(
     cost_model: CostModel | None = None,
     checkpoint_path: str | None = None,
     checkpoint_every: int = 1,
+    checkpoint_dir: str | None = None,
+    checkpoint_keep: int = 3,
+    fault_plan: Any = None,
+    fault_seed: int | None = None,
+    max_retries: int = 3,
 ) -> GenerationResult:
     """Generate a preferential-attachment network.
 
@@ -127,6 +139,21 @@ def generate(
         its complete state there every ``checkpoint_every`` supersteps;
         crash recovery via :func:`repro.mpsim.checkpoint.resume` is
         bit-exact.
+    checkpoint_dir, checkpoint_keep:
+        When ``checkpoint_dir`` is set (BSP engine only), snapshots rotate
+        through ``checkpoint_keep`` generations under that directory and the
+        run executes under a :class:`repro.mpsim.supervisor.Supervisor`:
+        rank crashes and deadlocks are recovered automatically (up to
+        ``max_retries`` times) and recorded in the result's ``recoveries``.
+    fault_plan, fault_seed:
+        Inject faults: either an explicit
+        :class:`repro.mpsim.faults.FaultPlan`, or a seed from which a
+        default chaos plan (one scheduled rank crash) is derived.  With a
+        supervised BSP run the output is still bit-identical to the
+        fault-free graph; without supervision failures propagate to the
+        caller.
+    max_retries:
+        Recovery budget for supervised runs.
 
     Examples
     --------
@@ -136,9 +163,17 @@ def generate(
     >>> len(r.edges)
     5994
     """
+    plan = fault_plan
+    if plan is None and fault_seed is not None:
+        from repro.mpsim.faults import FaultPlan
+
+        plan = FaultPlan.chaos(fault_seed, ranks, crashes=1)
+
     if engine == "sequential":
         if ranks != 1:
             raise ValueError("sequential engine requires ranks=1")
+        if plan is not None:
+            raise ValueError("fault injection requires a parallel engine")
         from repro.seq.copy_model import copy_model
 
         edges = copy_model(n, x=x, p=p, seed=seed)
@@ -167,7 +202,7 @@ def generate(
         from repro.core.event_driven import run_event_driven_pa
 
         edges, sim = run_event_driven_pa(
-            n, x, part, p=p, seed=seed, cost_model=cost_model
+            n, x, part, p=p, seed=seed, cost_model=cost_model, fault_injector=plan
         )
         return GenerationResult(
             edges=edges,
@@ -184,24 +219,47 @@ def generate(
             requests_sent=np.zeros(part.P, np.int64),
             requests_received=np.zeros(part.P, np.int64),
             world_stats=sim.stats,
+            fault_plan=plan,
         )
 
     if engine != "bsp":
         raise ValueError(f"unknown engine {engine!r}; choose bsp, event, or sequential")
 
     checkpointer = None
-    if checkpoint_path is not None:
+    if checkpoint_dir is not None:
+        from pathlib import Path
+
+        from repro.mpsim.checkpoint import Checkpointer
+
+        checkpointer = Checkpointer(
+            Path(checkpoint_dir) / "run.ckpt", every=checkpoint_every, keep=checkpoint_keep
+        )
+    elif checkpoint_path is not None:
         from repro.mpsim.checkpoint import Checkpointer
 
         checkpointer = Checkpointer(checkpoint_path, every=checkpoint_every)
 
-    if x == 1:
+    recoveries: list = []
+    if checkpoint_dir is not None:
+        # rotated checkpoints => run under the supervisor: crashes and
+        # deadlocks are recovered (bit-identically) instead of propagating
+        eng, programs = _run_supervised(
+            n, x, p, part, seed, cost_model, checkpointer, plan, max_retries
+        )
+        edges = EdgeList(capacity=max(n * max(x, 1) - 1, 1))
+        for prog in programs:
+            u, v = prog.result()
+            edges.append_arrays(u, v)
+        recoveries = list(eng.stats.recoveries)
+    elif x == 1:
         edges, eng, programs = run_parallel_pa_x1(
-            n, part, p=p, seed=seed, cost_model=cost_model, checkpointer=checkpointer
+            n, part, p=p, seed=seed, cost_model=cost_model,
+            checkpointer=checkpointer, fault_plan=plan,
         )
     else:
         edges, eng, programs = run_parallel_pa(
-            n, x, part, p=p, seed=seed, cost_model=cost_model, checkpointer=checkpointer
+            n, x, part, p=p, seed=seed, cost_model=cost_model,
+            checkpointer=checkpointer, fault_plan=plan,
         )
     return GenerationResult(
         edges=edges,
@@ -220,4 +278,35 @@ def generate(
         ),
         nodes_per_rank=part.sizes(),
         world_stats=eng.stats,
+        recoveries=recoveries,
+        fault_plan=plan,
     )
+
+
+def _run_supervised(n, x, p, part, seed, cost_model, checkpointer, plan, max_retries):
+    """Run the BSP generation under a crash-recovering Supervisor."""
+    from repro.core.parallel_pa import PAx1RankProgram
+    from repro.core.parallel_pa_general import PAGeneralRankProgram
+    from repro.mpsim.bsp import BSPEngine
+    from repro.mpsim.supervisor import Supervisor
+    from repro.rng import StreamFactory
+
+    if x > 1 and n <= x:
+        raise ValueError(f"need n > x, got n={n}, x={x}")
+
+    def engine_factory() -> BSPEngine:
+        return BSPEngine(part.P, cost_model=cost_model)
+
+    def program_factory():
+        factory = StreamFactory(seed)
+        if x == 1:
+            return [PAx1RankProgram(r, part, p, factory.stream(r)) for r in range(part.P)]
+        return [
+            PAGeneralRankProgram(r, part, x, p, factory.stream(r))
+            for r in range(part.P)
+        ]
+
+    supervisor = Supervisor(
+        engine_factory, program_factory, checkpointer, max_retries=max_retries
+    )
+    return supervisor.run(fault_plan=plan)

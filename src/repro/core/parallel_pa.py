@@ -243,12 +243,15 @@ def run_parallel_pa_x1(
     cost_model: CostModel | None = None,
     max_supersteps: int = 10_000,
     checkpointer=None,
+    fault_plan=None,
 ) -> tuple[EdgeList, BSPEngine, list[PAx1RankProgram]]:
     """Generate an ``x = 1`` PA network on the BSP engine.
 
     Returns the merged edge list (rank order), the engine (for its traffic
     statistics and simulated time), and the rank programs (for per-rank
-    request counters — Figure 7's data).
+    request counters — Figure 7's data).  ``fault_plan`` injects faults
+    without recovery (failures propagate); use
+    :class:`repro.mpsim.supervisor.Supervisor` for supervised runs.
     """
     if partition.n != n:
         raise ValueError(f"partition covers n={partition.n}, requested n={n}")
@@ -257,7 +260,7 @@ def run_parallel_pa_x1(
         PAx1RankProgram(r, partition, p, factory.stream(r)) for r in range(partition.P)
     ]
     engine = BSPEngine(partition.P, cost_model=cost_model, max_supersteps=max_supersteps)
-    engine.run(programs, checkpointer=checkpointer)
+    engine.run(programs, checkpointer=checkpointer, fault_plan=fault_plan)
     edges = EdgeList(capacity=max(n - 1, 1))
     for prog in programs:
         t, f = prog.result()

@@ -343,11 +343,14 @@ def run_parallel_pa(
     cost_model: CostModel | None = None,
     max_supersteps: int = 10_000,
     checkpointer=None,
+    fault_plan=None,
 ) -> tuple[EdgeList, BSPEngine, list[PAGeneralRankProgram]]:
     """Generate a PA network with ``x`` edges per node on the BSP engine.
 
     Returns the merged edge list, the engine, and the rank programs (whose
     ``requests_sent`` / ``requests_received`` counters feed Figure 7).
+    ``fault_plan`` injects faults without recovery (failures propagate); use
+    :class:`repro.mpsim.supervisor.Supervisor` for supervised runs.
     """
     if partition.n != n:
         raise ValueError(f"partition covers n={partition.n}, requested n={n}")
@@ -359,7 +362,7 @@ def run_parallel_pa(
         for r in range(partition.P)
     ]
     engine = BSPEngine(partition.P, cost_model=cost_model, max_supersteps=max_supersteps)
-    engine.run(programs, checkpointer=checkpointer)
+    engine.run(programs, checkpointer=checkpointer, fault_plan=fault_plan)
     edges = EdgeList(capacity=max(n * x, 1))
     for prog in programs:
         u, v = prog.result()

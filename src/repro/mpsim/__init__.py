@@ -18,26 +18,51 @@ executes the *same* rank-local programs and the *same* message protocol:
 * :mod:`repro.mpsim.collectives` — barrier / bcast / scatter / gather /
   allgather / reduce / allreduce / alltoall(v) implemented on top of
   point-to-point sends, as an MPI library would.
+* :mod:`repro.mpsim.faults` + :mod:`repro.mpsim.supervisor` — seeded fault
+  injection (rank crashes, message drops/duplications, stragglers) for both
+  engines, and a checkpoint-based supervisor that recovers crashed BSP runs
+  bit-identically.
 
 All engines account traffic in :class:`~repro.mpsim.stats.RankStats`, which is
 exactly the data the paper's load-balance evaluation (Figure 7) plots.
 """
 
 from repro.mpsim.costmodel import CostModel, MachinePreset
-from repro.mpsim.errors import DeadlockError, MPSimError, RankFailure
+from repro.mpsim.errors import (
+    CorruptCheckpointError,
+    DeadlockError,
+    InjectedFault,
+    MPSimError,
+    RankFailure,
+    UnrecoverableError,
+)
 from repro.mpsim.stats import RankStats, WorldStats
 from repro.mpsim.runtime import Simulator
 from repro.mpsim.bsp import BSPEngine, BSPRankContext
+from repro.mpsim.faults import FaultPlan, FaultRecord
+from repro.mpsim.checkpoint import Checkpointer, load_checkpoint, load_latest_valid, resume
+from repro.mpsim.supervisor import RecoveryEvent, Supervisor
 
 __all__ = [
     "BSPEngine",
     "BSPRankContext",
+    "Checkpointer",
+    "CorruptCheckpointError",
     "CostModel",
     "DeadlockError",
+    "FaultPlan",
+    "FaultRecord",
+    "InjectedFault",
     "MachinePreset",
     "MPSimError",
     "RankFailure",
     "RankStats",
+    "RecoveryEvent",
     "Simulator",
+    "Supervisor",
+    "UnrecoverableError",
     "WorldStats",
+    "load_checkpoint",
+    "load_latest_valid",
+    "resume",
 ]

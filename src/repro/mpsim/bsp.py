@@ -31,7 +31,13 @@ from typing import Any, Mapping, Protocol, Sequence
 import numpy as np
 
 from repro.mpsim.costmodel import CostModel
-from repro.mpsim.errors import DeadlockError, InvalidRankError, MPSimError, RankFailure
+from repro.mpsim.errors import (
+    DeadlockError,
+    InjectedFault,
+    InvalidRankError,
+    MPSimError,
+    RankFailure,
+)
 from repro.mpsim.stats import WorldStats
 
 __all__ = ["BSPEngine", "BSPRankContext", "RankProgram", "Outbox"]
@@ -181,6 +187,7 @@ class BSPEngine:
         checkpointer: Any = None,
         initial_inboxes: list[list[tuple[int, np.ndarray]]] | None = None,
         tracer: Any = None,
+        fault_plan: Any = None,
     ) -> WorldStats:
         """Execute ``programs`` (one per rank) until global quiescence.
 
@@ -198,6 +205,11 @@ class BSPEngine:
         tracer:
             Optional :class:`repro.mpsim.trace.Tracer`; receives per-step
             rank times and record counts for timeline analysis.
+        fault_plan:
+            Optional :class:`repro.mpsim.faults.FaultPlan`; scheduled rank
+            crashes surface as :class:`RankFailure`, message drops and
+            duplications are applied at exchange time, and straggler ranks
+            have their per-step time inflated.
         """
         if len(programs) != self.size:
             raise MPSimError(
@@ -232,6 +244,16 @@ class BSPEngine:
             any_work = False
 
             for rank, prog in enumerate(programs):
+                if fault_plan is not None and fault_plan.should_crash(
+                    rank, superstep=self.supersteps, time=self.simulated_time
+                ):
+                    raise RankFailure(
+                        rank,
+                        InjectedFault(
+                            f"injected crash of rank {rank} at superstep "
+                            f"{self.supersteps}"
+                        ),
+                    )
                 ctx = contexts[rank]
                 inbox = inboxes[rank]
                 in_records = sum(len(arr) for _, arr in inbox)
@@ -257,7 +279,7 @@ class BSPEngine:
                     for arr in payloads:
                         if len(arr) == 0:
                             continue
-                        next_inboxes[dest].append((rank, arr))
+                        # sender-side costs accrue regardless of delivery fate
                         out_records += len(arr)
                         out_bytes += arr.nbytes
                         weighted_out_bytes += arr.nbytes * (
@@ -265,7 +287,15 @@ class BSPEngine:
                             if self._topo_mult is not None
                             else 1.0
                         )
-                        any_traffic = True
+                        copies = 1
+                        if fault_plan is not None:
+                            copies = fault_plan.message_fate(
+                                rank, dest, superstep=self.supersteps
+                            )
+                        for _ in range(copies):
+                            next_inboxes[dest].append((rank, arr))
+                        if copies:
+                            any_traffic = True
 
                 rs = self.stats[rank]
                 rs.record_send(out_records, out_bytes)
@@ -279,6 +309,8 @@ class BSPEngine:
                     + self.cost.beta * (weighted_out_bytes + in_bytes)
                     + self.cost.round_time()
                 )
+                if fault_plan is not None:
+                    t *= fault_plan.straggle_multiplier(rank)
                 rs.busy_time += t
                 step_times[rank] = t
                 step_records[rank] = out_records
@@ -287,7 +319,10 @@ class BSPEngine:
             if tracer is not None:
                 tracer.record(step_times, step_records)
             inboxes = next_inboxes
-            if checkpointer is not None:
+            if checkpointer is not None and (any_traffic or any_work):
+                # quiet supersteps carry no state change worth snapshotting,
+                # and saving them would let a deadlocking (e.g. poisoned)
+                # resume rotate away the older snapshots recovery still needs
                 checkpointer.maybe_save(self, programs, inboxes)
             all_done = all(p.done for p in programs)
             if not any_traffic and all_done:

@@ -10,14 +10,24 @@ superstep boundary, the *entire* distributed computation is captured by
 3. the engine's counters (supersteps, simulated time, traffic stats).
 
 :class:`Checkpointer` snapshots that triple every ``every`` supersteps with
-an atomic write-then-rename, and :func:`resume` reconstructs an engine that
-continues the run.  Because execution is deterministic, a resumed run
-produces a **bit-identical** graph to an uninterrupted one — which the
-test-suite asserts by killing a run mid-flight.
+an fsync'd atomic write-then-rename and keep-last-``keep`` rotation, and
+:func:`resume` reconstructs an engine that continues the run.  Because
+execution is deterministic, a resumed run produces a **bit-identical** graph
+to an uninterrupted one — which the test-suite asserts by killing a run
+mid-flight.
+
+Recovery has to be able to *trust* what it loads, so every snapshot embeds a
+SHA-256 checksum of its payload.  Truncated, garbage, or bit-flipped files
+raise :class:`~repro.mpsim.errors.CorruptCheckpointError` (never a raw
+``pickle`` traceback), and :func:`load_latest_valid` walks the rotation
+chain newest-first to find a snapshot that still validates — the fallback
+path :class:`~repro.mpsim.supervisor.Supervisor` relies on.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
 import tempfile
 from dataclasses import dataclass
@@ -26,12 +36,19 @@ from typing import Any, Sequence
 
 from repro.mpsim.bsp import BSPEngine
 from repro.mpsim.costmodel import CostModel
-from repro.mpsim.errors import MPSimError
+from repro.mpsim.errors import CorruptCheckpointError, MPSimError
 
-__all__ = ["Checkpointer", "CheckpointData", "load_checkpoint", "resume"]
+__all__ = [
+    "Checkpointer",
+    "CheckpointData",
+    "checkpoint_chain",
+    "load_checkpoint",
+    "load_latest_valid",
+    "resume",
+]
 
 _MAGIC = "repro-bsp-checkpoint"
-_VERSION = 1
+_VERSION = 2
 
 
 @dataclass
@@ -54,17 +71,41 @@ class Checkpointer:
     Parameters
     ----------
     path:
-        Checkpoint file (overwritten atomically at each snapshot).
+        Newest checkpoint file.  With ``keep > 1``, older snapshots are
+        rotated to ``<path>.1`` (previous), ``<path>.2``, ... up to
+        ``<path>.<keep-1>`` — the fallback chain corrupted-newest recovery
+        walks.
     every:
         Snapshot period in supersteps.
+    keep:
+        How many generations of snapshots to retain (``1`` = just ``path``,
+        the pre-rotation behaviour).
     """
 
-    def __init__(self, path: str | Path, every: int = 1) -> None:
+    def __init__(self, path: str | Path, every: int = 1, keep: int = 1) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
         self.path = Path(path)
         self.every = every
+        self.keep = keep
         self.snapshots = 0
+        #: saves are suppressed while ``engine.supersteps <= min_superstep``;
+        #: the Supervisor raises this during a retry so a replay of
+        #: already-checkpointed ground cannot rotate away the snapshots it
+        #: may still need to fall back to.
+        self.min_superstep = 0
+
+    def chain(self) -> list[Path]:
+        """All candidate snapshot paths, newest first (existing or not)."""
+        return [self.path] + [
+            self.path.with_name(f"{self.path.name}.{i}") for i in range(1, self.keep)
+        ]
+
+    def history(self) -> list[Path]:
+        """Snapshot paths currently on disk, newest first."""
+        return [p for p in self.chain() if p.exists()]
 
     def maybe_save(
         self,
@@ -74,6 +115,8 @@ class Checkpointer:
     ) -> bool:
         """Called by the engine after each superstep; returns True if saved."""
         if engine.supersteps % self.every != 0:
+            return False
+        if engine.supersteps <= self.min_superstep:
             return False
         data = CheckpointData(
             size=engine.size,
@@ -85,28 +128,101 @@ class Checkpointer:
             programs=list(programs),
             inboxes=inboxes,
         )
-        payload = (_MAGIC, _VERSION, data)
+        blob = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = (_MAGIC, _VERSION, hashlib.sha256(blob).hexdigest(), blob)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with tempfile.NamedTemporaryFile(
             dir=self.path.parent, prefix=self.path.name, suffix=".tmp", delete=False
         ) as fh:
             pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
             tmp_name = fh.name
+        chain = self.chain()
+        for i in range(len(chain) - 1, 0, -1):
+            if chain[i - 1].exists():
+                chain[i - 1].replace(chain[i])
         Path(tmp_name).replace(self.path)
         self.snapshots += 1
         return True
 
 
+def checkpoint_chain(path: str | Path) -> list[Path]:
+    """Existing snapshot files for ``path``, newest first.
+
+    Discovers rotated generations (``<path>.1``, ``<path>.2``, ...) without
+    needing to know the writer's ``keep`` setting.
+    """
+    path = Path(path)
+    out = [path] if path.exists() else []
+    i = 1
+    while True:
+        p = path.with_name(f"{path.name}.{i}")
+        if not p.exists():
+            break
+        out.append(p)
+        i += 1
+    return out
+
+
 def load_checkpoint(path: str | Path) -> CheckpointData:
-    """Read and validate a checkpoint file."""
-    with open(path, "rb") as fh:
-        payload = pickle.load(fh)
-    if not (isinstance(payload, tuple) and len(payload) == 3 and payload[0] == _MAGIC):
-        raise MPSimError(f"{path}: not a BSP checkpoint file")
-    magic, version, data = payload
+    """Read and validate one checkpoint file.
+
+    Raises
+    ------
+    CorruptCheckpointError
+        The file is truncated, garbage, fails its embedded SHA-256
+        checksum, or does not decode to :class:`CheckpointData`.
+    MPSimError
+        The file is a checkpoint of an unsupported format version.
+    FileNotFoundError
+        The file does not exist.
+    """
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CorruptCheckpointError(f"{path}: unreadable checkpoint ({exc!r})") from exc
+    if not (
+        isinstance(payload, tuple) and len(payload) == 4 and payload[0] == _MAGIC
+    ):
+        raise CorruptCheckpointError(f"{path}: not a BSP checkpoint file")
+    _magic, version, digest, blob = payload
     if version != _VERSION:
         raise MPSimError(f"{path}: unsupported checkpoint version {version}")
+    if hashlib.sha256(blob).hexdigest() != digest:
+        raise CorruptCheckpointError(f"{path}: checksum mismatch (corrupted snapshot)")
+    try:
+        data = pickle.loads(blob)
+    except Exception as exc:
+        raise CorruptCheckpointError(f"{path}: undecodable payload ({exc!r})") from exc
+    if not isinstance(data, CheckpointData):
+        raise CorruptCheckpointError(f"{path}: payload is not CheckpointData")
     return data
+
+
+def load_latest_valid(path: str | Path) -> tuple[CheckpointData, Path]:
+    """Load the newest snapshot in ``path``'s rotation chain that validates.
+
+    Returns the data and the file it came from.  Corrupt generations are
+    skipped; if *no* generation validates, the newest failure is re-raised
+    as :class:`CorruptCheckpointError`.
+    """
+    chain = checkpoint_chain(path)
+    if not chain:
+        raise FileNotFoundError(f"no checkpoint found at {path}")
+    failures: list[str] = []
+    for p in chain:
+        try:
+            return load_checkpoint(p), p
+        except MPSimError as exc:
+            failures.append(str(exc))
+    raise CorruptCheckpointError(
+        f"no valid checkpoint in chain of {len(chain)} at {path}: "
+        + "; ".join(failures)
+    )
 
 
 def resume(
@@ -116,17 +232,19 @@ def resume(
 ) -> tuple[BSPEngine, list[Any]]:
     """Continue a checkpointed run to completion.
 
-    Returns the reconstructed engine (with cumulative counters) and the
-    finished rank programs; read results off the programs exactly as after a
-    normal :meth:`BSPEngine.run`.  ``max_supersteps`` defaults to a fresh
-    engine's bound rather than the crashed run's (which may have been the
-    very limit that stopped it).
+    Loads the newest *valid* snapshot in ``path``'s rotation chain (falling
+    back past corrupted generations).  Returns the reconstructed engine
+    (with cumulative counters) and the finished rank programs; read results
+    off the programs exactly as after a normal :meth:`BSPEngine.run`.
+    ``max_supersteps`` defaults to the checkpoint's own recorded bound —
+    pass a larger value explicitly if the crashed run died by *exhausting*
+    that bound.
     """
-    data = load_checkpoint(path)
+    data, _ = load_latest_valid(path)
     engine = BSPEngine(
         data.size,
         cost_model=data.cost,
-        max_supersteps=max_supersteps if max_supersteps is not None else 10_000,
+        max_supersteps=max_supersteps if max_supersteps is not None else data.max_supersteps,
     )
     engine.stats = data.stats
     engine.simulated_time = data.simulated_time

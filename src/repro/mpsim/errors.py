@@ -6,9 +6,12 @@ __all__ = [
     "MPSimError",
     "DeadlockError",
     "RankFailure",
+    "InjectedFault",
     "InvalidRankError",
     "TruncationError",
     "CollectiveMismatchError",
+    "CorruptCheckpointError",
+    "UnrecoverableError",
 ]
 
 
@@ -37,6 +40,38 @@ class RankFailure(MPSimError):
         super().__init__(f"rank {rank} failed: {original!r}")
         self.rank = rank
         self.original = original
+
+
+class InjectedFault(MPSimError):
+    """A deliberate failure scheduled by a :class:`~repro.mpsim.faults.FaultPlan`.
+
+    Raised inside the victim rank (wrapped in :class:`RankFailure` by the
+    engines) so that recovery machinery sees injected crashes exactly as it
+    would see organic ones.
+    """
+
+
+class CorruptCheckpointError(MPSimError):
+    """A checkpoint file failed validation (truncated, garbage, or a
+    checksum mismatch).  Loaders raise this instead of letting raw
+    ``pickle``/``EOFError`` tracebacks escape, so supervisors can fall back
+    to an older snapshot."""
+
+
+class UnrecoverableError(MPSimError):
+    """A supervised run exhausted its recovery budget.
+
+    Carries the number of recovery attempts made and the failure that ended
+    the run, so callers can distinguish "retried and gave up" from a
+    first-strike error.
+    """
+
+    def __init__(
+        self, message: str, attempts: int = 0, last_error: BaseException | None = None
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class InvalidRankError(MPSimError, ValueError):

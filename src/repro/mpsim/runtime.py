@@ -43,7 +43,13 @@ from typing import Any, Callable, Generator, Iterable
 
 from repro.mpsim.costmodel import CostModel
 from repro.mpsim.datatypes import ANY_SOURCE, ANY_TAG, Envelope, payload_nbytes
-from repro.mpsim.errors import DeadlockError, InvalidRankError, MPSimError, RankFailure
+from repro.mpsim.errors import (
+    DeadlockError,
+    InjectedFault,
+    InvalidRankError,
+    MPSimError,
+    RankFailure,
+)
 from repro.mpsim.stats import WorldStats
 
 __all__ = ["Recv", "RecvOrQuiesce", "Barrier", "Simulator", "Message"]
@@ -182,12 +188,24 @@ class Simulator:
             raise ValueError(f"size must be positive, got {size}")
         self.size = size
         self.cost = cost_model or CostModel()
-        #: Optional failure-injection hook: called with every envelope at
-        #: send time; returning False silently *drops* the message (models a
-        #: lossy transport / crashed NIC).  Protocol code is expected to hang
-        #: on loss — which the deadlock/quiescence machinery then surfaces —
-        #: so this is a test hook for failure behaviour, not a retry layer.
+        #: Optional failure-injection hook.  Two forms are accepted:
+        #:
+        #: * a plain callable receiving every :class:`Envelope` at send time;
+        #:   returning False silently *drops* the message (models a lossy
+        #:   transport / crashed NIC);
+        #: * a :class:`~repro.mpsim.faults.FaultPlan` (anything with a
+        #:   ``message_fate`` method), which additionally supports message
+        #:   duplication, straggler latency inflation, and scheduled rank
+        #:   crashes (fired at the rank's next send or compute charge past
+        #:   the crash's virtual time, surfacing as :class:`RankFailure`).
+        #:
+        #: Protocol code is expected to hang on loss — which the
+        #: deadlock/quiescence machinery then surfaces — so this is a
+        #: failure-behaviour hook, not a retry layer.
         self.fault_injector = fault_injector
+        self._fault_plan = (
+            fault_injector if hasattr(fault_injector, "message_fate") else None
+        )
         self.dropped_messages = 0
         self.stats = WorldStats.for_size(size)
         self._seq = 0
@@ -201,13 +219,18 @@ class Simulator:
         if not 0 <= dest < self.size:
             raise InvalidRankError(f"destination rank {dest} outside [0, {self.size})")
         sender = self._ranks[source]
+        self._maybe_crash(source)
         nbytes = payload_nbytes(payload)
         sender.clock += self.cost.message_time(1, nbytes)
         self.stats[source].record_send(1, nbytes)
         self.stats[source].busy_time = sender.clock
+        latency = self.cost.alpha + self.cost.beta * nbytes
+        if self._fault_plan is not None:
+            # a straggler's NIC/link is slow: inflate its outgoing latency
+            latency *= self._fault_plan.straggle_multiplier(source)
         self._seq += 1
         env = Envelope(
-            deliver_at=sender.clock + self.cost.alpha + self.cost.beta * nbytes,
+            deliver_at=sender.clock + latency,
             seq=self._seq,
             source=source,
             dest=dest,
@@ -215,11 +238,43 @@ class Simulator:
             payload=payload,
             nbytes=nbytes,
         )
-        if self.fault_injector is not None and not self.fault_injector(env):
+        if self._fault_plan is not None:
+            copies = self._fault_plan.message_fate(source, dest)
+        elif self.fault_injector is not None:
+            copies = 1 if self.fault_injector(env) else 0
+        else:
+            copies = 1
+        if copies == 0:
             self.dropped_messages += 1
             return
         self._ranks[dest].mailbox.append(env)
         self._in_flight += 1
+        for _ in range(copies - 1):
+            self._seq += 1
+            dup = Envelope(
+                deliver_at=env.deliver_at,
+                seq=self._seq,
+                source=source,
+                dest=dest,
+                tag=tag,
+                payload=payload,
+                nbytes=nbytes,
+            )
+            self._ranks[dest].mailbox.append(dup)
+            self._in_flight += 1
+
+    def _maybe_crash(self, rank: int) -> None:
+        """Fire a scheduled crash once the rank's clock passes its deadline."""
+        if self._fault_plan is not None and self._fault_plan.should_crash(
+            rank, time=self._ranks[rank].clock
+        ):
+            raise RankFailure(
+                rank,
+                InjectedFault(
+                    f"injected crash of rank {rank} at virtual time "
+                    f"{self._ranks[rank].clock:.6f}"
+                ),
+            )
 
     def iprobe(self, rank: int, source: int, tag: int) -> bool:
         """Non-blocking probe: is a matching message already deliverable?"""
@@ -230,7 +285,11 @@ class Simulator:
     def charge(self, rank: int, nodes: int = 0, work_items: int = 0) -> None:
         """Advance a rank's clock by a compute charge (called via Comm)."""
         st = self._ranks[rank]
-        st.clock += self.cost.compute_time(nodes, work_items)
+        self._maybe_crash(rank)
+        t = self.cost.compute_time(nodes, work_items)
+        if self._fault_plan is not None:
+            t *= self._fault_plan.straggle_multiplier(rank)
+        st.clock += t
         self.stats[rank].nodes += nodes
         self.stats[rank].work_items += work_items
         self.stats[rank].busy_time = st.clock

@@ -61,10 +61,19 @@ class WorldStats:
     """Aggregate view over all ranks of one run."""
 
     ranks: list[RankStats] = field(default_factory=list)
+    #: supervised crash-recovery events
+    #: (:class:`repro.mpsim.supervisor.RecoveryEvent`) applied to this run,
+    #: in occurrence order — empty for unsupervised or fault-free runs
+    recoveries: list = field(default_factory=list)
 
     @classmethod
     def for_size(cls, size: int) -> "WorldStats":
         return cls(ranks=[RankStats(rank=r) for r in range(size)])
+
+    def record_recovery(self, event) -> None:
+        """Append one supervised recovery event (kept out of per-rank data
+        so imbalance metrics are unaffected)."""
+        self.recoveries.append(event)
 
     def __getitem__(self, rank: int) -> RankStats:
         return self.ranks[rank]
@@ -119,4 +128,5 @@ class WorldStats:
             "load_mean": float(loads.mean()) if len(loads) else 0.0,
             "imbalance": self.imbalance,
             "makespan": self.makespan,
+            "recoveries": float(len(self.recoveries)),
         }

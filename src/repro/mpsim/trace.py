@@ -46,12 +46,19 @@ class Tracer:
     def __init__(self) -> None:
         self._times: list[np.ndarray] = []
         self._records: list[np.ndarray] = []
+        #: out-of-band annotations, e.g. supervised crash recoveries:
+        #: ``(superstep, label)`` pairs in occurrence order
+        self.marks: list[tuple[int, str]] = []
 
     # ----------------------------------------------------------- recording
     def record(self, step_times: np.ndarray, step_records: np.ndarray) -> None:
         """Engine hook: one row per superstep."""
         self._times.append(step_times.copy())
         self._records.append(step_records.copy())
+
+    def mark(self, superstep: int, label: str) -> None:
+        """Annotate the timeline (used by the Supervisor for recoveries)."""
+        self.marks.append((int(superstep), str(label)))
 
     # ------------------------------------------------------------ analysis
     @property
@@ -114,6 +121,8 @@ class Tracer:
         util = self.utilisation()
         lines.append(f"mean utilisation: {util.mean():.2%} "
                      f"(min superstep {util.min():.2%})")
+        for superstep, label in self.marks:
+            lines.append(f"mark @ superstep {superstep}: {label}")
         return "\n".join(lines)
 
     def summary(self) -> dict[str, float]:

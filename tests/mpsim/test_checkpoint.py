@@ -9,8 +9,15 @@ from repro.core.partitioning import make_partition
 from repro.graph.edgelist import EdgeList
 from repro.graph.validation import validate_pa_graph
 from repro.mpsim.bsp import BSPEngine
-from repro.mpsim.checkpoint import Checkpointer, load_checkpoint, resume
-from repro.mpsim.errors import MPSimError
+from repro.mpsim.checkpoint import (
+    Checkpointer,
+    checkpoint_chain,
+    load_checkpoint,
+    load_latest_valid,
+    resume,
+)
+from repro.mpsim.errors import CorruptCheckpointError, MPSimError
+from repro.mpsim.faults import FaultPlan
 from repro.rng import StreamFactory
 
 
@@ -54,11 +61,15 @@ class TestCheckpointing:
         BSPEngine(P).run(clean_programs)
         clean_edges = _collect(clean_programs)
 
-        # "Crash" after 3 supersteps by bounding the engine.
+        # Crash rank 2 during superstep 4 via an injected fault.
         crash_programs = _make_programs(n, x, P, seed)
         ckpt = Checkpointer(tmp_path / "crash.ckpt", every=1)
         with pytest.raises(MPSimError):
-            BSPEngine(P, max_supersteps=3).run(crash_programs, checkpointer=ckpt)
+            BSPEngine(P).run(
+                crash_programs,
+                checkpointer=ckpt,
+                fault_plan=FaultPlan(0).crash(2, at_superstep=4),
+            )
 
         engine, resumed_programs = resume(tmp_path / "crash.ckpt")
         resumed_edges = _collect(resumed_programs)
@@ -69,12 +80,30 @@ class TestCheckpointing:
         n, P = 2000, 4
         ckpt = Checkpointer(tmp_path / "c.ckpt", every=1)
         with pytest.raises(MPSimError):
-            BSPEngine(P, max_supersteps=2).run(
-                _make_programs(n, 2, P, seed=3), checkpointer=ckpt
+            BSPEngine(P).run(
+                _make_programs(n, 2, P, seed=3),
+                checkpointer=ckpt,
+                fault_plan=FaultPlan(0).crash(1, at_superstep=2),
             )
         engine, _ = resume(tmp_path / "c.ckpt")
         assert engine.supersteps > 2
         assert engine.simulated_time > 0
+
+    def test_resume_default_bound_is_checkpoints_own(self, tmp_path):
+        """resume() inherits max_supersteps from the checkpoint (not 10k)."""
+        n, P = 1000, 4
+        ckpt = Checkpointer(tmp_path / "b.ckpt", every=1)
+        with pytest.raises(MPSimError, match="max_supersteps"):
+            BSPEngine(P, max_supersteps=2).run(
+                _make_programs(n, 2, P, seed=3), checkpointer=ckpt
+            )
+        # the recorded bound (2) is already exhausted: resuming with the
+        # default re-raises rather than silently adopting a fresh bound
+        with pytest.raises(MPSimError, match="max_supersteps"):
+            resume(tmp_path / "b.ckpt")
+        # an explicit larger bound completes the run
+        engine, _ = resume(tmp_path / "b.ckpt", max_supersteps=10_000)
+        assert engine.supersteps > 2
 
     def test_bad_file_rejected(self, tmp_path):
         bad = tmp_path / "bad.ckpt"
@@ -97,6 +126,90 @@ class TestCheckpointing:
         leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
         assert leftovers == []
         assert load_checkpoint(path).size == 4
+
+
+class TestIntegrity:
+    def test_truncated_file_raises_corrupt_not_pickle(self, tmp_path):
+        path = tmp_path / "t.ckpt"
+        ckpt = Checkpointer(path, every=1)
+        BSPEngine(4).run(_make_programs(1000, 2, 4, seed=5), checkpointer=ckpt)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CorruptCheckpointError):
+            load_checkpoint(path)
+
+    def test_garbage_file_raises_corrupt(self, tmp_path):
+        bad = tmp_path / "g.ckpt"
+        bad.write_bytes(b"\x00\x01 not a pickle at all")
+        with pytest.raises(CorruptCheckpointError):
+            load_checkpoint(bad)
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        path = tmp_path / "f.ckpt"
+        ckpt = Checkpointer(path, every=1)
+        BSPEngine(4).run(_make_programs(1000, 2, 4, seed=5), checkpointer=ckpt)
+        blob = bytearray(path.read_bytes())
+        blob[-20] ^= 0xFF  # flip a payload byte, keeping the pickle parseable
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptCheckpointError, match="checksum|unreadable"):
+            load_checkpoint(path)
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope.ckpt")
+        with pytest.raises(FileNotFoundError):
+            load_latest_valid(tmp_path / "nope.ckpt")
+
+
+class TestRotation:
+    def test_keep_last_k(self, tmp_path):
+        path = tmp_path / "r.ckpt"
+        ckpt = Checkpointer(path, every=1, keep=3)
+        engine = BSPEngine(4)
+        engine.run(_make_programs(2000, 2, 4, seed=1), checkpointer=ckpt)
+        assert ckpt.snapshots >= 3
+        chain = checkpoint_chain(path)
+        assert [p.name for p in chain] == ["r.ckpt", "r.ckpt.1", "r.ckpt.2"]
+        # newest first: strictly decreasing superstep counters
+        steps = [load_checkpoint(p).supersteps for p in chain]
+        assert steps == sorted(steps, reverse=True)
+        assert steps[0] - steps[1] == 1
+
+    def test_fallback_to_older_snapshot(self, tmp_path):
+        """A corrupted newest snapshot falls back to the previous one."""
+        n, P = 2000, 4
+        path = tmp_path / "fb.ckpt"
+        ckpt = Checkpointer(path, every=1, keep=3)
+        clean_programs = _make_programs(n, 2, P, seed=2)
+        BSPEngine(P).run(clean_programs, checkpointer=ckpt)
+        clean_edges = _collect(clean_programs)
+
+        path.write_bytes(b"garbage")
+        data, used = load_latest_valid(path)
+        assert used.name == "fb.ckpt.1"
+
+        engine, programs = resume(path)
+        assert np.array_equal(_collect(programs).canonical(), clean_edges.canonical())
+
+    def test_all_corrupt_raises_corrupt_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ac.ckpt"
+        ckpt = Checkpointer(path, every=1, keep=3)
+        BSPEngine(4).run(_make_programs(1500, 2, 4, seed=4), checkpointer=ckpt)
+        for p in checkpoint_chain(path):
+            p.write_bytes(b"junk")
+        with pytest.raises(CorruptCheckpointError, match="no valid checkpoint"):
+            load_latest_valid(path)
+        with pytest.raises(CorruptCheckpointError):
+            resume(path)
+
+    def test_min_superstep_suppresses_saves(self, tmp_path):
+        path = tmp_path / "ms.ckpt"
+        ckpt = Checkpointer(path, every=1, keep=2)
+        ckpt.min_superstep = 10_000  # suppress everything
+        engine = BSPEngine(4)
+        engine.run(_make_programs(800, 2, 4, seed=6), checkpointer=ckpt)
+        assert ckpt.snapshots == 0
+        assert checkpoint_chain(path) == []
 
 
 class TestNonblockingOps:

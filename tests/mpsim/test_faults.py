@@ -1,0 +1,143 @@
+"""Tests for the seeded FaultPlan applied through both engine hooks."""
+
+import numpy as np
+import pytest
+
+from repro.core.event_driven import run_event_driven_pa_x1
+from repro.core.parallel_pa import run_parallel_pa_x1
+from repro.core.partitioning import make_partition
+from repro.mpsim import BSPEngine, FaultPlan, Simulator
+from repro.mpsim.errors import DeadlockError, InjectedFault, RankFailure
+
+
+class TestPlanConstruction:
+    def test_chaos_is_deterministic(self):
+        a = FaultPlan.chaos(42, size=8, crashes=2, drops=3, stragglers=1)
+        b = FaultPlan.chaos(42, size=8, crashes=2, drops=3, stragglers=1)
+        assert [(c.rank, c.at_superstep) for c in a._crashes] == [
+            (c.rank, c.at_superstep) for c in b._crashes
+        ]
+        assert a.straggler_ranks == b.straggler_ranks
+
+    def test_different_seeds_differ(self):
+        plans = [FaultPlan.chaos(s, size=32, crashes=1) for s in range(20)]
+        victims = {p._crashes[0].rank for p in plans}
+        assert len(victims) > 1
+
+    def test_crash_needs_a_trigger(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0).crash(1)
+
+    def test_straggle_factor_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0).straggle(0, factor=0.5)
+
+
+class TestBSPFaults:
+    def _programs(self, n=1500, P=4, seed=0):
+        from repro.core.parallel_pa import PAx1RankProgram
+        from repro.rng import StreamFactory
+
+        part = make_partition("rrp", n, P)
+        f = StreamFactory(seed)
+        return part, [PAx1RankProgram(r, part, 0.5, f.stream(r)) for r in range(P)]
+
+    def test_scheduled_crash_fires_as_rank_failure(self):
+        part, programs = self._programs()
+        plan = FaultPlan(0).crash(2, at_superstep=2)
+        with pytest.raises(RankFailure) as ei:
+            BSPEngine(4).run(programs, fault_plan=plan)
+        assert ei.value.rank == 2
+        assert isinstance(ei.value.original, InjectedFault)
+        assert plan.counts() == {"crash": 1}
+        assert plan.pending_crashes == 0
+
+    def test_crash_is_one_shot(self):
+        """A fired crash does not re-fire on a second run with the plan."""
+        plan = FaultPlan(0).crash(1, at_superstep=1)
+        part, programs = self._programs()
+        with pytest.raises(RankFailure):
+            BSPEngine(4).run(programs, fault_plan=plan)
+        part, programs = self._programs()
+        stats = BSPEngine(4).run(programs, fault_plan=plan)  # completes
+        assert all(p.done for p in programs)
+
+    def test_total_drop_is_detected_not_silent(self):
+        """Dropping every message must end in loud failure, never a partial
+        graph."""
+        part, programs = self._programs()
+        plan = FaultPlan(0).drop(10**9, rate=1.0)
+        with pytest.raises(DeadlockError):
+            BSPEngine(4).run(programs, fault_plan=plan)
+
+    def test_straggler_inflates_time_not_results(self):
+        n, P = 1500, 4
+        part = make_partition("rrp", n, P)
+        base_edges, base_eng, _ = run_parallel_pa_x1(n, part, seed=3)
+        slow_edges, slow_eng, _ = run_parallel_pa_x1(
+            n, part, seed=3, fault_plan=FaultPlan(0).straggle(1, factor=20.0)
+        )
+        assert np.array_equal(base_edges.canonical(), slow_edges.canonical())
+        assert slow_eng.simulated_time > 2 * base_eng.simulated_time
+
+    def test_exhausted_budgets_are_pass_through(self):
+        n, P = 1200, 4
+        part = make_partition("rrp", n, P)
+        base, _, _ = run_parallel_pa_x1(n, part, seed=5)
+        hooked, _, _ = run_parallel_pa_x1(
+            n, part, seed=5, fault_plan=FaultPlan(9)  # no faults scheduled
+        )
+        assert np.array_equal(base.canonical(), hooked.canonical())
+
+
+class TestSimulatorFaults:
+    def test_crash_at_virtual_time(self):
+        part = make_partition("rrp", 400, 4)
+        plan = FaultPlan(0).crash(1, at_time=0.0)
+        with pytest.raises(RankFailure) as ei:
+            run_event_driven_pa_x1(400, part, seed=0, fault_injector=plan)
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.original, InjectedFault)
+
+    def test_duplicates_do_not_change_the_graph(self):
+        """The x=1 resolution protocol is idempotent under duplication."""
+        part = make_partition("rrp", 400, 4)
+        base, _ = run_event_driven_pa_x1(400, part, seed=1)
+        plan = FaultPlan(2).duplicate(5, rate=0.05)
+        dup, sim = run_event_driven_pa_x1(400, part, seed=1, fault_injector=plan)
+        assert plan.counts().get("duplicate", 0) > 0
+        assert np.array_equal(base.canonical(), dup.canonical())
+
+    def test_straggler_slows_but_preserves_output(self):
+        part = make_partition("rrp", 400, 4)
+        base, base_sim = run_event_driven_pa_x1(400, part, seed=2)
+        plan = FaultPlan(0).straggle(0, factor=25.0)
+        slow, slow_sim = run_event_driven_pa_x1(400, part, seed=2, fault_injector=plan)
+        assert np.array_equal(base.canonical(), slow.canonical())
+        assert slow_sim.makespan > base_sim.makespan
+
+    def test_plan_drops_count_in_dropped_messages(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "x")
+            else:
+                msg = yield comm.recv_or_quiesce()
+                assert msg is None
+
+        plan = FaultPlan(0).drop(10, rate=1.0)
+        sim = Simulator(2, fault_injector=plan)
+        sim.run(prog)
+        assert sim.dropped_messages == 1
+        assert plan.counts() == {"drop": 1}
+
+    def test_legacy_callable_hook_still_works(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, 7)
+            else:
+                msg = yield comm.recv_or_quiesce()
+                assert msg is None
+
+        sim = Simulator(2, fault_injector=lambda env: False)
+        sim.run(prog)
+        assert sim.dropped_messages == 1

@@ -1,0 +1,188 @@
+"""Tests for supervised crash recovery (the ISSUE acceptance criteria)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_pa import PAx1RankProgram
+from repro.core.parallel_pa_general import PAGeneralRankProgram
+from repro.core.partitioning import make_partition
+from repro.graph.edgelist import EdgeList
+from repro.graph.validation import validate_pa_graph
+from repro.mpsim.bsp import BSPEngine
+from repro.mpsim.checkpoint import Checkpointer
+from repro.mpsim.errors import UnrecoverableError
+from repro.mpsim.faults import FaultPlan
+from repro.mpsim.supervisor import RecoveryEvent, Supervisor
+from repro.mpsim.trace import Tracer
+from repro.rng import StreamFactory
+
+
+def _collect(programs) -> EdgeList:
+    edges = EdgeList()
+    for prog in programs:
+        edges.extend(prog.local_edges())
+    return edges
+
+
+def _factories(n, x, P, seed, scheme="rrp"):
+    part = make_partition(scheme, n, P)
+
+    def engine_factory():
+        return BSPEngine(P)
+
+    def program_factory():
+        factory = StreamFactory(seed)
+        if x == 1:
+            return [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(P)]
+        return [
+            PAGeneralRankProgram(r, part, x, 0.5, factory.stream(r)) for r in range(P)
+        ]
+
+    return engine_factory, program_factory
+
+
+def _clean_edges(n, x, P, seed):
+    _, program_factory = _factories(n, x, P, seed)
+    programs = program_factory()
+    BSPEngine(P).run(programs)
+    return _collect(programs)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("x", [1, 3])
+    def test_crash_recovery_is_bit_identical(self, tmp_path, x):
+        """The ISSUE acceptance property: kill a PA run mid-flight, recover
+        it through the Supervisor, and get the exact fault-free edge list."""
+        n, P, seed = 3000, 6, 7
+        clean = _clean_edges(n, x, P, seed)
+
+        ef, pf = _factories(n, x, P, seed)
+        sup = Supervisor(ef, pf, Checkpointer(tmp_path / "run.ckpt", keep=3))
+        engine, programs = sup.run(fault_plan=FaultPlan(0).crash(3, at_superstep=4))
+
+        assert len(sup.recoveries) == 1
+        event = sup.recoveries[0]
+        assert isinstance(event, RecoveryEvent)
+        assert event.superstep > 0  # recovered from a snapshot, not scratch
+        assert "InjectedFault" in event.error
+
+        recovered = _collect(programs)
+        assert np.array_equal(recovered.canonical(), clean.canonical())
+        assert validate_pa_graph(recovered, n, x).ok
+
+    def test_recoveries_recorded_in_stats_and_summary(self, tmp_path):
+        n, P, seed = 2000, 4, 1
+        ef, pf = _factories(n, 1, P, seed)
+        sup = Supervisor(ef, pf, Checkpointer(tmp_path / "s.ckpt", keep=3))
+        engine, _ = sup.run(fault_plan=FaultPlan(0).crash(1, at_superstep=3))
+        assert engine.stats.recoveries == sup.recoveries
+        assert engine.stats.summary()["recoveries"] == 1.0
+
+    def test_backoff_charged_to_simulated_time(self, tmp_path):
+        n, P, seed = 2000, 4, 2
+        _, pf = _factories(n, 1, P, seed)
+        base_programs = pf()
+        base_engine = BSPEngine(P)
+        base_engine.run(base_programs)
+
+        ef, pf = _factories(n, 1, P, seed)
+        sup = Supervisor(
+            ef, pf, Checkpointer(tmp_path / "b.ckpt", keep=3), backoff=100.0
+        )
+        engine, _ = sup.run(fault_plan=FaultPlan(0).crash(0, at_superstep=3))
+        assert engine.simulated_time > base_engine.simulated_time + 99.0
+
+    def test_multiple_crashes_multiple_recoveries(self, tmp_path):
+        n, P, seed = 2500, 4, 4
+        clean = _clean_edges(n, 1, P, seed)
+        plan = (
+            FaultPlan(0)
+            .crash(0, at_superstep=2)
+            .crash(2, at_superstep=5)
+            .crash(3, at_superstep=8)
+        )
+        ef, pf = _factories(n, 1, P, seed)
+        sup = Supervisor(ef, pf, Checkpointer(tmp_path / "m.ckpt", keep=3))
+        engine, programs = sup.run(fault_plan=plan)
+        assert len(sup.recoveries) == 3
+        assert np.array_equal(_collect(programs).canonical(), clean.canonical())
+
+    def test_tracer_gets_recovery_marks(self, tmp_path):
+        n, P, seed = 1500, 4, 5
+        ef, pf = _factories(n, 1, P, seed)
+        sup = Supervisor(ef, pf, Checkpointer(tmp_path / "t.ckpt", keep=3))
+        tracer = Tracer()
+        sup.run(fault_plan=FaultPlan(0).crash(1, at_superstep=3), tracer=tracer)
+        assert len(tracer.marks) == 1
+        assert "recovery #1" in tracer.marks[0][1]
+        assert "recovery #1" in tracer.gantt()
+
+
+class TestFallback:
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        """A corrupted newest snapshot is skipped; recovery still succeeds
+        bit-identically from an older generation."""
+        n, P, seed = 2500, 4, 6
+        clean = _clean_edges(n, 1, P, seed)
+        path = tmp_path / "fb.ckpt"
+
+        class SabotagedCheckpointer(Checkpointer):
+            """Corrupts the freshest snapshot right after superstep 3."""
+
+            def maybe_save(self, engine, programs, inboxes):
+                super().maybe_save(engine, programs, inboxes)
+                if engine.supersteps == 3:
+                    self.path.write_bytes(b"bitrot")
+
+        ef, pf = _factories(n, 1, P, seed)
+        sup = Supervisor(ef, pf, SabotagedCheckpointer(path, keep=3))
+        engine, programs = sup.run(fault_plan=FaultPlan(0).crash(2, at_superstep=4))
+
+        assert sup.skipped_checkpoints  # corrupt file was seen and skipped
+        assert len(sup.recoveries) == 1
+        assert sup.recoveries[0].checkpoint is not None
+        assert sup.recoveries[0].checkpoint.endswith(".1")
+        assert np.array_equal(_collect(programs).canonical(), clean.canonical())
+
+    def test_no_checkpoint_yet_restarts_from_scratch(self, tmp_path):
+        """Crash before the first snapshot: the supervisor replays from the
+        program factory and the output is still exact."""
+        n, P, seed = 2000, 4, 8
+        clean = _clean_edges(n, 1, P, seed)
+        ef, pf = _factories(n, 1, P, seed)
+        # every=100 => no snapshot exists when the crash hits at superstep 2
+        sup = Supervisor(ef, pf, Checkpointer(tmp_path / "z.ckpt", every=100, keep=3))
+        engine, programs = sup.run(fault_plan=FaultPlan(0).crash(1, at_superstep=2))
+        assert len(sup.recoveries) == 1
+        assert sup.recoveries[0].checkpoint is None
+        assert sup.recoveries[0].superstep == 0
+        assert np.array_equal(_collect(programs).canonical(), clean.canonical())
+
+
+class TestGivingUp:
+    def test_retries_exhausted_raises_unrecoverable(self, tmp_path):
+        n, P, seed = 1500, 4, 9
+        plan = FaultPlan(0)
+        for step in range(2, 12):
+            plan.crash(step % P, at_superstep=step)
+        ef, pf = _factories(n, 1, P, seed)
+        sup = Supervisor(
+            ef, pf, Checkpointer(tmp_path / "u.ckpt", keep=3), max_retries=2
+        )
+        with pytest.raises(UnrecoverableError) as ei:
+            sup.run(fault_plan=plan)
+        assert ei.value.attempts == 2
+        assert ei.value.last_error is not None
+
+    def test_zero_retries_fails_fast(self, tmp_path):
+        ef, pf = _factories(1000, 1, 4, 0)
+        sup = Supervisor(
+            ef, pf, Checkpointer(tmp_path / "f.ckpt", keep=2), max_retries=0
+        )
+        with pytest.raises(UnrecoverableError):
+            sup.run(fault_plan=FaultPlan(0).crash(1, at_superstep=2))
+
+    def test_negative_retries_rejected(self, tmp_path):
+        ef, pf = _factories(100, 1, 2, 0)
+        with pytest.raises(ValueError):
+            Supervisor(ef, pf, Checkpointer(tmp_path / "n.ckpt"), max_retries=-1)
