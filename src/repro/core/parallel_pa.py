@@ -33,7 +33,9 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.core.arena import RecordQueue
 from repro.core.partitioning import Partition
+from repro.core.routing import route_by_dest
 from repro.graph.edgelist import EdgeList
 from repro.mpsim.bsp import BSPEngine, BSPRankContext
 from repro.mpsim.costmodel import CostModel
@@ -82,12 +84,11 @@ class PAx1RankProgram:
         self.F = np.full(len(self.nodes), -1, dtype=np.int64)
         self._started = False
         # local copy-chain waits: t (local idx) waiting on k (local idx)
-        self._pend_t = np.empty(0, dtype=np.int64)
-        self._pend_k = np.empty(0, dtype=np.int64)
+        self._pend = RecordQueue(2)  # columns: (t local idx, k local idx)
         # remote requesters parked on an unknown local F_k (the wait queues
-        # Q_k of Lines 14-15, stored as flat arrays for bulk draining)
-        self._park_k = np.empty(0, dtype=np.int64)  # local idx awaited
-        self._park_t = np.empty(0, dtype=np.int64)  # waiting node id
+        # Q_k of Lines 14-15, kept in an amortised-doubling arena so each
+        # superstep's append costs the batch, not the queue)
+        self._park = RecordQueue(2)  # columns: (k local idx awaited, t)
         # resolution progress (node 0 owns no attachment)
         self._unresolved = int((self.nodes >= 1).sum())
         # paper's Figure 7 counters
@@ -162,8 +163,10 @@ class PAx1RankProgram:
         owners = self.part.owner(ck)
         local = owners == self.rank
         if local.any():
-            self._pend_t = cidx[local]
-            self._pend_k = np.asarray(self.part.local_index(self.rank, ck[local]), dtype=np.int64)
+            self._pend.push(
+                cidx[local],
+                np.asarray(self.part.local_index(self.rank, ck[local]), dtype=np.int64),
+            )
         remote = ~local
         if remote.any():
             self._route(out, _records(REQ, ct[remote], ck[remote]), owners[remote])
@@ -179,18 +182,18 @@ class PAx1RankProgram:
 
     def _local_sweep(self, newly, ctx: BSPRankContext) -> None:
         """Resolve local copy chains: one pass per chain level."""
-        while len(self._pend_t):
-            vals = self.F[self._pend_k]
+        while len(self._pend):
+            pend_t, pend_k = self._pend.columns()
+            vals = self.F[pend_k]
             ready = vals >= 0
             if not ready.any():
                 return
-            done_t = self._pend_t[ready]
+            done_t = pend_t[ready]
             self.F[done_t] = vals[ready]
             self._unresolved -= len(done_t)
             newly.append(done_t)
             ctx.charge(work_items=len(done_t))
-            self._pend_t = self._pend_t[~ready]
-            self._pend_k = self._pend_k[~ready]
+            self._pend.keep(~ready)
 
     def _park_requests(self, req: np.ndarray, ctx: BSPRankContext) -> None:
         """Lines 11-15: park arriving requests on their target node.
@@ -202,37 +205,27 @@ class PAx1RankProgram:
         self.requests_received += len(req)
         ctx.charge(work_items=len(req))
         kidx = np.asarray(self.part.local_index(self.rank, req["a"]), dtype=np.int64)
-        self._park_k = np.concatenate([self._park_k, kidx])
-        self._park_t = np.concatenate([self._park_t, req["t"]])
+        self._park.push(kidx, req["t"])
 
     def _drain_parked(self, out, ctx: BSPRankContext) -> None:
         """Lines 12-13 and 18-19 in bulk: answer every parked request whose
         awaited ``F_k`` has resolved."""
-        if not len(self._park_k):
+        if not len(self._park):
             return
-        vals = self.F[self._park_k]
+        park_k, park_t = self._park.columns()
+        vals = self.F[park_k]
         ready = vals >= 0
         if not ready.any():
             return
-        t_out = self._park_t[ready]
+        t_out = park_t[ready]
         v_out = vals[ready]
-        keep = ~ready
-        self._park_k = self._park_k[keep]
-        self._park_t = self._park_t[keep]
+        self._park.keep(~ready)
         ctx.charge(work_items=len(t_out))
         self._route(out, _records(RES, t_out, v_out), self.part.owner(t_out))
 
     def _route(self, out, records: np.ndarray, dests: np.ndarray) -> None:
         """Group ``records`` by destination rank and append to the outbox."""
-        dests = np.asarray(dests)
-        order = np.argsort(dests, kind="stable")
-        records, dests = records[order], dests[order]
-        cut = np.flatnonzero(np.diff(dests)) + 1
-        for dest, chunk in zip(
-            np.concatenate([dests[:1], dests[cut]]).tolist(),
-            np.split(records, cut),
-        ):
-            out[int(dest)].append(chunk)
+        route_by_dest(out, records, dests)
 
 
 def run_parallel_pa_x1(

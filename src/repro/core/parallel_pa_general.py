@@ -34,7 +34,9 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.core.arena import RecordQueue
 from repro.core.partitioning import Partition
+from repro.core.routing import route_by_dest
 from repro.graph.edgelist import EdgeList
 from repro.mpsim.bsp import BSPEngine, BSPRankContext
 from repro.mpsim.costmodel import CostModel
@@ -78,16 +80,12 @@ class PAGeneralRankProgram:
         self.F = np.full((len(self.nodes), x), -1, dtype=np.int64)
         self._started = False
         # pending local copies: slot (t local idx, e) awaiting F[k local idx, l]
-        self._pend_t = np.empty(0, dtype=np.int64)
-        self._pend_e = np.empty(0, dtype=np.int64)
-        self._pend_k = np.empty(0, dtype=np.int64)
-        self._pend_l = np.empty(0, dtype=np.int64)
+        self._pend = RecordQueue(4)  # columns: (t idx, e, k idx, l)
         # remote requesters parked on unknown local slots (the wait queues
-        # Q_{k,l} of Lines 19-20, stored as flat arrays for bulk draining):
+        # Q_{k,l} of Lines 19-20, kept in an amortised-doubling arena so
+        # each superstep's append costs the batch, not the queue):
         # waiting slot (t, e) needs the value of local flat slot `key`.
-        self._park_key = np.empty(0, dtype=np.int64)  # kidx * x + l
-        self._park_t = np.empty(0, dtype=np.int64)
-        self._park_e = np.empty(0, dtype=np.int64)
+        self._park = RecordQueue(3)  # columns: (key = kidx * x + l, t, e)
         self._unresolved = int((self.nodes >= x).sum()) * x
         self.requests_sent = 0
         self.requests_received = 0
@@ -211,10 +209,7 @@ class PAGeneralRankProgram:
                     kloc = np.asarray(
                         self.part.local_index(self.rank, ck[local]), dtype=np.int64
                     )
-                    self._pend_t = np.concatenate([self._pend_t, cidx[local]])
-                    self._pend_e = np.concatenate([self._pend_e, ce[local]])
-                    self._pend_k = np.concatenate([self._pend_k, kloc])
-                    self._pend_l = np.concatenate([self._pend_l, l[local]])
+                    self._pend.push(cidx[local], ce[local], kloc, l[local])
                 remote = ~local
                 if remote.any():
                     self._route(
@@ -268,15 +263,14 @@ class PAGeneralRankProgram:
 
     def _local_sweep(self, out, newly, ctx: BSPRankContext) -> None:
         """Resolve local copy slots whose source slot is now known."""
-        while len(self._pend_t):
-            vals = self.F[self._pend_k, self._pend_l]
+        while len(self._pend):
+            pend_t, pend_e, pend_k, pend_l = self._pend.columns()
+            vals = self.F[pend_k, pend_l]
             ready = vals >= 0
             if not ready.any():
                 return
-            rt, re_, rv = self._pend_t[ready], self._pend_e[ready], vals[ready]
-            keep = ~ready
-            self._pend_t, self._pend_e = self._pend_t[keep], self._pend_e[keep]
-            self._pend_k, self._pend_l = self._pend_k[keep], self._pend_l[keep]
+            rt, re_, rv = pend_t[ready], pend_e[ready], vals[ready]
+            self._pend.keep(~ready)
             ctx.charge(work_items=len(rt))
             win = self._try_assign(rt, re_, rv, newly)
             lose = ~win
@@ -295,26 +289,22 @@ class PAGeneralRankProgram:
         self.requests_received += len(req)
         ctx.charge(work_items=len(req))
         kidx = np.asarray(self.part.local_index(self.rank, req["a"]), dtype=np.int64)
-        self._park_key = np.concatenate([self._park_key, kidx * self.x + req["l"]])
-        self._park_t = np.concatenate([self._park_t, req["t"]])
-        self._park_e = np.concatenate([self._park_e, req["e"]])
+        self._park.push(kidx * self.x + req["l"], req["t"], req["e"])
 
     def _drain_parked(self, out, ctx: BSPRankContext) -> None:
         """Answer every parked request whose slot has resolved (Lines 17-18
         and 24-25, executed in bulk)."""
-        if not len(self._park_key):
+        if not len(self._park):
             return
-        vals = self.F.reshape(-1)[self._park_key]
+        park_key, park_t, park_e = self._park.columns()
+        vals = self.F.reshape(-1)[park_key]
         ready = vals >= 0
         if not ready.any():
             return
-        t_out = self._park_t[ready]
-        e_out = self._park_e[ready]
+        t_out = park_t[ready]
+        e_out = park_e[ready]
         v_out = vals[ready]
-        keep = ~ready
-        self._park_key = self._park_key[keep]
-        self._park_t = self._park_t[keep]
-        self._park_e = self._park_e[keep]
+        self._park.keep(~ready)
         ctx.charge(work_items=len(t_out))
         self._route(
             out,
@@ -323,15 +313,7 @@ class PAGeneralRankProgram:
         )
 
     def _route(self, out, records: np.ndarray, dests: np.ndarray) -> None:
-        dests = np.asarray(dests)
-        order = np.argsort(dests, kind="stable")
-        records, dests = records[order], dests[order]
-        cut = np.flatnonzero(np.diff(dests)) + 1
-        for dest, chunk in zip(
-            np.concatenate([dests[:1], dests[cut]]).tolist(),
-            np.split(records, cut),
-        ):
-            out[int(dest)].append(chunk)
+        route_by_dest(out, records, dests)
 
 
 def run_parallel_pa(

@@ -39,13 +39,14 @@ class EdgeList:
     4
     """
 
-    __slots__ = ("_u", "_v", "_size")
+    __slots__ = ("_u", "_v", "_size", "_max_node")
 
     def __init__(self, capacity: int = 1024) -> None:
         capacity = max(int(capacity), 1)
         self._u = np.empty(capacity, dtype=np.int64)
         self._v = np.empty(capacity, dtype=np.int64)
         self._size = 0
+        self._max_node = -1  # running max node id; -1 when empty
 
     # ------------------------------------------------------------- building
     @classmethod
@@ -59,15 +60,22 @@ class EdgeList:
         el._u[: len(u)] = u
         el._v[: len(v)] = v
         el._size = len(u)
+        if len(u):
+            el._max_node = int(max(u.max(), v.max()))
         return el
 
     def _grow_to(self, needed: int) -> None:
         cap = len(self._u)
         if needed <= cap:
             return
+        # one fresh allocation per array + one copy of the live prefix (the
+        # previous np.concatenate built an extra temporary per growth step)
         new_cap = max(needed, cap * 2)
-        self._u = np.concatenate([self._u[: self._size], np.empty(new_cap - self._size, np.int64)])
-        self._v = np.concatenate([self._v[: self._size], np.empty(new_cap - self._size, np.int64)])
+        new_u = np.empty(new_cap, dtype=np.int64)
+        new_v = np.empty(new_cap, dtype=np.int64)
+        new_u[: self._size] = self._u[: self._size]
+        new_v[: self._size] = self._v[: self._size]
+        self._u, self._v = new_u, new_v
 
     def append(self, u: int, v: int) -> None:
         """Append one edge (scalar path; prefer :meth:`append_arrays` in bulk)."""
@@ -75,6 +83,10 @@ class EdgeList:
         self._u[self._size] = u
         self._v[self._size] = v
         self._size += 1
+        if u > self._max_node:
+            self._max_node = int(u)
+        if v > self._max_node:
+            self._max_node = int(v)
 
     def append_arrays(self, u: np.ndarray, v: np.ndarray) -> None:
         """Append a batch of edges."""
@@ -86,6 +98,8 @@ class EdgeList:
         self._u[self._size : self._size + len(u)] = u
         self._v[self._size : self._size + len(v)] = v
         self._size += len(u)
+        if len(u):
+            self._max_node = max(self._max_node, int(max(u.max(), v.max())))
 
     def extend(self, other: "EdgeList") -> None:
         """Append all edges of another edge list."""
@@ -111,10 +125,14 @@ class EdgeList:
 
     @property
     def num_nodes(self) -> int:
-        """1 + max node id (0 for an empty list)."""
+        """1 + max node id (0 for an empty list).
+
+        O(1): the max node id is maintained incrementally by the append
+        paths rather than rescanned on every access.
+        """
         if self._size == 0:
             return 0
-        return int(max(self.sources.max(), self.targets.max())) + 1
+        return self._max_node + 1
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
         for i in range(self._size):

@@ -2,11 +2,10 @@
 
 The in-process :class:`~repro.mpsim.bsp.BSPEngine` *simulates* a distributed
 machine; this backend *is* one (in miniature): each rank program runs in its
-own forked process with its own address space, and all cross-rank data moves
-through pipes.  It exists to prove the rank programs are genuinely
-shared-nothing — any accidental reliance on shared state would produce a
-different graph here than under the in-process engine, and the test-suite
-compares the two bit-for-bit.
+own forked process with its own address space.  It exists to prove the rank
+programs are genuinely shared-nothing — any accidental reliance on shared
+state would produce a different graph here than under the in-process engine,
+and the test-suite compares the two bit-for-bit.
 
 Topology: a coordinator (the parent process) performs the superstep exchange.
 Each worker sends its outbox up one pipe; the coordinator routes payloads and
@@ -14,9 +13,25 @@ sends each worker its inbox for the next superstep, plus a global
 ``continue/stop`` flag (the quiescence decision needs a global view, exactly
 like the termination detection a real MPI code would run).
 
-This backend favours clarity over throughput — pickling NumPy arrays through
-pipes is not fast — and is intended for validation and small demonstrations,
-not for the scaling benchmarks.
+Two exchange paths are available:
+
+``"shm"`` (default)
+    zero-copy for the bulk record payloads: every worker owns a
+    double-buffered ``multiprocessing.shared_memory`` segment, writes its
+    outbox arrays into the half assigned to the current superstep's parity,
+    and ships only small ``(segment, offset, count, dtype)`` descriptors
+    through the pipe.  Receivers map the source segment and copy the records
+    straight out of shared memory — the payload bytes never pass through
+    pickle.  Double buffering makes the lockstep safe: superstep ``s``
+    writes half ``s % 2`` while every reader of superstep ``s - 1`` data
+    reads half ``(s - 1) % 2``.
+``"pickle"``
+    the original pipe path (arrays pickled through the connection), kept as
+    a portability fallback and as the baseline the hot-path benchmark
+    compares against.
+
+Both paths deliver inboxes in identical (source-rank, send) order, so they
+produce bit-identical graphs — asserted by the test-suite.
 """
 
 from __future__ import annotations
@@ -31,29 +46,170 @@ from repro.mpsim.costmodel import CostModel
 from repro.mpsim.errors import MPSimError, RankFailure
 from repro.mpsim.stats import RankStats, WorldStats
 
-__all__ = ["MultiprocessingBSPEngine"]
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = ["MultiprocessingBSPEngine", "EXCHANGE_SHM", "EXCHANGE_PICKLE"]
 
 _STOP = "stop"
 _STEP = "step"
 
+EXCHANGE_SHM = "shm"
+EXCHANGE_PICKLE = "pickle"
 
-def _worker_loop(rank: int, size: int, program: RankProgram, conn: Any) -> None:
+#: Smallest per-half segment size; avoids churning tiny segments while the
+#: first supersteps ramp up.
+_MIN_HALF_BYTES = 1 << 16
+
+
+def _attach(name: str):
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Before Python 3.13 every attach registers the segment with the resource
+    tracker, which then warns about (and tries to re-unlink) segments the
+    creating rank already cleaned up; unregistering restores create-side-only
+    ownership.  Python 3.13+ has ``track=False`` for exactly this.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        shm = _shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return shm
+
+
+class _ShmWriter:
+    """One worker's double-buffered shared-memory outbox arena.
+
+    The segment holds two halves; superstep ``s`` writes into half ``s % 2``
+    (a bump allocator reset each superstep).  When a superstep's payload
+    outgrows the current half, a fresh segment (doubled) is created under a
+    new name — the old one is kept alive until shutdown because readers may
+    still be copying last superstep's records out of it.
+    """
+
+    def __init__(self) -> None:
+        self.shm = None
+        self.half = 0
+        self._retired: list[Any] = []
+
+    def _ensure(self, nbytes: int) -> None:
+        if self.shm is not None and nbytes <= self.half:
+            return
+        half = _MIN_HALF_BYTES
+        while half < nbytes:
+            half *= 2
+        new = _shared_memory.SharedMemory(create=True, size=2 * half)
+        if self.shm is not None:
+            self._retired.append(self.shm)
+        self.shm, self.half = new, half
+
+    def write(self, outbox: dict[int, list[np.ndarray]], superstep: int) -> dict:
+        """Copy ``outbox`` arrays into shared memory; return the descriptor
+        outbox ``{dest: [(name, offset, count, dtype), ...]}``."""
+        total = sum(
+            arr.nbytes for arrs in outbox.values() for arr in arrs if len(arr)
+        )
+        self._ensure(total)
+        off = (superstep % 2) * self.half
+        meta: dict[int, list[tuple[str, int, int, np.dtype]]] = {}
+        for dest, arrs in outbox.items():
+            descs = []
+            for arr in arrs:
+                if len(arr) == 0:
+                    continue
+                arr = np.ascontiguousarray(arr)
+                # byte-level copy: structured-dtype fancy assignment is ~20x
+                # slower than a plain memcpy, so move raw bytes and let the
+                # receiver reinterpret them with the dtype from the descriptor
+                dst = np.frombuffer(self.shm.buf, np.uint8, count=arr.nbytes, offset=off)
+                dst[:] = arr.view(np.uint8)
+                del dst  # release the buffer export before any close()
+                descs.append((self.shm.name, off, len(arr), arr.dtype))
+                off += arr.nbytes
+            if descs:
+                meta[dest] = descs
+        return meta
+
+    def close(self) -> None:
+        for seg in self._retired + ([self.shm] if self.shm is not None else []):
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._retired, self.shm, self.half = [], None, 0
+
+
+class _ShmReader:
+    """Attachment cache for reading other ranks' segments by name."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, Any] = {}
+
+    def read(self, desc: tuple[str, int, int, np.dtype]) -> np.ndarray:
+        name, off, count, dtype = desc
+        shm = self._cache.get(name)
+        if shm is None:
+            shm = _attach(name)
+            self._cache[name] = shm
+        # private byte copy (the source half is reused two supersteps later),
+        # then reinterpret: memcpy-speed, unlike structured-dtype .copy()
+        nbytes = count * dtype.itemsize
+        raw = np.empty(nbytes, np.uint8)
+        src = np.frombuffer(shm.buf, np.uint8, count=nbytes, offset=off)
+        raw[:] = src
+        del src
+        return raw.view(dtype)
+
+    def close(self) -> None:
+        for shm in self._cache.values():
+            shm.close()
+        self._cache.clear()
+
+
+def _worker_loop(
+    rank: int, size: int, program: RankProgram, conn: Any, exchange: str
+) -> None:
     """Run one rank's program inside a worker process."""
     stats = WorldStats.for_size(size)
     ctx = BSPRankContext(rank, size, stats, CostModel())
+    writer = _ShmWriter() if exchange == EXCHANGE_SHM else None
+    reader = _ShmReader() if exchange == EXCHANGE_SHM else None
+    superstep = 0
     try:
         while True:
-            cmd, inbox = conn.recv()
+            cmd, payload = conn.recv()
             if cmd == _STOP:
+                if reader is not None:
+                    reader.close()
+                if writer is not None:
+                    writer.close()
                 conn.send(("final", stats[rank], _result_of(program)))
                 return
+            superstep += 1
+            if exchange == EXCHANGE_SHM:
+                inbox = [(src, reader.read(desc)) for src, desc in payload]
+            else:
+                inbox = payload
             outbox = program.step(ctx, inbox) or {}
             ctx._drain_step_compute()
-            serializable = {
-                dest: [np.ascontiguousarray(a) for a in arrs if len(a)]
-                for dest, arrs in outbox.items()
-            }
-            conn.send(("out", serializable, bool(program.done)))
+            if exchange == EXCHANGE_SHM:
+                meta = writer.write(outbox, superstep)
+                conn.send(("out", meta, bool(program.done)))
+            else:
+                serializable = {
+                    dest: [np.ascontiguousarray(a) for a in arrs if len(a)]
+                    for dest, arrs in outbox.items()
+                }
+                conn.send(("out", serializable, bool(program.done)))
     except Exception as exc:  # pragma: no cover - surfaced in the parent
         conn.send(("error", repr(exc), None))
 
@@ -74,13 +230,37 @@ class MultiprocessingBSPEngine:
     state is not visible to the caller.  Programs may expose a ``result()``
     method; the values are collected into :attr:`results` (rank order) after
     :meth:`run`.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (one process each).
+    max_supersteps:
+        Safety bound on the superstep loop.
+    exchange:
+        :data:`EXCHANGE_SHM` (default) for the zero-copy shared-memory
+        payload path, or :data:`EXCHANGE_PICKLE` for the pickle-pipe
+        fallback.  Platforms without ``multiprocessing.shared_memory`` fall
+        back to pickle automatically.
     """
 
-    def __init__(self, size: int, max_supersteps: int = 10_000) -> None:
+    def __init__(
+        self,
+        size: int,
+        max_supersteps: int = 10_000,
+        exchange: str = EXCHANGE_SHM,
+    ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
+        if exchange not in (EXCHANGE_SHM, EXCHANGE_PICKLE):
+            raise ValueError(
+                f"unknown exchange {exchange!r}; use {EXCHANGE_SHM!r} or {EXCHANGE_PICKLE!r}"
+            )
+        if exchange == EXCHANGE_SHM and _shared_memory is None:  # pragma: no cover
+            exchange = EXCHANGE_PICKLE
         self.size = size
         self.max_supersteps = max_supersteps
+        self.exchange = exchange
         self.stats = WorldStats.for_size(size)
         self.results: list[Any] = []
         self.supersteps = 0
@@ -88,13 +268,14 @@ class MultiprocessingBSPEngine:
     def run(self, programs: Sequence[RankProgram]) -> WorldStats:
         if len(programs) != self.size:
             raise MPSimError(f"expected {self.size} rank programs, got {len(programs)}")
+        shm = self.exchange == EXCHANGE_SHM
         ctx = mp.get_context("fork")
         parents, procs = [], []
         for rank, prog in enumerate(programs):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_loop,
-                args=(rank, self.size, prog, child_conn),
+                args=(rank, self.size, prog, child_conn, self.exchange),
                 daemon=True,
             )
             proc.start()
@@ -103,7 +284,8 @@ class MultiprocessingBSPEngine:
             procs.append(proc)
 
         try:
-            inboxes: list[list[tuple[int, np.ndarray]]] = [[] for _ in range(self.size)]
+            # pickle path: inbox items are (src, array); shm path: (src, desc)
+            inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.size)]
             while True:
                 if self.supersteps >= self.max_supersteps:
                     raise MPSimError(
@@ -112,7 +294,7 @@ class MultiprocessingBSPEngine:
                 self.supersteps += 1
                 for rank, conn in enumerate(parents):
                     conn.send((_STEP, inboxes[rank]))
-                next_inboxes: list[list[tuple[int, np.ndarray]]] = [
+                next_inboxes: list[list[tuple[int, Any]]] = [
                     [] for _ in range(self.size)
                 ]
                 any_traffic = False
@@ -122,11 +304,16 @@ class MultiprocessingBSPEngine:
                     if kind == "error":
                         raise RankFailure(rank, RuntimeError(payload))
                     for dest in sorted(payload):
-                        for arr in payload[dest]:
-                            next_inboxes[dest].append((rank, arr))
+                        for item in payload[dest]:
+                            if shm:
+                                _name, _off, count, dtype = item
+                                nbytes = count * dtype.itemsize
+                            else:
+                                count, nbytes = len(item), item.nbytes
+                            next_inboxes[dest].append((rank, item))
                             any_traffic = True
-                            self.stats[rank].record_send(len(arr), arr.nbytes)
-                            self.stats[dest].record_receive(len(arr), arr.nbytes)
+                            self.stats[rank].record_send(count, nbytes)
+                            self.stats[dest].record_receive(count, nbytes)
                     all_done = all_done and done
                 inboxes = next_inboxes
                 if not any_traffic and all_done:

@@ -44,13 +44,20 @@ def resolve_pointers(ptr: np.ndarray) -> np.ndarray:
     ``ptr`` must be acyclic-with-self-loops: following pointers from any
     index must reach a self-pointing index.  Each pass squares the distance
     covered, so the number of passes is logarithmic in the longest chain.
+
+    Only still-moving indices are touched after the first pass: an index is
+    settled exactly when it points at a root (``ptr[ptr[i]] == ptr[i]``
+    means ``ptr[i]`` self-points), and settled indices never move again, so
+    each pass shrinks the active set instead of re-squaring and comparing
+    the full array.
     """
     ptr = ptr.copy()
-    while True:
-        nxt = ptr[ptr]
-        if np.array_equal(nxt, ptr):
-            return ptr
-        ptr = nxt
+    active = np.flatnonzero(ptr[ptr] != ptr)
+    while len(active):
+        ptr[active] = ptr[ptr[active]]
+        moved = ptr[ptr[active]] != ptr[active]
+        active = active[moved]
+    return ptr
 
 
 def copy_model_x1(
@@ -119,6 +126,7 @@ def copy_model(
     seed: int | None = None,
     rng: np.random.Generator | None = None,
     return_attachments: bool = False,
+    method: str = "reference",
 ) -> EdgeList | tuple[EdgeList, np.ndarray]:
     """Copy-model PA network with ``x`` edges per node (Algorithm 3.2, serial).
 
@@ -128,15 +136,30 @@ def copy_model(
     ``p``) or to ``F_k[l]`` with ``l`` uniform in ``[0, x)`` (probability
     ``1 - p``), rejecting duplicates.
 
+    ``method`` selects the implementation:
+
+    * ``"reference"`` (default) — the literal per-slot loop above, consuming
+      the library-wide scalar draw protocol.  This is the oracle every other
+      implementation is validated against.
+    * ``"fast"`` — batched draws with vectorised per-row duplicate rejection
+      and a retry tail (see :func:`_copy_model_fast`).  It samples the same
+      attachment distribution but consumes the stream in batches, so equal
+      seeds give a *different instance* than the reference; the two are tied
+      together by statistical-equivalence tests instead of bit-identity.
+
     Returns the edge list, plus the ``(n, x)`` attachment table if
     ``return_attachments`` (clique rows are ``-1``).
     """
+    if method not in ("reference", "fast"):
+        raise ValueError(f"unknown method {method!r}; use 'reference' or 'fast'")
     if x == 1:
         return copy_model_x1(
             n, p=p, seed=seed, rng=rng, return_attachments=return_attachments
         )
     _check_params(n, x, p)
     rng = rng or np.random.default_rng(seed)
+    if method == "fast":
+        return _copy_model_fast(n, x, p, rng, return_attachments)
 
     m = x * (x - 1) // 2 + (n - x) * x
     edges = EdgeList(capacity=m)
@@ -169,6 +192,111 @@ def copy_model(
                 )
         edges.append_arrays(np.full(x, t, dtype=np.int64), row.copy())
 
+    if return_attachments:
+        return edges, F
+    return edges
+
+
+def _copy_model_fast(
+    n: int, x: int, p: float, rng: np.random.Generator, return_attachments: bool
+) -> EdgeList | tuple[EdgeList, np.ndarray]:
+    """Vectorised Algorithm 3.2: batched draws + bulk duplicate rejection.
+
+    Slots are flattened to ``sid(t, e) = (t - x) * x + e`` for ``t >= x``.
+    Each round draws ``(k, coin, l)`` for every slot that still needs a
+    value, then runs a release sweep: direct slots become candidates at
+    once, copy slots wait until their source slot ``(k, l)`` has *committed*
+    — so a copy always reads the final ``F[k, l]``, the same semantics as
+    the sequential loop (where ``k < t`` is fully resolved at read time)
+    and as the parallel wait-queues.  Candidates commit under the same
+    first-wins-per-``(row, value)`` arbitration as
+    ``PAGeneralRankProgram._try_assign``; losers join the next round's
+    redraw batch.  Chains strictly decrease in node id, so every round
+    makes progress and the retry tail shrinks geometrically.
+    """
+    m = x * (x - 1) // 2 + (n - x) * x
+    edges = EdgeList(capacity=m)
+    F = np.full((n, x), -1, dtype=np.int64)
+
+    ci, cj = np.triu_indices(x, k=1)
+    edges.append_arrays(cj.astype(np.int64), ci.astype(np.int64))
+
+    F[x, :] = np.arange(x)
+    edges.append_arrays(np.full(x, x, dtype=np.int64), np.arange(x, dtype=np.int64))
+
+    # flat slot values; node x's slots are the only ones resolved up front
+    val = np.full((n - x) * x, -1, dtype=np.int64)
+    val[:x] = np.arange(x)
+
+    todo_t = np.repeat(np.arange(x + 1, n, dtype=np.int64), x)
+    todo_e = np.tile(np.arange(x, dtype=np.int64), max(n - x - 1, 0))
+    pend_dst = np.empty(0, dtype=np.int64)  # slot waiting for a copy value
+    pend_src = np.empty(0, dtype=np.int64)  # the slot it copies from
+
+    for _round in range(_MAX_RETRIES):
+        nt = len(todo_t)
+        if nt == 0 and len(pend_dst) == 0:
+            break
+        # one batched draw per round: k, coin, then l for the copy subset —
+        # the batch analogue of the scalar k/coin/l order per attempt
+        k = x + (rng.random(nt) * (todo_t - x)).astype(np.int64)
+        direct = rng.random(nt) < p
+        dst = (todo_t - x) * x + todo_e
+        csel = ~direct
+        if csel.any():
+            l = (rng.random(int(csel.sum())) * x).astype(np.int64)
+            pend_dst = np.concatenate([pend_dst, dst[csel]])
+            pend_src = np.concatenate([pend_src, (k[csel] - x) * x + l])
+
+        # initial candidates: this round's direct slots, plus any copy whose
+        # source slot has already committed (most sources are old nodes)
+        src_val = val[pend_src]
+        released = src_val >= 0
+        ready_dst = np.concatenate([dst[direct], pend_dst[released]])
+        ready_v = np.concatenate([k[direct], src_val[released]])
+        pend_dst = pend_dst[~released]
+        pend_src = pend_src[~released]
+
+        loser_dst: list[np.ndarray] = []
+        while len(ready_dst):
+            rows = ready_dst // x + x
+            cols = ready_dst % x
+            v = ready_v
+            # reject values already in the row, first-wins within the batch
+            dup_row = (F[rows] == v[:, None]).any(axis=1)
+            order = np.lexsort((np.arange(len(rows)), v, rows))
+            srow, sv = rows[order], v[order]
+            first = np.ones(len(order), dtype=bool)
+            first[1:] = (srow[1:] != srow[:-1]) | (sv[1:] != sv[:-1])
+            keep = np.zeros(len(rows), dtype=bool)
+            keep[order[first]] = True
+            win = keep & ~dup_row
+            if win.any():
+                F[rows[win], cols[win]] = v[win]
+                val[ready_dst[win]] = v[win]
+            lose = ~win
+            if lose.any():
+                loser_dst.append(ready_dst[lose])
+            # release pending copies whose source slot just committed
+            src_val = val[pend_src]
+            released = src_val >= 0
+            ready_dst = pend_dst[released]
+            ready_v = src_val[released]
+            pend_dst = pend_dst[~released]
+            pend_src = pend_src[~released]
+
+        if loser_dst:
+            dst = np.concatenate(loser_dst)
+            todo_t = dst // x + x
+            todo_e = dst % x
+        else:
+            todo_t = todo_e = np.empty(0, dtype=np.int64)
+    else:  # pragma: no cover - indicates a logic error
+        raise RuntimeError(f"exceeded {_MAX_RETRIES} vectorised retry rounds")
+
+    if n > x + 1:
+        ts = np.arange(x + 1, n, dtype=np.int64)
+        edges.append_arrays(np.repeat(ts, x), F[x + 1 :].reshape(-1))
     if return_attachments:
         return edges, F
     return edges

@@ -1,0 +1,149 @@
+"""Tests for the arena wait queues and shared destination routing."""
+
+import pickle
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.core.arena import ArrayArena, RecordQueue
+from repro.core.routing import route_by_dest
+
+
+class TestArrayArena:
+    def test_push_and_view(self):
+        a = ArrayArena(capacity=2)
+        a.push(np.array([1, 2, 3]))
+        a.push(np.array([4]))
+        assert a.view().tolist() == [1, 2, 3, 4]
+        assert len(a) == 4
+
+    def test_growth_is_amortised(self):
+        """Many small pushes trigger only O(log n) reallocations."""
+        a = ArrayArena(capacity=1)
+        caps = set()
+        for i in range(5000):
+            a.push(np.array([i]))
+            caps.add(len(a._buf))
+        assert a.view().tolist() == list(range(5000))
+        # doubling from 1 to >=5000 passes through at most ~13 capacities
+        assert len(caps) <= 15
+
+    def test_keep_compacts(self):
+        a = ArrayArena()
+        a.push(np.arange(10))
+        a.keep(np.arange(10) % 3 == 0)
+        assert a.view().tolist() == [0, 3, 6, 9]
+
+    def test_keep_empty_mask(self):
+        a = ArrayArena()
+        a.push(np.arange(4))
+        a.keep(np.zeros(4, dtype=bool))
+        assert len(a) == 0
+
+    def test_clear(self):
+        a = ArrayArena()
+        a.push(np.arange(7))
+        a.clear()
+        assert len(a) == 0
+        a.push(np.array([42]))
+        assert a.view().tolist() == [42]
+
+    def test_pickle_roundtrip_is_compact(self):
+        a = ArrayArena(capacity=4096)
+        a.push(np.arange(3))
+        b = pickle.loads(pickle.dumps(a))
+        assert b.view().tolist() == [0, 1, 2]
+        # only the live prefix travels: restored capacity is the live size
+        assert len(b._buf) == 3
+        b.push(np.array([9]))
+        assert b.view().tolist() == [0, 1, 2, 9]
+
+
+class TestRecordQueue:
+    def test_push_and_columns(self):
+        q = RecordQueue(2, capacity=2)
+        q.push(np.array([1, 2]), np.array([10, 20]))
+        q.push(np.array([3]), np.array([30]))
+        t, k = q.columns()
+        assert t.tolist() == [1, 2, 3]
+        assert k.tolist() == [10, 20, 30]
+        assert q.column(1).tolist() == [10, 20, 30]
+        assert len(q) == 3 and q.ncols == 2
+
+    def test_keep_applies_to_all_columns(self):
+        q = RecordQueue(3)
+        q.push(np.arange(6), np.arange(6) * 10, np.arange(6) * 100)
+        q.keep(np.arange(6) % 2 == 1)
+        a, b, c = q.columns()
+        assert a.tolist() == [1, 3, 5]
+        assert b.tolist() == [10, 30, 50]
+        assert c.tolist() == [100, 300, 500]
+
+    def test_wrong_batch_count_raises(self):
+        q = RecordQueue(2)
+        with pytest.raises(ValueError):
+            q.push(np.array([1]))
+
+    def test_unequal_batch_lengths_raise(self):
+        q = RecordQueue(2)
+        with pytest.raises(ValueError):
+            q.push(np.array([1, 2]), np.array([1]))
+
+    def test_ncols_validation(self):
+        with pytest.raises(ValueError):
+            RecordQueue(0)
+
+    def test_clear(self):
+        q = RecordQueue(2)
+        q.push(np.array([1]), np.array([2]))
+        q.clear()
+        assert len(q) == 0
+
+    def test_pickle_roundtrip(self):
+        q = RecordQueue(2)
+        q.push(np.array([1, 2]), np.array([10, 20]))
+        r = pickle.loads(pickle.dumps(q))
+        assert [c.tolist() for c in r.columns()] == [[1, 2], [10, 20]]
+        r.push(np.array([3]), np.array([30]))
+        assert len(r) == 3
+
+
+class TestRouteByDest:
+    def test_groups_by_destination(self):
+        out = defaultdict(list)
+        records = np.array([10, 11, 12, 13, 14])
+        dests = np.array([2, 0, 2, 1, 0])
+        route_by_dest(out, records, dests)
+        merged = {d: np.concatenate(chunks).tolist() for d, chunks in out.items()}
+        assert merged == {0: [11, 14], 1: [13], 2: [10, 12]}
+
+    def test_stable_within_destination(self):
+        """Batch order is preserved inside each destination's chunk."""
+        out = defaultdict(list)
+        records = np.arange(100)
+        dests = records % 3
+        route_by_dest(out, records, dests)
+        for d in range(3):
+            got = np.concatenate(out[d])
+            assert got.tolist() == sorted(got.tolist())
+
+    def test_appends_to_existing_outbox(self):
+        out = defaultdict(list)
+        out[1].append(np.array([99]))
+        route_by_dest(out, np.array([5]), np.array([1]))
+        assert np.concatenate(out[1]).tolist() == [99, 5]
+
+    def test_empty_records_is_noop(self):
+        out = defaultdict(list)
+        route_by_dest(out, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert out == {}
+
+    def test_structured_records(self):
+        dtype = np.dtype([("t", "i8"), ("a", "i8")])
+        rec = np.zeros(4, dtype=dtype)
+        rec["t"] = [1, 2, 3, 4]
+        out = defaultdict(list)
+        route_by_dest(out, rec, np.array([1, 0, 1, 0]))
+        assert np.concatenate(out[0])["t"].tolist() == [2, 4]
+        assert np.concatenate(out[1])["t"].tolist() == [1, 3]

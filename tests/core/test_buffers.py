@@ -69,6 +69,53 @@ class TestPolicy:
         assert MessageBuffers(2, policy=FLUSH_EVERY_GROUP).needs_group_flush()
         assert not MessageBuffers(2, policy=FLUSH_WHEN_FULL).needs_group_flush()
 
+
+class TestAccounting:
+    """flush_count / record_count bookkeeping under both flush policies."""
+
+    @pytest.mark.parametrize("policy", [FLUSH_WHEN_FULL, FLUSH_EVERY_GROUP])
+    def test_record_count_is_total_adds(self, policy):
+        mb = MessageBuffers(3, capacity=4, policy=policy)
+        for i in range(25):
+            mb.add(i % 3, i)
+        assert mb.record_count == 25
+
+    def test_when_full_counts_capacity_flushes(self):
+        mb = MessageBuffers(2, capacity=3, policy=FLUSH_WHEN_FULL)
+        drained = 0
+        for i in range(10):  # dest 0 fills at records 3, 6, 9
+            batch = mb.add(0, i)
+            if batch is not None:
+                assert len(batch) == 3
+                drained += len(batch)
+        assert mb.flush_count == 3
+        drained += sum(len(b) for _, b in mb.flush_all())
+        assert mb.flush_count == 4  # final partial batch of 1
+        assert drained == mb.record_count == 10
+
+    def test_every_group_flush_all_after_each_group(self):
+        """RRP resolved-message discipline: drain after every group; every
+        drained record is accounted for exactly once."""
+        mb = MessageBuffers(4, capacity=1000, policy=FLUSH_EVERY_GROUP)
+        drained = 0
+        for group in range(5):
+            for i in range(group + 1):  # uneven groups across dests
+                mb.add(i % 4, (group, i))
+            assert mb.needs_group_flush()
+            for _dest, batch in mb.flush_all():
+                drained += len(batch)
+            assert mb.pending() == 0
+        assert drained == mb.record_count == 5 + 4 + 3 + 2 + 1
+        # one flush per non-empty buffer per group
+        assert mb.flush_count == 1 + 2 + 3 + 4 + 4
+
+    @pytest.mark.parametrize("policy", [FLUSH_WHEN_FULL, FLUSH_EVERY_GROUP])
+    def test_empty_flushes_not_counted(self, policy):
+        mb = MessageBuffers(2, capacity=2, policy=policy)
+        mb.flush(0)
+        list(mb.flush_all())
+        assert mb.flush_count == 0 and mb.record_count == 0
+
     def test_repr(self):
         mb = MessageBuffers(2, capacity=5)
         mb.add(0, 1)

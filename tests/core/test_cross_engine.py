@@ -25,6 +25,32 @@ def test_x1_bit_identical(scheme, P):
     assert np.array_equal(bulk.canonical(), literal.canonical())
 
 
+def test_x1_three_engines_bit_identical():
+    """BSP bulk, literal event-driven, and the multiprocessing backend all
+    consume the same per-node draw protocol: one seed, one graph, three
+    execution engines."""
+    from repro.core.parallel_pa import PAx1RankProgram
+    from repro.mpsim.mp_backend import MultiprocessingBSPEngine
+    from repro.rng import StreamFactory
+
+    n, P, seed = 800, 4, 7
+    part = make_partition("rrp", n, P)
+    bulk, _, _ = run_parallel_pa_x1(n, part, seed=seed)
+    literal, _ = run_event_driven_pa_x1(n, part, seed=seed)
+
+    factory = StreamFactory(seed)
+    eng = MultiprocessingBSPEngine(P)
+    eng.run([PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(P)])
+    from repro.graph.edgelist import EdgeList
+
+    mp_edges = EdgeList()
+    for t, f in eng.results:
+        mp_edges.append_arrays(t, f)
+
+    assert np.array_equal(bulk.canonical(), literal.canonical())
+    assert np.array_equal(bulk.canonical(), mp_edges.canonical())
+
+
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_x1_bit_identical_many_seeds(seed):
     n, P = 700, 6

@@ -52,6 +52,27 @@ class TestGrowth:
         a.extend(b)
         assert len(a) == 3
 
+    def test_repeated_small_appends_amortised(self):
+        """Growth reallocates O(log n) times, not once per append batch."""
+        el = EdgeList(capacity=1)
+        caps = set()
+        for i in range(5000):
+            el.append(i + 1, 0)
+            caps.add(len(el._u))
+        # doubling from 1 to >=5000 passes through at most ~13 capacities;
+        # a non-amortised implementation would show thousands
+        assert len(caps) <= 15
+        assert np.array_equal(el.sources, np.arange(1, 5001))
+
+    def test_bulk_appends_amortised(self):
+        el = EdgeList(capacity=1)
+        caps = set()
+        for i in range(2000):
+            el.append_arrays(np.array([i, i + 1]), np.array([0, 0]))
+            caps.add(len(el._u))
+        assert len(caps) <= 15
+        assert len(el) == 4000
+
     @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 1000)), max_size=200))
     @settings(max_examples=40, deadline=None)
     def test_append_roundtrip(self, pairs):
@@ -59,6 +80,41 @@ class TestGrowth:
         for u, v in pairs:
             el.append(u, v)
         assert list(el) == pairs
+
+
+class TestNumNodesCache:
+    """``num_nodes`` is O(1); the cached max must track every append path."""
+
+    def test_scalar_appends_update_cache(self):
+        el = EdgeList()
+        el.append(3, 0)
+        assert el.num_nodes == 4
+        el.append(1, 9)
+        assert el.num_nodes == 10
+        el.append(2, 1)  # no new max
+        assert el.num_nodes == 10
+
+    def test_bulk_appends_update_cache(self):
+        el = EdgeList.from_arrays([5], [0])
+        assert el.num_nodes == 6
+        el.append_arrays(np.array([2, 77]), np.array([1, 0]))
+        assert el.num_nodes == 78
+
+    def test_extend_and_copy_preserve_cache(self):
+        a = EdgeList.from_arrays([4], [0])
+        a.extend(EdgeList.from_arrays([10], [2]))
+        assert a.num_nodes == 11
+        assert a.copy().num_nodes == 11
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(0, 500)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_cache_matches_rescan(self, pairs):
+        el = EdgeList(capacity=1)
+        for u, v in pairs:
+            el.append(u, v)
+        expected = int(max(max(u, v) for u, v in pairs)) + 1
+        assert el.num_nodes == expected
 
 
 class TestViews:

@@ -12,8 +12,13 @@ from repro.core.parallel_pa_general import PAGeneralRankProgram
 from repro.core.partitioning import make_partition
 from repro.graph.edgelist import EdgeList
 from repro.graph.validation import validate_pa_graph
+from repro.core.parallel_pa_general import run_parallel_pa
 from repro.mpsim.errors import MPSimError
-from repro.mpsim.mp_backend import MultiprocessingBSPEngine
+from repro.mpsim.mp_backend import (
+    EXCHANGE_PICKLE,
+    EXCHANGE_SHM,
+    MultiprocessingBSPEngine,
+)
 from repro.rng import StreamFactory
 
 
@@ -24,20 +29,73 @@ def _collect_edges(results) -> EdgeList:
     return edges
 
 
+def _run_mp_x1(n, part, seed, exchange):
+    factory = StreamFactory(seed)
+    programs = [
+        PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(part.P)
+    ]
+    eng = MultiprocessingBSPEngine(part.P, exchange=exchange)
+    eng.run(programs)
+    return _collect_edges(eng.results), eng
+
+
+def _run_mp_general(n, x, part, seed, exchange):
+    factory = StreamFactory(seed)
+    programs = [
+        PAGeneralRankProgram(r, part, x, 0.5, factory.stream(r))
+        for r in range(part.P)
+    ]
+    eng = MultiprocessingBSPEngine(part.P, exchange=exchange)
+    eng.run(programs)
+    return _collect_edges(eng.results), eng
+
+
 @pytest.mark.parametrize("scheme", ["ucp", "rrp"])
-def test_x1_matches_in_process(scheme):
+@pytest.mark.parametrize("exchange", [EXCHANGE_SHM, EXCHANGE_PICKLE])
+def test_x1_matches_in_process(scheme, exchange):
     n, P, seed = 600, 4, 21
     part = make_partition(scheme, n, P)
-
     in_proc, _, _ = run_parallel_pa_x1(n, part, seed=seed)
-
-    factory = StreamFactory(seed)
-    programs = [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(P)]
-    eng = MultiprocessingBSPEngine(P)
-    eng.run(programs)
-    mp_edges = _collect_edges(eng.results)
-
+    mp_edges, _ = _run_mp_x1(n, part, seed, exchange)
     assert np.array_equal(in_proc.canonical(), mp_edges.canonical())
+
+
+def test_x1_shm_and_pickle_bit_identical():
+    """The two exchange paths are pure transports: same graph either way."""
+    n, P, seed = 700, 4, 3
+    part = make_partition("rrp", n, P)
+    shm_edges, shm_eng = _run_mp_x1(n, part, seed, EXCHANGE_SHM)
+    pk_edges, pk_eng = _run_mp_x1(n, part, seed, EXCHANGE_PICKLE)
+    assert np.array_equal(shm_edges.canonical(), pk_edges.canonical())
+    assert shm_eng.supersteps == pk_eng.supersteps
+
+
+def test_general_shm_pickle_and_in_process_bit_identical():
+    """x>1: all three execution paths run the identical rank programs, so
+    equal seeds give the identical canonical edge list."""
+    n, x, P, seed = 500, 3, 3, 5
+    part = make_partition("rrp", n, P)
+    in_proc, _, _ = run_parallel_pa(n, x, part, seed=seed)
+    shm_edges, _ = _run_mp_general(n, x, part, seed, EXCHANGE_SHM)
+    pk_edges, _ = _run_mp_general(n, x, part, seed, EXCHANGE_PICKLE)
+    assert np.array_equal(in_proc.canonical(), shm_edges.canonical())
+    assert np.array_equal(in_proc.canonical(), pk_edges.canonical())
+
+
+def test_exchange_traffic_stats_agree():
+    """Both exchanges account the same record and byte totals."""
+    n, P, seed = 400, 3, 11
+    part = make_partition("rrp", n, P)
+    _, shm_eng = _run_mp_x1(n, part, seed, EXCHANGE_SHM)
+    _, pk_eng = _run_mp_x1(n, part, seed, EXCHANGE_PICKLE)
+    for r in range(P):
+        assert shm_eng.stats[r].msgs_sent == pk_eng.stats[r].msgs_sent
+        assert shm_eng.stats[r].bytes_sent == pk_eng.stats[r].bytes_sent
+
+
+def test_invalid_exchange_rejected():
+    with pytest.raises(ValueError):
+        MultiprocessingBSPEngine(2, exchange="carrier-pigeon")
 
 
 def test_general_case_valid_graph():

@@ -166,3 +166,105 @@ class TestDegreeDynamics:
         d_low = degrees_from_edges(copy_model_x1(n, p=0.2, seed=13), n)
         d_high = degrees_from_edges(copy_model_x1(n, p=0.9, seed=13), n)
         assert d_low.max() > d_high.max()
+
+
+class TestFastCopyModel:
+    """The vectorised ``method="fast"`` path: structural validity plus
+    statistical equivalence with the reference per-slot loop.
+
+    The fast path batches its draws, so equal seeds give a *different
+    instance* than the reference; the two are tied together by the same
+    attachment-distribution checks that tie the copy model to BA.
+    """
+
+    @pytest.mark.parametrize("x", [2, 3, 5, 8])
+    def test_structure_valid(self, x):
+        n = 400
+        el = copy_model(n, x=x, seed=4, method="fast")
+        report = validate_pa_graph(el, n, x)
+        assert report.ok, report.errors
+
+    def test_deterministic(self):
+        a = copy_model(500, x=3, seed=9, method="fast")
+        b = copy_model(500, x=3, seed=9, method="fast")
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = copy_model(500, x=3, seed=9, method="fast")
+        b = copy_model(500, x=3, seed=10, method="fast")
+        assert a != b
+
+    def test_x1_dispatch_is_method_independent(self):
+        """x=1 always takes the pointer-jumping path, so both methods are
+        bit-identical there."""
+        a = copy_model(300, x=1, seed=6, method="fast")
+        b = copy_model(300, x=1, seed=6, method="reference")
+        assert a == b
+
+    def test_attachment_table(self):
+        n, x = 120, 3
+        _, F = copy_model(n, x=x, seed=7, method="fast", return_attachments=True)
+        assert F.shape == (n, x)
+        assert (F[:x] == -1).all()
+        for t in range(x, n):
+            row = F[t]
+            assert len(set(row.tolist())) == x
+            assert (row < t).all() and (row >= 0).all()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            copy_model(100, x=2, method="turbo")
+
+    @given(n=st.integers(min_value=5, max_value=300),
+           x=st.integers(min_value=2, max_value=4),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, n, x, seed):
+        if n <= x:
+            n = x + 1
+        el = copy_model(n, x=x, seed=seed, method="fast")
+        report = validate_pa_graph(el, n, x)
+        assert report.ok, report.errors
+
+    def test_degree_tail_matches_reference(self):
+        """Tail masses of the degree distribution agree with the reference
+        loop at several thresholds (averaged over seeds)."""
+        from repro.graph.degree import degrees_from_edges
+
+        n, x = 8_000, 3
+        seeds = (0, 1, 2)
+        for thresh, tol in ((2 * x, 0.02), (4 * x, 0.01)):
+            ref = np.mean([
+                (degrees_from_edges(
+                    copy_model(n, x=x, seed=s, method="reference"), n) >= thresh).mean()
+                for s in seeds
+            ])
+            fast = np.mean([
+                (degrees_from_edges(
+                    copy_model(n, x=x, seed=s + 50, method="fast"), n) >= thresh).mean()
+                for s in seeds
+            ])
+            assert abs(ref - fast) < tol, (thresh, ref, fast)
+
+    def test_degree_cdf_close_to_reference(self):
+        """Max CDF gap (two-sample KS statistic) between fast and reference
+        degree distributions is small."""
+        from repro.graph.degree import degrees_from_edges
+
+        n, x = 10_000, 4
+        d_ref = degrees_from_edges(copy_model(n, x=x, seed=21), n)
+        d_fast = degrees_from_edges(copy_model(n, x=x, seed=22, method="fast"), n)
+        grid = np.arange(x, 12 * x)
+        cdf_ref = np.searchsorted(np.sort(d_ref), grid, side="right") / n
+        cdf_fast = np.searchsorted(np.sort(d_fast), grid, side="right") / n
+        assert np.abs(cdf_ref - cdf_fast).max() < 0.02
+
+    def test_smaller_p_heavier_tail(self):
+        """The p-dependence (more copying, heavier tail) survives
+        vectorisation."""
+        from repro.graph.degree import degrees_from_edges
+
+        n, x = 10_000, 3
+        d_low = degrees_from_edges(copy_model(n, x=x, p=0.2, seed=13, method="fast"), n)
+        d_high = degrees_from_edges(copy_model(n, x=x, p=0.9, seed=13, method="fast"), n)
+        assert d_low.max() > d_high.max()
