@@ -9,8 +9,14 @@ machine-readable ``BENCH_hotpaths.json`` at the repository root:
 * ``resolve_pointers`` — the early-exit pointer-jumping kernel alone;
 * ``bsp_pa`` — end-to-end parallel PA on the in-process BSP engine;
 * ``mp_exchange`` — the multiprocessing backend's superstep exchange,
-  pickle-pipe vs zero-copy shared memory, at 8 ranks under a bulk-payload
-  flood (the regime the zero-copy path is built for).
+  pickle-pipe vs zero-copy shared memory vs peer-to-peer mailbox fabric, at
+  8 ranks under a bulk-payload flood (the regime the zero-copy path is
+  built for), including fork-overhead-corrected per-superstep latency;
+* ``mp_endtoend`` — full ``x = 1`` PA generation on the multiprocessing
+  backend, one entry per exchange topology (wall seconds and
+  supersteps/sec);
+* ``mp_pool`` — five consecutive generation jobs on a persistent
+  :class:`~repro.mpsim.pool.WorkerPool` vs five cold engine runs.
 
 Every measurement is best-of-``--repeats`` wall time: single-occupancy CI
 boxes (and the 1-CPU container this repo grew up on) show multi-x run-to-run
@@ -25,6 +31,9 @@ Usage::
 
 ``--require-speedup S`` exits non-zero unless the fast general copy model is
 at least ``S``× the reference — the repo's perf-regression tripwire.
+``--require-p2p-speedup S`` exits non-zero unless end-to-end p2p generation
+is at least ``S``× coordinator-shm (CI uses ``S = 1.0``: p2p must never be
+slower).
 """
 
 from __future__ import annotations
@@ -44,11 +53,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.core.parallel_pa import RECORD_DTYPE, run_parallel_pa_x1
 from repro.core.parallel_pa_general import run_parallel_pa
 from repro.core.partitioning import UniformPartition
+from repro.core.parallel_pa import PAx1RankProgram
 from repro.mpsim.mp_backend import (
+    EXCHANGE_P2P,
     EXCHANGE_PICKLE,
     EXCHANGE_SHM,
+    EXCHANGES,
     MultiprocessingBSPEngine,
 )
+from repro.mpsim.pool import WorkerPool
+from repro.rng import StreamFactory
 from repro.seq.copy_model import copy_model, copy_model_x1, resolve_pointers
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -62,11 +76,13 @@ SCALES = {
         general_n=20_000, x1_n=100_000, ptr_n=200_000,
         bsp_n=5_000, bsp_general_n=2_000, bsp_P=4,
         mp_records=20_000, mp_rounds=5, mp_P=8,
+        endtoend_n=50_000, pool_n=5_000, pool_jobs=5,
     ),
     "ci": dict(
         general_n=200_000, x1_n=200_000, ptr_n=500_000,
         bsp_n=10_000, bsp_general_n=4_000, bsp_P=4,
         mp_records=50_000, mp_rounds=10, mp_P=8,
+        endtoend_n=200_000, pool_n=10_000, pool_jobs=5,
     ),
     "full": dict(
         general_n=200_000, x1_n=1_000_000, ptr_n=2_000_000,
@@ -74,6 +90,7 @@ SCALES = {
         # enough rounds that the per-superstep exchange cost dominates the
         # one-off fork/join of 8 worker processes (noisy on small hosts)
         mp_records=50_000, mp_rounds=20, mp_P=8,
+        endtoend_n=1_000_000, pool_n=20_000, pool_jobs=5,
     ),
 }
 
@@ -176,15 +193,90 @@ def _run_flood(exchange: str, P: int, records: int, rounds: int) -> int:
 
 
 def case_mp_exchange(sizes, repeats):
+    """Flood benchmark over all three exchange topologies.
+
+    Besides raw wall time, each mode gets a *superstep latency*: the
+    difference between an R-round and a 1-round flood divided by the extra
+    rounds, which cancels the one-off fork/join cost and isolates what the
+    p2p fabric actually attacks — the per-superstep exchange round trip.
+    """
     P, records, rounds = sizes["mp_P"], sizes["mp_records"], sizes["mp_rounds"]
-    t_pickle = best_of(repeats, _run_flood, EXCHANGE_PICKLE, P, records, rounds)
-    t_shm = best_of(repeats, _run_flood, EXCHANGE_SHM, P, records, rounds)
-    payload = records * RECORD_DTYPE.itemsize * (P - 1) * P * rounds
-    return {
+    out = {
         "P": P, "records_per_dest": records, "rounds": rounds,
-        "payload_bytes": payload,
-        "pickle_s": t_pickle, "shm_s": t_shm,
-        "speedup_shm_over_pickle": t_pickle / t_shm,
+        "payload_bytes": records * RECORD_DTYPE.itemsize * (P - 1) * P * rounds,
+    }
+    lat = {}
+    for exchange in EXCHANGES:
+        t = best_of(repeats, _run_flood, exchange, P, records, rounds)
+        t1 = best_of(repeats, _run_flood, exchange, P, records, 1)
+        out[f"{exchange}_s"] = t
+        lat[exchange] = max(t - t1, 1e-9) / (rounds - 1) if rounds > 1 else t
+        out[f"{exchange}_superstep_latency_s"] = lat[exchange]
+    out["speedup_shm_over_pickle"] = out["pickle_s"] / out["shm_s"]
+    out["speedup_p2p_over_shm"] = out["shm_s"] / out["p2p_s"]
+    out["latency_speedup_p2p_over_shm"] = (
+        lat[EXCHANGE_SHM] / lat[EXCHANGE_P2P]
+    )
+    return out
+
+
+def _x1_mp_programs(n: int, P: int):
+    part = UniformPartition(n, P)
+    factory = StreamFactory(SEED)
+    return [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(P)]
+
+
+def case_mp_endtoend(sizes, repeats):
+    """Full x=1 PA generation on the multiprocessing backend, per exchange."""
+    n, P = sizes["endtoend_n"], sizes["mp_P"]
+    out = {"n": n, "P": P, "modes": {}}
+    for exchange in EXCHANGES:
+        best = float("inf")
+        supersteps = 0
+        for _ in range(repeats):
+            engine = MultiprocessingBSPEngine(P, exchange=exchange)
+            programs = _x1_mp_programs(n, P)
+            t0 = time.perf_counter()
+            engine.run(programs)
+            best = min(best, time.perf_counter() - t0)
+            supersteps = engine.supersteps
+        out["modes"][exchange] = {
+            "wall_s": best,
+            "supersteps": supersteps,
+            "supersteps_per_s": supersteps / best,
+            "nodes_per_s": n / best,
+        }
+    out["speedup_p2p_over_shm"] = (
+        out["modes"][EXCHANGE_SHM]["wall_s"] / out["modes"][EXCHANGE_P2P]["wall_s"]
+    )
+    return out
+
+
+def case_mp_pool(sizes, repeats):
+    """Amortised startup: J jobs on one pool vs J cold engine runs.
+
+    The pooled total *includes* pool construction and shutdown — the pool
+    must win on honest accounting, by paying fork/pipe/fabric setup once
+    instead of J times.
+    """
+    n, P, jobs = sizes["pool_n"], sizes["mp_P"], sizes["pool_jobs"]
+
+    def cold():
+        for seed_off in range(jobs):
+            engine = MultiprocessingBSPEngine(P, exchange=EXCHANGE_P2P)
+            engine.run(_x1_mp_programs(n + seed_off, P))
+
+    def pooled():
+        with WorkerPool(P, exchange=EXCHANGE_P2P) as pool:
+            for seed_off in range(jobs):
+                pool.run(_x1_mp_programs(n + seed_off, P))
+
+    t_cold = best_of(repeats, cold)
+    t_pool = best_of(repeats, pooled)
+    return {
+        "n": n, "P": P, "jobs": jobs,
+        "cold_s": t_cold, "pooled_s": t_pool,
+        "speedup_pool_over_cold": t_cold / t_pool,
     }
 
 
@@ -194,6 +286,8 @@ CASES = {
     "resolve_pointers": case_resolve_pointers,
     "bsp_pa": case_bsp_pa,
     "mp_exchange": case_mp_exchange,
+    "mp_endtoend": case_mp_endtoend,
+    "mp_pool": case_mp_pool,
 }
 
 
@@ -208,6 +302,9 @@ def main(argv=None) -> int:
     ap.add_argument("--out", type=Path, default=DEFAULT_OUT)
     ap.add_argument("--require-speedup", type=float, default=None, metavar="S",
                     help="fail unless fast general copy model is >= S x reference")
+    ap.add_argument("--require-p2p-speedup", type=float, default=None, metavar="S",
+                    help="fail unless end-to-end p2p generation is >= S x "
+                         "coordinator-shm (needs the mp_endtoend case)")
     args = ap.parse_args(argv)
 
     wanted = [c.strip() for c in args.cases.split(",") if c.strip()]
@@ -258,8 +355,37 @@ def main(argv=None) -> int:
     mp = report["cases"].get("mp_exchange")
     if mp is not None:
         print(f"[bench_hotpaths] mp exchange at P={mp['P']}: pickle "
-              f"{mp['pickle_s']:.3f}s, shm {mp['shm_s']:.3f}s "
-              f"({mp['speedup_shm_over_pickle']:.2f}x)")
+              f"{mp['pickle_s']:.3f}s, shm {mp['shm_s']:.3f}s, "
+              f"p2p {mp['p2p_s']:.3f}s; superstep latency "
+              f"shm {mp['shm_superstep_latency_s'] * 1e3:.1f}ms vs "
+              f"p2p {mp['p2p_superstep_latency_s'] * 1e3:.1f}ms "
+              f"({mp['latency_speedup_p2p_over_shm']:.2f}x)")
+    endtoend = report["cases"].get("mp_endtoend")
+    if endtoend is not None:
+        modes = endtoend["modes"]
+        summary = ", ".join(
+            f"{ex} {modes[ex]['wall_s']:.3f}s" for ex in modes
+        )
+        print(f"[bench_hotpaths] mp end-to-end n={endtoend['n']} "
+              f"P={endtoend['P']}: {summary} "
+              f"(p2p {endtoend['speedup_p2p_over_shm']:.2f}x vs shm)")
+    pool = report["cases"].get("mp_pool")
+    if pool is not None:
+        print(f"[bench_hotpaths] worker pool {pool['jobs']} jobs: cold "
+              f"{pool['cold_s']:.3f}s, pooled {pool['pooled_s']:.3f}s "
+              f"({pool['speedup_pool_over_cold']:.2f}x)")
+    if args.require_p2p_speedup is not None:
+        if endtoend is None:
+            print("[bench_hotpaths] --require-p2p-speedup needs the "
+                  "mp_endtoend case", file=sys.stderr)
+            return 2
+        got = endtoend["speedup_p2p_over_shm"]
+        if got < args.require_p2p_speedup:
+            print(f"[bench_hotpaths] FAIL: p2p end-to-end speedup {got:.2f}x "
+                  f"< required {args.require_p2p_speedup}x", file=sys.stderr)
+            return 1
+        print(f"[bench_hotpaths] p2p speedup gate passed "
+              f"({got:.2f}x >= {args.require_p2p_speedup}x)")
     return 0
 
 

@@ -40,7 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("-p", "--prob", type=float, default=0.5, help="direct-attachment probability")
     g.add_argument("-P", "--ranks", type=int, default=1, help="simulated processor count")
     g.add_argument("--scheme", choices=["ucp", "lcp", "rrp", "ecp"], default="rrp")
-    g.add_argument("--engine", choices=["bsp", "event", "sequential"], default="bsp")
+    g.add_argument("--engine", choices=["bsp", "event", "sequential", "mp"], default="bsp")
+    g.add_argument("--exchange", choices=["shm", "pickle", "p2p"], default="shm",
+                   help="superstep transport for --engine mp: coordinator-"
+                        "routed shared memory (shm), pickled pipes (pickle), "
+                        "or the peer-to-peer mailbox fabric (p2p)")
+    g.add_argument("--pool", action="store_true",
+                   help="run --engine mp through a persistent WorkerPool "
+                        "(forks once; the shape embedding services use to "
+                        "amortize startup across repeated generations)")
     g.add_argument("--seed", type=int, default=None)
     g.add_argument("-o", "--output", type=Path, default=None, help="output edge file")
     g.add_argument("--text", action="store_true", help="write text instead of binary")
@@ -129,22 +137,36 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.core.generator import generate
     from repro.graph import io as gio
 
+    if args.pool and args.engine != "mp":
+        print("--pool requires --engine mp", file=sys.stderr)
+        return 2
+    pool = None
+    if args.pool:
+        from repro.mpsim.pool import WorkerPool
+
+        pool = WorkerPool(args.ranks, exchange=args.exchange)
     t0 = time.perf_counter()
-    result = generate(
-        n=args.nodes,
-        x=args.edges_per_node,
-        p=args.prob,
-        ranks=args.ranks,
-        scheme=args.scheme,
-        engine=args.engine,
-        seed=args.seed,
-        checkpoint_path=str(args.checkpoint) if args.checkpoint else None,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_dir=str(args.checkpoint_dir) if args.checkpoint_dir else None,
-        checkpoint_keep=args.checkpoint_keep,
-        fault_seed=args.inject_faults,
-        max_retries=args.max_retries,
-    )
+    try:
+        result = generate(
+            n=args.nodes,
+            x=args.edges_per_node,
+            p=args.prob,
+            ranks=args.ranks,
+            scheme=args.scheme,
+            engine=args.engine,
+            exchange=args.exchange,
+            pool=pool,
+            seed=args.seed,
+            checkpoint_path=str(args.checkpoint) if args.checkpoint else None,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=str(args.checkpoint_dir) if args.checkpoint_dir else None,
+            checkpoint_keep=args.checkpoint_keep,
+            fault_seed=args.inject_faults,
+            max_retries=args.max_retries,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
     wall = time.perf_counter() - t0
     print(
         f"generated n={args.nodes} x={args.edges_per_node} "

@@ -20,7 +20,14 @@ Engines:
     the literal per-message pseudocode on the event-driven simulator (small
     ``n`` — used for demonstrations and cross-validation);
 ``"sequential"``
-    the sequential copy model (``ranks`` must be 1), the ``T_s`` baseline.
+    the sequential copy model (``ranks`` must be 1), the ``T_s`` baseline;
+``"mp"``
+    the same rank programs in real OS processes
+    (:class:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine`); pick the
+    superstep transport with ``exchange`` (``"shm"``, ``"pickle"``, or the
+    peer-to-peer ``"p2p"``) and pass a live
+    :class:`~repro.mpsim.pool.WorkerPool` as ``pool`` to reuse forked
+    workers across repeated calls.
 """
 
 from __future__ import annotations
@@ -102,6 +109,8 @@ def generate(
     scheme: str = "rrp",
     seed: int | None = None,
     engine: str = "bsp",
+    exchange: str = "shm",
+    pool: Any = None,
     partition: Partition | None = None,
     cost_model: CostModel | None = None,
     checkpoint_path: str | None = None,
@@ -129,7 +138,16 @@ def generate(
     seed:
         Root seed; identical inputs reproduce the identical graph.
     engine:
-        ``"bsp"``, ``"event"``, or ``"sequential"`` (see module docstring).
+        ``"bsp"``, ``"event"``, ``"sequential"``, or ``"mp"`` (see module
+        docstring).
+    exchange:
+        Superstep transport for ``engine="mp"``: ``"shm"`` (default),
+        ``"pickle"``, or ``"p2p"``.  Ignored by the other engines.
+    pool:
+        Optional live :class:`~repro.mpsim.pool.WorkerPool` to run an
+        ``engine="mp"`` generation on (its workers are reused instead of
+        forking a fresh fleet); the pool's ``size`` must match the
+        partition's rank count.
     partition:
         Pre-built partition (overrides ``ranks``/``scheme``).
     cost_model:
@@ -222,8 +240,15 @@ def generate(
             fault_plan=plan,
         )
 
+    if engine == "mp":
+        if checkpoint_path is not None or checkpoint_dir is not None:
+            raise ValueError("checkpointing requires engine='bsp'")
+        return _generate_mp(n, x, p, part, seed, cost_model, exchange, pool, plan)
+
     if engine != "bsp":
-        raise ValueError(f"unknown engine {engine!r}; choose bsp, event, or sequential")
+        raise ValueError(
+            f"unknown engine {engine!r}; choose bsp, event, sequential, or mp"
+        )
 
     checkpointer = None
     if checkpoint_dir is not None:
@@ -279,6 +304,62 @@ def generate(
         nodes_per_rank=part.sizes(),
         world_stats=eng.stats,
         recoveries=recoveries,
+        fault_plan=plan,
+    )
+
+
+def _generate_mp(n, x, p, part, seed, cost_model, exchange, pool, plan):
+    """Run the generation on the real-process backend (or a live pool)."""
+    from repro.core.parallel_pa import PAx1RankProgram
+    from repro.core.parallel_pa_general import PAGeneralRankProgram
+    from repro.mpsim.mp_backend import MultiprocessingBSPEngine
+    from repro.rng import StreamFactory
+
+    if x > 1 and n <= x:
+        raise ValueError(f"need n > x, got n={n}, x={x}")
+    factory = StreamFactory(seed)
+    if x == 1:
+        programs = [
+            PAx1RankProgram(r, part, p, factory.stream(r)) for r in range(part.P)
+        ]
+    else:
+        programs = [
+            PAGeneralRankProgram(r, part, x, p, factory.stream(r))
+            for r in range(part.P)
+        ]
+
+    if pool is not None:
+        if pool.size != part.P:
+            raise ValueError(
+                f"pool has {pool.size} workers, partition needs {part.P}"
+            )
+        eng = pool
+    else:
+        eng = MultiprocessingBSPEngine(part.P, exchange=exchange, cost_model=cost_model)
+    eng.run(programs, fault_plan=plan)
+
+    edges = EdgeList(capacity=max(n * max(x, 1) - 1, 1))
+    for pair in eng.results:
+        edges.append_arrays(pair[0], pair[1])
+    return GenerationResult(
+        edges=edges,
+        n=n,
+        x=x,
+        p=p,
+        scheme=part.scheme,
+        ranks=part.P,
+        engine="mp",
+        seed=seed,
+        simulated_time=eng.simulated_time,
+        supersteps=eng.supersteps,
+        requests_sent=np.array(
+            [t.get("requests_sent", 0) for t in eng.telemetry], dtype=np.int64
+        ),
+        requests_received=np.array(
+            [t.get("requests_received", 0) for t in eng.telemetry], dtype=np.int64
+        ),
+        nodes_per_rank=part.sizes(),
+        world_stats=eng.stats,
         fault_plan=plan,
     )
 

@@ -13,8 +13,15 @@ executes the *same* rank-local programs and the *same* message protocol:
   path: it matches the paper's buffered-message implementation (Section 3.5,
   "Message Buffering") and scales to millions of nodes in pure Python.
 * :mod:`repro.mpsim.mp_backend` — an optional backend that runs the same BSP
-  rank-step functions in real OS processes connected by pipes, proving the
-  rank code is genuinely shared-nothing.
+  rank-step functions in real OS processes, proving the rank code is
+  genuinely shared-nothing.  Superstep traffic travels over one of three
+  exchange topologies: coordinator-routed pickle pipes, coordinator-routed
+  zero-copy shared memory, or the peer-to-peer mailbox fabric of
+  :mod:`repro.mpsim.p2p` (shared-memory descriptor slots, a shared barrier,
+  and distributed termination detection — no parent on the data path).
+* :mod:`repro.mpsim.pool` — a persistent :class:`~repro.mpsim.pool.WorkerPool`
+  that forks the backend's workers once and reuses them (pipes, payload
+  segments, p2p fabric) across many jobs.
 * :mod:`repro.mpsim.collectives` — barrier / bcast / scatter / gather /
   allgather / reduce / allreduce / alltoall(v) implemented on top of
   point-to-point sends, as an MPI library would.
@@ -41,6 +48,8 @@ from repro.mpsim.runtime import Simulator
 from repro.mpsim.bsp import BSPEngine, BSPRankContext
 from repro.mpsim.faults import FaultPlan, FaultRecord
 from repro.mpsim.checkpoint import Checkpointer, load_checkpoint, load_latest_valid, resume
+from repro.mpsim.mp_backend import MultiprocessingBSPEngine
+from repro.mpsim.pool import WorkerPool
 from repro.mpsim.supervisor import RecoveryEvent, Supervisor
 
 __all__ = [
@@ -55,12 +64,14 @@ __all__ = [
     "InjectedFault",
     "MachinePreset",
     "MPSimError",
+    "MultiprocessingBSPEngine",
     "RankFailure",
     "RankStats",
     "RecoveryEvent",
     "Simulator",
     "Supervisor",
     "UnrecoverableError",
+    "WorkerPool",
     "WorldStats",
     "load_checkpoint",
     "load_latest_valid",

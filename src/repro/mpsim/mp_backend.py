@@ -7,43 +7,65 @@ programs are genuinely shared-nothing — any accidental reliance on shared
 state would produce a different graph here than under the in-process engine,
 and the test-suite compares the two bit-for-bit.
 
-Topology: a coordinator (the parent process) performs the superstep exchange.
-Each worker sends its outbox up one pipe; the coordinator routes payloads and
-sends each worker its inbox for the next superstep, plus a global
-``continue/stop`` flag (the quiescence decision needs a global view, exactly
-like the termination detection a real MPI code would run).
-
-Two exchange paths are available:
+Three exchange topologies are available:
 
 ``"shm"`` (default)
-    zero-copy for the bulk record payloads: every worker owns a
+    coordinator-routed descriptors, zero-copy payloads: every worker owns a
     double-buffered ``multiprocessing.shared_memory`` segment, writes its
     outbox arrays into the half assigned to the current superstep's parity,
     and ships only small ``(segment, offset, count, dtype)`` descriptors
-    through the pipe.  Receivers map the source segment and copy the records
-    straight out of shared memory — the payload bytes never pass through
-    pickle.  Double buffering makes the lockstep safe: superstep ``s``
-    writes half ``s % 2`` while every reader of superstep ``s - 1`` data
-    reads half ``(s - 1) % 2``.
+    through the parent's pipes.  Receivers map the source segment and copy
+    the records straight out of shared memory — the payload bytes never pass
+    through pickle.  Double buffering makes the lockstep safe: superstep
+    ``s`` writes half ``s % 2`` while every reader of superstep ``s - 1``
+    data reads half ``(s - 1) % 2``.
 ``"pickle"``
-    the original pipe path (arrays pickled through the connection), kept as
-    a portability fallback and as the baseline the hot-path benchmark
-    compares against.
+    the original pipe path (arrays pickled through the coordinator's
+    connections), kept as a portability fallback and as the baseline the
+    hot-path benchmark compares against.
+``"p2p"``
+    fully peer-to-peer: payloads travel exactly as under ``"shm"``, but the
+    descriptors go through a shared-memory mailbox matrix
+    (:class:`repro.mpsim.p2p.P2PFabric`) and the supersteps are paced by a
+    shared barrier with distributed termination detection — the parent never
+    touches a byte of superstep traffic and only monitors liveness and
+    collects final results.  This removes the coordinator's serial
+    per-superstep work (two pipe hops per rank per superstep) from the
+    critical path.
 
-Both paths deliver inboxes in identical (source-rank, send) order, so they
-produce bit-identical graphs — asserted by the test-suite.
+All transports deliver inboxes in identical (source-rank, send) order, so
+they produce bit-identical graphs — asserted by the test-suite.
+
+The coordinator paths drain worker replies with
+``multiprocessing.connection.wait`` in *arrival* order (then process them in
+rank order, keeping delivery deterministic), so a straggling rank no longer
+blocks the parent from servicing the others' pipes.
+
+Statistics are accounted *worker-side* with the same formulas the in-process
+engine uses (message counts, byte volumes, virtual busy time, superstep
+durations) and shipped to the parent at job end, so
+``engine.stats.summary()`` agrees with a matching in-process run and
+``engine.simulated_time`` is populated on every transport.
+
+For repeated jobs over the same rank count, see
+:class:`repro.mpsim.pool.WorkerPool`, which forks this module's workers once
+and reuses them (pipes, payload segments, and p2p fabric included) across
+many ``run()`` calls.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
+from multiprocessing import connection as _mpc
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.mpsim.bsp import BSPRankContext, RankProgram
 from repro.mpsim.costmodel import CostModel
-from repro.mpsim.errors import MPSimError, RankFailure
+from repro.mpsim.errors import InvalidRankError, MPSimError, RankFailure
+from repro.mpsim.p2p import P2PFabric
 from repro.mpsim.stats import RankStats, WorldStats
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
@@ -51,38 +73,70 @@ try:  # pragma: no cover - import guard exercised only on exotic platforms
 except ImportError:  # pragma: no cover
     _shared_memory = None
 
-__all__ = ["MultiprocessingBSPEngine", "EXCHANGE_SHM", "EXCHANGE_PICKLE"]
+__all__ = [
+    "MultiprocessingBSPEngine",
+    "EXCHANGE_SHM",
+    "EXCHANGE_PICKLE",
+    "EXCHANGE_P2P",
+    "EXCHANGES",
+]
 
+# worker protocol commands (parent -> worker)
 _STOP = "stop"
 _STEP = "step"
+_JOB = "job"
+_SHUTDOWN = "shutdown"
 
 EXCHANGE_SHM = "shm"
 EXCHANGE_PICKLE = "pickle"
+EXCHANGE_P2P = "p2p"
+EXCHANGES = (EXCHANGE_SHM, EXCHANGE_PICKLE, EXCHANGE_P2P)
 
 #: Smallest per-half segment size; avoids churning tiny segments while the
 #: first supersteps ramp up.
 _MIN_HALF_BYTES = 1 << 16
+
+#: wall seconds slept per superstep per unit of straggle factor above 1.0
+#: when a fault plan marks a rank as a straggler — a *real* delay, so the
+#: determinism tests exercise genuinely skewed arrival timings
+_STRAGGLE_SLEEP = 1e-3
+
+#: how often the parent re-checks worker liveness while waiting on pipes
+_LIVENESS_POLL = 0.25
 
 
 def _attach(name: str):
     """Attach to an existing segment without resource-tracker ownership.
 
     Before Python 3.13 every attach registers the segment with the resource
-    tracker, which then warns about (and tries to re-unlink) segments the
-    creating rank already cleaned up; unregistering restores create-side-only
-    ownership.  Python 3.13+ has ``track=False`` for exactly this.
+    tracker.  With the per-process trackers of a plain fork that is merely
+    noisy, but once the parent has created shared memory of its own (the p2p
+    fabric) every child inherits the *same* tracker process — and the old
+    register-then-``unregister`` dance removes the creating rank's
+    registration, producing double-unregister errors when several ranks
+    attach the same segment.  So the attach must not register at all: the
+    registration is suppressed for the duration of the constructor, leaving
+    the creator's registration as the single tracked owner.  Python 3.13+
+    has ``track=False`` for exactly this.
     """
     try:
         return _shared_memory.SharedMemory(name=name, track=False)
     except TypeError:  # Python < 3.13
-        shm = _shared_memory.SharedMemory(name=name)
         try:
             from multiprocessing import resource_tracker
+        except ImportError:  # pragma: no cover - no tracker, nothing to dodge
+            return _shared_memory.SharedMemory(name=name)
+        original = resource_tracker.register
 
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:  # pragma: no cover - tracker internals moved
-            pass
-        return shm
+        def _skip_shm(rname: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover - not hit today
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 class _ShmWriter:
@@ -175,51 +229,452 @@ class _ShmReader:
         self._cache.clear()
 
 
-def _worker_loop(
-    rank: int, size: int, program: RankProgram, conn: Any, exchange: str
+# ===================================================================== worker
+class _ShutdownRequested(Exception):
+    """Parent asked the worker to exit while a job was in flight."""
+
+
+def _result_of(rank: int, program: RankProgram) -> Any:
+    """Extract a rank program's result payload, if it exposes one.
+
+    A ``result()`` that raises is a *program* failure even though it happens
+    during final collection rather than mid-superstep, so it is wrapped in
+    :class:`RankFailure` exactly like a failing ``step()``.
+    """
+    getter = getattr(program, "result", None)
+    if not callable(getter):
+        return None
+    try:
+        return getter()
+    except Exception as exc:
+        raise RankFailure(rank, exc) from exc
+
+
+def _telemetry_of(program: RankProgram) -> dict[str, int]:
+    """Per-rank counters the generation facade reports (Figure 7 data)."""
+    return {
+        "requests_sent": int(getattr(program, "requests_sent", 0) or 0),
+        "requests_received": int(getattr(program, "requests_received", 0) or 0),
+    }
+
+
+def _execute_step(
+    rank: int,
+    size: int,
+    program: RankProgram,
+    ctx: BSPRankContext,
+    rs: RankStats,
+    inbox: Sequence[tuple[int, np.ndarray]],
+    cost: CostModel,
+    fault_plan: Any,
+) -> tuple[dict[int, list[np.ndarray]], int, float]:
+    """Run one superstep of ``program`` and account it like the in-process
+    engine does.
+
+    Returns the cleaned outbox (contiguous, non-empty arrays only), the
+    outgoing record count, and the superstep's virtual duration for this
+    rank.  Program exceptions surface as :class:`RankFailure`.
+    """
+    in_records = sum(len(arr) for _, arr in inbox)
+    in_bytes = sum(arr.nbytes for _, arr in inbox)
+    try:
+        outbox = program.step(ctx, inbox) or {}
+    except Exception as exc:
+        raise RankFailure(rank, exc) from exc
+
+    clean: dict[int, list[np.ndarray]] = {}
+    out_records = 0
+    out_bytes = 0
+    for dest, payloads in outbox.items():
+        if not 0 <= dest < size:
+            raise InvalidRankError(
+                f"rank {rank} addressed invalid destination {dest}"
+            )
+        if dest == rank:
+            raise MPSimError(
+                f"rank {rank} attempted a self-send; local work "
+                "must not route through the exchange"
+            )
+        kept = [np.ascontiguousarray(arr) for arr in payloads if len(arr)]
+        if not kept:
+            continue
+        clean[dest] = kept
+        for arr in kept:
+            out_records += len(arr)
+            out_bytes += arr.nbytes
+
+    rs.record_send(out_records, out_bytes)
+    rs.record_receive(in_records, in_bytes)
+    rs.rounds += 1
+    ctx._drain_step_events()
+    t = (
+        ctx._drain_step_compute()
+        + cost.per_message * (out_records + in_records)
+        + cost.beta * (out_bytes + in_bytes)
+        + cost.round_time()
+    )
+    if fault_plan is not None:
+        mult = fault_plan.straggle_multiplier(rank)
+        if mult > 1.0:
+            t *= mult
+            # a *real* wall-clock delay so exchange-arrival orderings are
+            # genuinely perturbed, not just virtually charged
+            time.sleep(_STRAGGLE_SLEEP * (mult - 1.0))
+    rs.busy_time += t
+    return clean, out_records, t
+
+
+def _run_job_coordinator(
+    rank: int,
+    size: int,
+    program: RankProgram,
+    conn: Any,
+    exchange: str,
+    writer: Any,
+    reader: Any,
+    cost: CostModel,
+    fault_plan: Any,
 ) -> None:
-    """Run one rank's program inside a worker process."""
+    """Worker side of one coordinator-routed job (``shm``/``pickle``)."""
     stats = WorldStats.for_size(size)
-    ctx = BSPRankContext(rank, size, stats, CostModel())
-    writer = _ShmWriter() if exchange == EXCHANGE_SHM else None
-    reader = _ShmReader() if exchange == EXCHANGE_SHM else None
+    ctx = BSPRankContext(rank, size, stats, cost)
+    rs = stats[rank]
     superstep = 0
+    while True:
+        cmd, payload = conn.recv()
+        if cmd == _SHUTDOWN:
+            raise _ShutdownRequested
+        if cmd == _STOP:
+            conn.send(
+                ("final", rs, _result_of(rank, program), _telemetry_of(program), None)
+            )
+            return
+        superstep += 1
+        if exchange == EXCHANGE_SHM:
+            inbox = [(src, reader.read(desc)) for src, desc in payload]
+        else:
+            inbox = payload
+        clean, _, t = _execute_step(
+            rank, size, program, ctx, rs, inbox, cost, fault_plan
+        )
+        if exchange == EXCHANGE_SHM:
+            meta = writer.write(clean, superstep)
+        else:
+            meta = clean
+        conn.send(("out", meta, bool(program.done), t))
+
+
+def _run_job_p2p(
+    rank: int,
+    size: int,
+    program: RankProgram,
+    conn: Any,
+    fabric: P2PFabric,
+    writer: _ShmWriter,
+    reader: _ShmReader,
+    cost: CostModel,
+    fault_plan: Any,
+    max_supersteps: int,
+) -> None:
+    """Worker side of one peer-to-peer job: no parent on the data path.
+
+    Each superstep: step the program, write payloads into this rank's
+    shared-memory arena, post the descriptors into every peer's mailbox,
+    publish the (done, traffic, time) triple, hit the barrier, then take the
+    global termination decision from the shared counters and read the inbox
+    straight out of the peers' segments.
+    """
+    stats = WorldStats.for_size(size)
+    ctx = BSPRankContext(rank, size, stats, cost)
+    rs = stats[rank]
+    inbox: list[tuple[int, np.ndarray]] = []
+    superstep = 0
+    simulated = 0.0
     try:
         while True:
-            cmd, payload = conn.recv()
-            if cmd == _STOP:
-                if reader is not None:
-                    reader.close()
-                if writer is not None:
-                    writer.close()
-                conn.send(("final", stats[rank], _result_of(program)))
-                return
+            if superstep >= max_supersteps:
+                raise MPSimError(f"exceeded max_supersteps={max_supersteps}")
             superstep += 1
-            if exchange == EXCHANGE_SHM:
-                inbox = [(src, reader.read(desc)) for src, desc in payload]
-            else:
-                inbox = payload
-            outbox = program.step(ctx, inbox) or {}
-            ctx._drain_step_compute()
-            if exchange == EXCHANGE_SHM:
-                meta = writer.write(outbox, superstep)
-                conn.send(("out", meta, bool(program.done)))
-            else:
-                serializable = {
-                    dest: [np.ascontiguousarray(a) for a in arrs if len(a)]
-                    for dest, arrs in outbox.items()
-                }
-                conn.send(("out", serializable, bool(program.done)))
-    except Exception as exc:  # pragma: no cover - surfaced in the parent
-        conn.send(("error", repr(exc), None))
+            clean, out_records, t = _execute_step(
+                rank, size, program, ctx, rs, inbox, cost, fault_plan
+            )
+            meta = writer.write(clean, superstep)
+            fabric.post(rank, superstep, meta)
+            fabric.publish(rank, superstep, bool(program.done), out_records, t)
+            fabric.wait()
+            simulated += fabric.max_step_time(superstep)
+            if fabric.quiescent(superstep):
+                break
+            inbox = [
+                (src, reader.read(desc))
+                for src, desc in fabric.collect(rank, superstep)
+            ]
+    except Exception:
+        fabric.abort()  # fail peers fast instead of letting them time out
+        raise
+    conn.send(
+        (
+            "final",
+            rs,
+            _result_of(rank, program),
+            _telemetry_of(program),
+            (superstep, simulated),
+        )
+    )
 
 
-def _result_of(program: RankProgram) -> Any:
-    """Extract a rank program's result payload, if it exposes one."""
-    getter = getattr(program, "result", None)
-    if callable(getter):
-        return getter()
-    return None
+def _worker_main(
+    rank: int,
+    size: int,
+    conn: Any,
+    exchange: str,
+    fabric: P2PFabric | None,
+    program: RankProgram | None,
+    max_supersteps: int,
+    cost: CostModel,
+) -> None:
+    """One worker process: serve jobs until shutdown.
+
+    ``program`` is the fork-inherited rank program for one-shot engine runs;
+    pooled jobs ship their programs in the job command instead.  Payload
+    segments (and the reader's attachment cache) persist across jobs so a
+    :class:`~repro.mpsim.pool.WorkerPool` pays segment setup once.
+    """
+    needs_shm = exchange in (EXCHANGE_SHM, EXCHANGE_P2P)
+    writer = _ShmWriter() if needs_shm else None
+    reader = _ShmReader() if needs_shm else None
+    try:
+        while True:
+            try:
+                cmd, payload = conn.recv()
+            except EOFError:
+                return
+            if cmd == _SHUTDOWN:
+                return
+            if cmd != _JOB:  # pragma: no cover - protocol violation
+                conn.send(("error", "mpsim", f"unexpected command {cmd!r}"))
+                return
+            job_program, fault_plan = payload
+            prog = job_program if job_program is not None else program
+            try:
+                if exchange == EXCHANGE_P2P:
+                    _run_job_p2p(
+                        rank, size, prog, conn, fabric, writer, reader,
+                        cost, fault_plan, max_supersteps,
+                    )
+                else:
+                    _run_job_coordinator(
+                        rank, size, prog, conn, exchange, writer, reader,
+                        cost, fault_plan,
+                    )
+            except _ShutdownRequested:
+                return
+            except RankFailure as exc:
+                _report_error(conn, fabric, "rank", repr(exc.original))
+            except Exception as exc:
+                _report_error(conn, fabric, "mpsim", repr(exc))
+    finally:
+        if reader is not None:
+            reader.close()
+        if writer is not None:
+            writer.close()
+
+
+def _report_error(conn: Any, fabric: P2PFabric | None, kind: str, msg: str) -> None:
+    """Abort peers (p2p) and surface a job error to the parent, best-effort."""
+    if fabric is not None:
+        fabric.abort()
+    try:
+        conn.send(("error", kind, msg))
+    except Exception:  # pragma: no cover - parent already gone
+        pass
+
+
+# ===================================================================== parent
+def _recv_all(
+    parents: Sequence[Any],
+    procs: Sequence[Any],
+    fabric: P2PFabric | None,
+) -> dict[int, tuple]:
+    """Collect exactly one message per worker, draining in *arrival* order.
+
+    ``multiprocessing.connection.wait`` services whichever pipes are ready,
+    so a straggler rank cannot head-of-line-block the parent from reading
+    the others (the pre-PR path ``recv``-ed in strict rank order).  Callers
+    then iterate the returned dict in rank order, which keeps downstream
+    routing deterministic regardless of arrival timing.
+
+    Dead workers surface as :class:`RankFailure`; with a p2p fabric the
+    barrier is aborted first so surviving peers fail fast too.
+    """
+    msgs: dict[int, tuple] = {}
+    pending: dict[Any, int] = {conn: rank for rank, conn in enumerate(parents)}
+    while pending:
+        ready = _mpc.wait(list(pending), timeout=_LIVENESS_POLL)
+        if not ready:
+            for conn, rank in pending.items():
+                if not procs[rank].is_alive():
+                    if fabric is not None:
+                        fabric.abort()
+                    raise RankFailure(
+                        rank, RuntimeError("worker process died unexpectedly")
+                    )
+            continue
+        for conn in ready:
+            rank = pending.pop(conn)
+            try:
+                msgs[rank] = conn.recv()
+            except EOFError:
+                if fabric is not None:
+                    fabric.abort()
+                raise RankFailure(
+                    rank, RuntimeError("worker closed its pipe unexpectedly")
+                )
+    return msgs
+
+
+def _raise_job_errors(msgs: dict[int, tuple]) -> None:
+    """Map worker error reports to the exceptions the in-process engine uses.
+
+    Program failures win over engine/barrier failures (a crashing rank
+    aborts the barrier, so its peers' ``barrier`` reports are collateral),
+    and the lowest-ranked report is raised for determinism.
+    """
+    errors = {r: m for r, m in msgs.items() if m[0] == "error"}
+    if not errors:
+        return
+    for rank in sorted(errors):
+        kind, msg = errors[rank][1], errors[rank][2]
+        if kind == "rank":
+            raise RankFailure(rank, RuntimeError(msg))
+    rank = min(errors)
+    raise MPSimError(f"rank {rank}: {errors[rank][2]}")
+
+
+def _drive_job(
+    parents: Sequence[Any],
+    procs: Sequence[Any],
+    size: int,
+    exchange: str,
+    fabric: P2PFabric | None,
+    programs: Sequence[RankProgram] | None,
+    fault_plan: Any,
+    stats: WorldStats,
+    max_supersteps: int,
+) -> tuple[list[Any], list[dict], int, float]:
+    """Parent side of one job, shared by the engine and the worker pool.
+
+    ``programs`` is ``None`` when workers inherited their programs at fork
+    (one-shot engine runs); pooled jobs pass the list to pickle across.
+    Returns ``(results, telemetry, supersteps, simulated_time)`` and writes
+    the workers' final :class:`RankStats` into ``stats``.
+    """
+    for rank, conn in enumerate(parents):
+        shipped = programs[rank] if programs is not None else None
+        conn.send((_JOB, (shipped, fault_plan)))
+
+    results: list[Any] = [None] * size
+    telemetry: list[dict] = [{} for _ in range(size)]
+
+    if exchange == EXCHANGE_P2P:
+        # workers run to quiescence on their own; just collect the finals
+        msgs = _recv_all(parents, procs, fabric)
+        _raise_job_errors(msgs)
+        supersteps = 0
+        simulated = 0.0
+        for rank in range(size):
+            kind, rank_stats, result, tele, tail = msgs[rank]
+            if kind != "final":  # pragma: no cover - protocol violation
+                raise MPSimError(f"unexpected final message {kind!r} from rank {rank}")
+            _install_rank_stats(stats, rank, rank_stats)
+            results[rank] = result
+            telemetry[rank] = tele
+            steps, sim = tail
+            supersteps = max(supersteps, steps)
+            simulated = max(simulated, sim)
+        return results, telemetry, supersteps, simulated
+
+    # coordinator topologies: the parent routes descriptors (shm) or whole
+    # payloads (pickle) between workers each superstep
+    supersteps = 0
+    simulated = 0.0
+    inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
+    while True:
+        if supersteps >= max_supersteps:
+            raise MPSimError(f"exceeded max_supersteps={max_supersteps}")
+        supersteps += 1
+        for rank, conn in enumerate(parents):
+            conn.send((_STEP, inboxes[rank]))
+        msgs = _recv_all(parents, procs, None)
+        _raise_job_errors(msgs)
+        next_inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
+        any_traffic = False
+        all_done = True
+        step_max = 0.0
+        for rank in range(size):  # rank order: deterministic delivery
+            kind, payload, done, t = msgs[rank]
+            if kind != "out":  # pragma: no cover - protocol violation
+                raise MPSimError(f"unexpected step message {kind!r} from rank {rank}")
+            for dest in sorted(payload):
+                for item in payload[dest]:
+                    next_inboxes[dest].append((rank, item))
+                    any_traffic = True
+            all_done = all_done and done
+            step_max = max(step_max, t)
+        simulated += step_max
+        inboxes = next_inboxes
+        if not any_traffic and all_done:
+            break
+
+    for conn in parents:
+        conn.send((_STOP, None))
+    msgs = _recv_all(parents, procs, None)
+    # a worker may fail *during* final collection (e.g. its ``result()``
+    # raises); surface that as a RankFailure like any mid-run crash
+    _raise_job_errors(msgs)
+    for rank in range(size):
+        kind, rank_stats, result, tele, _tail = msgs[rank]
+        if kind != "final":  # pragma: no cover - protocol violation
+            raise MPSimError(f"unexpected final message {kind!r} from rank {rank}")
+        _install_rank_stats(stats, rank, rank_stats)
+        results[rank] = result
+        telemetry[rank] = tele
+    return results, telemetry, supersteps, simulated
+
+
+def _install_rank_stats(stats: WorldStats, rank: int, rank_stats: Any) -> None:
+    """Adopt a worker's authoritative counters as the parent's per-rank row."""
+    if not isinstance(rank_stats, RankStats) or rank_stats.rank != rank:
+        raise MPSimError(f"rank {rank} returned malformed stats {rank_stats!r}")
+    stats.ranks[rank] = rank_stats
+
+
+def _check_mp_fault_plan(fault_plan: Any) -> None:
+    """The mp backend supports straggler injection only.
+
+    Crash schedules and message drops/duplications require the engine to sit
+    on the message path with a single global RNG; in this backend each worker
+    holds a forked copy of the plan, so those draws would diverge.  The
+    in-process engine remains the place to exercise them.
+    """
+    if fault_plan is None:
+        return
+    if getattr(fault_plan, "pending_crashes", 0):
+        raise ValueError("mp backend does not support crash injection; use BSPEngine")
+    if getattr(fault_plan, "_drops_left", 0) or getattr(fault_plan, "_duplicates_left", 0):
+        raise ValueError(
+            "mp backend does not support message drop/duplication; use BSPEngine"
+        )
+
+
+def _normalise_exchange(exchange: str) -> str:
+    if exchange not in EXCHANGES:
+        raise ValueError(
+            f"unknown exchange {exchange!r}; use one of {', '.join(EXCHANGES)}"
+        )
+    if exchange != EXCHANGE_PICKLE and _shared_memory is None:  # pragma: no cover
+        return EXCHANGE_PICKLE
+    return exchange
 
 
 class MultiprocessingBSPEngine:
@@ -229,7 +684,8 @@ class MultiprocessingBSPEngine:
     addition: because programs live in child address spaces, their final
     state is not visible to the caller.  Programs may expose a ``result()``
     method; the values are collected into :attr:`results` (rank order) after
-    :meth:`run`.
+    :meth:`run`, and per-rank request counters (when the program exposes
+    them) into :attr:`telemetry`.
 
     Parameters
     ----------
@@ -238,10 +694,16 @@ class MultiprocessingBSPEngine:
     max_supersteps:
         Safety bound on the superstep loop.
     exchange:
-        :data:`EXCHANGE_SHM` (default) for the zero-copy shared-memory
-        payload path, or :data:`EXCHANGE_PICKLE` for the pickle-pipe
-        fallback.  Platforms without ``multiprocessing.shared_memory`` fall
-        back to pickle automatically.
+        :data:`EXCHANGE_SHM` (default) for coordinator-routed zero-copy
+        payloads, :data:`EXCHANGE_PICKLE` for the pickle-pipe fallback, or
+        :data:`EXCHANGE_P2P` for the peer-to-peer mailbox fabric.  Platforms
+        without ``multiprocessing.shared_memory`` fall back to pickle
+        automatically.
+    cost_model:
+        Virtual-time charges used by the worker-side accounting (defaults to
+        the paper-testbed preset, same as the in-process engine).
+    mailbox_slot_bytes, barrier_timeout:
+        p2p fabric tuning; ignored by the coordinator transports.
     """
 
     def __init__(
@@ -249,87 +711,74 @@ class MultiprocessingBSPEngine:
         size: int,
         max_supersteps: int = 10_000,
         exchange: str = EXCHANGE_SHM,
+        cost_model: CostModel | None = None,
+        mailbox_slot_bytes: int = 8192,
+        barrier_timeout: float = 120.0,
     ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
-        if exchange not in (EXCHANGE_SHM, EXCHANGE_PICKLE):
-            raise ValueError(
-                f"unknown exchange {exchange!r}; use {EXCHANGE_SHM!r} or {EXCHANGE_PICKLE!r}"
-            )
-        if exchange == EXCHANGE_SHM and _shared_memory is None:  # pragma: no cover
-            exchange = EXCHANGE_PICKLE
         self.size = size
         self.max_supersteps = max_supersteps
-        self.exchange = exchange
+        self.exchange = _normalise_exchange(exchange)
+        self.cost = cost_model or CostModel()
+        self.mailbox_slot_bytes = mailbox_slot_bytes
+        self.barrier_timeout = barrier_timeout
         self.stats = WorldStats.for_size(size)
         self.results: list[Any] = []
+        self.telemetry: list[dict] = []
         self.supersteps = 0
+        self.simulated_time = 0.0
 
-    def run(self, programs: Sequence[RankProgram]) -> WorldStats:
+    def run(
+        self, programs: Sequence[RankProgram], fault_plan: Any = None
+    ) -> WorldStats:
+        """Fork one worker per rank, run ``programs`` to quiescence, collect.
+
+        ``fault_plan`` may schedule stragglers
+        (:meth:`repro.mpsim.faults.FaultPlan.straggle`), which sleep for real
+        wall time in the affected workers; crash/drop schedules are rejected
+        (see the in-process engine for those).
+        """
         if len(programs) != self.size:
             raise MPSimError(f"expected {self.size} rank programs, got {len(programs)}")
-        shm = self.exchange == EXCHANGE_SHM
+        _check_mp_fault_plan(fault_plan)
+        self.stats = WorldStats.for_size(self.size)
         ctx = mp.get_context("fork")
-        parents, procs = [], []
-        for rank, prog in enumerate(programs):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_loop,
-                args=(rank, self.size, prog, child_conn, self.exchange),
-                daemon=True,
+        fabric = (
+            P2PFabric(
+                self.size,
+                slot_bytes=self.mailbox_slot_bytes,
+                timeout=self.barrier_timeout,
             )
-            proc.start()
-            child_conn.close()
-            parents.append(parent_conn)
-            procs.append(proc)
-
+            if self.exchange == EXCHANGE_P2P
+            else None
+        )
+        parents: list[Any] = []
+        procs: list[Any] = []
         try:
-            # pickle path: inbox items are (src, array); shm path: (src, desc)
-            inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.size)]
-            while True:
-                if self.supersteps >= self.max_supersteps:
-                    raise MPSimError(
-                        f"exceeded max_supersteps={self.max_supersteps}"
-                    )
-                self.supersteps += 1
-                for rank, conn in enumerate(parents):
-                    conn.send((_STEP, inboxes[rank]))
-                next_inboxes: list[list[tuple[int, Any]]] = [
-                    [] for _ in range(self.size)
-                ]
-                any_traffic = False
-                all_done = True
-                for rank, conn in enumerate(parents):
-                    kind, payload, done = conn.recv()
-                    if kind == "error":
-                        raise RankFailure(rank, RuntimeError(payload))
-                    for dest in sorted(payload):
-                        for item in payload[dest]:
-                            if shm:
-                                _name, _off, count, dtype = item
-                                nbytes = count * dtype.itemsize
-                            else:
-                                count, nbytes = len(item), item.nbytes
-                            next_inboxes[dest].append((rank, item))
-                            any_traffic = True
-                            self.stats[rank].record_send(count, nbytes)
-                            self.stats[dest].record_receive(count, nbytes)
-                    all_done = all_done and done
-                inboxes = next_inboxes
-                if not any_traffic and all_done:
-                    break
+            for rank, prog in enumerate(programs):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        rank, self.size, child_conn, self.exchange, fabric,
+                        prog, self.max_supersteps, self.cost,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                parents.append(parent_conn)
+                procs.append(proc)
 
-            self.results = [None] * self.size
-            for rank, conn in enumerate(parents):
-                conn.send((_STOP, None))
-            for rank, conn in enumerate(parents):
-                kind, rank_stats, result = conn.recv()
-                if kind != "final":  # pragma: no cover - protocol violation
-                    raise MPSimError(f"unexpected final message {kind!r} from rank {rank}")
-                assert isinstance(rank_stats, RankStats)
-                self.stats[rank].nodes = rank_stats.nodes
-                self.stats[rank].work_items = rank_stats.work_items
-                self.results[rank] = result
+            self.results, self.telemetry, self.supersteps, self.simulated_time = (
+                _drive_job(
+                    parents, procs, self.size, self.exchange, fabric,
+                    None, fault_plan, self.stats, self.max_supersteps,
+                )
+            )
+            for conn in parents:
+                conn.send((_SHUTDOWN, None))
         finally:
             for conn in parents:
                 conn.close()
@@ -337,4 +786,7 @@ class MultiprocessingBSPEngine:
                 proc.join(timeout=10)
                 if proc.is_alive():  # pragma: no cover - hung worker
                     proc.terminate()
+                    proc.join(timeout=1)
+            if fabric is not None:
+                fabric.close(unlink=True)
         return self.stats

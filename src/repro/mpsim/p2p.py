@@ -1,0 +1,226 @@
+"""Peer-to-peer superstep exchange fabric for the multiprocessing backend.
+
+The coordinator exchange (`repro.mpsim.mp_backend`) funnels every superstep
+through the parent process: each worker ships its outbox descriptors up a
+pipe, the parent routes them and mails each worker its inbox.  That is two
+pipe hops and a full parent wake-up per rank per superstep — a serial
+bottleneck no real ``alltoallv`` has.
+
+:class:`P2PFabric` removes the parent from the data path.  It is created
+*before* the workers fork and inherited by all of them, and provides three
+shared facilities:
+
+**Mailbox matrix.**  A single ``multiprocessing.shared_memory`` segment
+holds one fixed-size slot per ``(src, dst, parity)`` triple.  In superstep
+``s`` rank ``src`` writes, for every ``dst``, a small pickled list of
+payload descriptors (produced by the shm payload writer) into slot
+``(src, dst, s % 2)``; after the barrier, rank ``dst`` reads column
+``(*, dst, s % 2)`` in source order.  Slots are double-buffered by superstep
+parity exactly like the payload segments: superstep ``s + 1`` writes the
+other parity, and parity ``s % 2`` is not rewritten until superstep
+``s + 2`` — by which time every reader of superstep ``s`` has passed the
+``s + 1`` barrier, so a single barrier per superstep is sufficient.
+
+**Control arrays.**  Parity-indexed per-rank ``done`` flags, sent-record
+counters, and virtual step times.  Every rank publishes its triple before
+the barrier and reads everyone's after it, so all ranks take the same
+termination decision on the same superstep — distributed termination
+detection with shared counters instead of a coordinator round.
+
+**Barrier.**  A ``multiprocessing.Barrier`` (semaphore-backed, so waiting
+ranks *block* instead of spinning — essential on oversubscribed hosts where
+``P`` exceeds the core count).  A crashing rank aborts the barrier so its
+peers fail fast with :class:`~repro.mpsim.errors.MPSimError` instead of
+waiting out the timeout.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.mpsim.errors import MPSimError
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = ["P2PFabric", "MailboxOverflow"]
+
+#: bytes reserved at the head of each mailbox slot for the blob length
+_HEADER = 8
+_LEN = struct.Struct("<q")
+
+
+class MailboxOverflow(MPSimError):
+    """A superstep's descriptor blob outgrew its fixed mailbox slot.
+
+    Descriptors are tiny (a segment name, offset, count, and dtype per
+    payload array), so the default slot comfortably fits hundreds of arrays
+    per destination per superstep; programs that somehow exceed it should
+    raise the engine's ``mailbox_slot_bytes``.
+    """
+
+
+class P2PFabric:
+    """Shared-memory exchange fabric connecting ``size`` worker ranks.
+
+    Create in the parent before forking; every worker uses the inherited
+    object directly.  The parent calls :meth:`close` (with ``unlink=True``)
+    once after the workers are gone.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    slot_bytes:
+        Capacity of one ``(src, dst, parity)`` descriptor slot, excluding
+        the length header.
+    timeout:
+        Barrier wait timeout in wall seconds; a rank that waits this long
+        concludes the world is wedged and raises.
+    """
+
+    def __init__(self, size: int, slot_bytes: int = 8192, timeout: float = 120.0) -> None:
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise MPSimError("p2p exchange requires multiprocessing.shared_memory")
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        import multiprocessing as mp
+
+        self.size = size
+        self.slot_bytes = int(slot_bytes)
+        self.timeout = timeout
+        self._slot = _HEADER + self.slot_bytes
+        self._mail = _shared_memory.SharedMemory(
+            create=True, size=max(size * size * 2 * self._slot, 1)
+        )
+        # control block: done flags, sent-record counters, virtual step
+        # times — each [2][size], indexed by superstep parity
+        self._ctl = _shared_memory.SharedMemory(create=True, size=2 * size * 8 * 3)
+        self._done = np.frombuffer(self._ctl.buf, np.int64, 2 * size, 0).reshape(2, size)
+        self._traffic = np.frombuffer(
+            self._ctl.buf, np.int64, 2 * size, 2 * size * 8
+        ).reshape(2, size)
+        self._times = np.frombuffer(
+            self._ctl.buf, np.float64, 2 * size, 4 * size * 8
+        ).reshape(2, size)
+        self._done[:] = 0
+        self._traffic[:] = 0
+        self._times[:] = 0.0
+        self.barrier = mp.get_context("fork").Barrier(size)
+
+    # ------------------------------------------------------------- mailboxes
+    def _offset(self, src: int, dst: int, parity: int) -> int:
+        return ((src * self.size + dst) * 2 + parity) * self._slot
+
+    def post(self, src: int, superstep: int, meta: dict[int, list[Any]]) -> None:
+        """Publish rank ``src``'s outbox descriptors for ``superstep``.
+
+        ``meta`` maps destination rank to a list of payload descriptors.
+        Every slot in the row is (re)written — destinations absent from
+        ``meta`` get an empty marker — so readers never see stale parity
+        data, even across :class:`~repro.mpsim.pool.WorkerPool` jobs.
+        """
+        parity = superstep % 2
+        buf = self._mail.buf
+        for dst in range(self.size):
+            if dst == src:
+                continue
+            off = self._offset(src, dst, parity)
+            descs = meta.get(dst)
+            if not descs:
+                _LEN.pack_into(buf, off, 0)
+                continue
+            blob = pickle.dumps(descs, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(blob) > self.slot_bytes:
+                raise MailboxOverflow(
+                    f"rank {src} -> {dst} descriptor blob is {len(blob)} bytes; "
+                    f"mailbox slots hold {self.slot_bytes} (raise mailbox_slot_bytes)"
+                )
+            _LEN.pack_into(buf, off, len(blob))
+            buf[off + _HEADER : off + _HEADER + len(blob)] = blob
+
+    def collect(self, dst: int, superstep: int) -> list[tuple[int, Any]]:
+        """Read rank ``dst``'s inbox descriptors for ``superstep``.
+
+        Returns ``(source, descriptor)`` pairs ordered by source rank then
+        send order — the identical delivery order the in-process engine and
+        the coordinator paths produce, which is what keeps all transports
+        bit-identical.
+        """
+        parity = superstep % 2
+        buf = self._mail.buf
+        inbox: list[tuple[int, Any]] = []
+        for src in range(self.size):
+            if src == dst:
+                continue
+            off = self._offset(src, dst, parity)
+            (length,) = _LEN.unpack_from(buf, off)
+            if length == 0:
+                continue
+            descs = pickle.loads(bytes(buf[off + _HEADER : off + _HEADER + length]))
+            inbox.extend((src, desc) for desc in descs)
+        return inbox
+
+    # ----------------------------------------------------- termination state
+    def publish(
+        self, rank: int, superstep: int, done: bool, sent_records: int, step_time: float
+    ) -> None:
+        """Publish ``rank``'s pre-barrier status triple for ``superstep``."""
+        parity = superstep % 2
+        self._done[parity, rank] = 1 if done else 0
+        self._traffic[parity, rank] = sent_records
+        self._times[parity, rank] = step_time
+
+    def quiescent(self, superstep: int) -> bool:
+        """Post-barrier global termination test for ``superstep``.
+
+        True when every rank reported ``done`` and no rank sent a record —
+        the same decision the in-process engine's coordinator takes, computed
+        identically by every rank from the same shared counters.
+        """
+        parity = superstep % 2
+        return bool(self._done[parity].all()) and int(self._traffic[parity].sum()) == 0
+
+    def max_step_time(self, superstep: int) -> float:
+        """Post-barrier: the superstep's virtual duration (max over ranks)."""
+        return float(self._times[superstep % 2].max())
+
+    # --------------------------------------------------------------- barrier
+    def wait(self) -> None:
+        """Block until all ranks arrive; raises ``MPSimError`` on abort/timeout."""
+        import threading
+
+        try:
+            self.barrier.wait(self.timeout)
+        except threading.BrokenBarrierError:
+            raise MPSimError("p2p barrier broken (a peer rank aborted or timed out)")
+
+    def abort(self) -> None:
+        """Break the barrier so peer ranks fail fast instead of waiting."""
+        try:
+            self.barrier.abort()
+        except Exception:  # pragma: no cover - barrier already torn down
+            pass
+
+    # --------------------------------------------------------------- cleanup
+    def close(self, unlink: bool = False) -> None:
+        """Detach (and with ``unlink=True``, destroy) the shared segments."""
+        # drop the numpy views first: SharedMemory.close() refuses while
+        # exported buffers exist
+        self._done = self._traffic = self._times = None
+        for seg in (self._mail, self._ctl):
+            if seg is None:
+                continue
+            try:
+                seg.close()
+                if unlink:
+                    seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._mail = self._ctl = None

@@ -1,0 +1,183 @@
+"""Persistent worker pool: fork once, run many BSP jobs.
+
+:class:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine` forks ``P``
+processes, runs one job, and tears everything down — the right shape for a
+single generation, but repeated jobs (parameter sweeps, a service handling
+generation requests back-to-back) pay the fork, pipe, and shared-memory
+setup every time.  On small jobs that startup dominates the whole run.
+
+:class:`WorkerPool` keeps the fleet alive: workers, pipes, payload segments,
+and (for the p2p exchange) the mailbox fabric are created once and reused by
+every :meth:`WorkerPool.run`.  Jobs ship their rank programs to the workers
+by pickle (the one-shot engine lets them ride the fork instead), and each
+job's results, statistics, and telemetry land on the pool exactly as they
+would on a one-shot engine — the two are drop-in interchangeable for
+callers, and bit-identical in output (asserted by the test-suite).
+
+.. code-block:: python
+
+    from repro.mpsim.pool import WorkerPool
+
+    with WorkerPool(size=8, exchange="p2p") as pool:
+        for seed in range(100):
+            pool.run(make_programs(seed))
+            consume(pool.results)
+
+A job that fails (a rank program raising, a worker dying) marks the pool
+*broken*: the in-flight superstep state of the surviving workers is
+unknowable, so subsequent :meth:`run` calls are refused and the pool must be
+recreated.  :meth:`close` is always safe and idempotent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Sequence
+
+from repro.mpsim.costmodel import CostModel
+from repro.mpsim.errors import MPSimError
+from repro.mpsim.mp_backend import (
+    _SHUTDOWN,
+    EXCHANGE_P2P,
+    _check_mp_fault_plan,
+    _drive_job,
+    _normalise_exchange,
+    _worker_main,
+)
+from repro.mpsim.p2p import P2PFabric
+from repro.mpsim.stats import WorldStats
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """A persistent fleet of BSP worker processes.
+
+    Parameters mirror :class:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine`;
+    the pool accepts the same ``exchange`` transports and produces
+    bit-identical output.  Workers fork immediately (with no inherited
+    program — jobs ship theirs) and live until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        exchange: str = "shm",
+        max_supersteps: int = 10_000,
+        cost_model: CostModel | None = None,
+        mailbox_slot_bytes: int = 8192,
+        barrier_timeout: float = 120.0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self.exchange = _normalise_exchange(exchange)
+        self.max_supersteps = max_supersteps
+        self.cost = cost_model or CostModel()
+        self._fabric = (
+            P2PFabric(size, slot_bytes=mailbox_slot_bytes, timeout=barrier_timeout)
+            if self.exchange == EXCHANGE_P2P
+            else None
+        )
+        ctx = mp.get_context("fork")
+        self._parents: list[Any] = []
+        self._procs: list[Any] = []
+        for rank in range(size):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    rank, size, child_conn, self.exchange, self._fabric,
+                    None, max_supersteps, self.cost,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._parents.append(parent_conn)
+            self._procs.append(proc)
+
+        #: jobs completed successfully since the pool was created
+        self.jobs_run = 0
+        self._closed = False
+        self._broken = False
+        # per-job outputs, same attributes the one-shot engine exposes
+        self.stats = WorldStats.for_size(size)
+        self.results: list[Any] = []
+        self.telemetry: list[dict] = []
+        self.supersteps = 0
+        self.simulated_time = 0.0
+
+    # ------------------------------------------------------------------ jobs
+    def run(
+        self, programs: Sequence[Any], fault_plan: Any = None
+    ) -> WorldStats:
+        """Run one job over the live workers; same contract as the engine's
+        :meth:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine.run`."""
+        if self._closed:
+            raise MPSimError("worker pool is closed")
+        if self._broken:
+            raise MPSimError(
+                "worker pool is broken by an earlier job failure; create a new pool"
+            )
+        if len(programs) != self.size:
+            raise MPSimError(f"expected {self.size} rank programs, got {len(programs)}")
+        _check_mp_fault_plan(fault_plan)
+        self.stats = WorldStats.for_size(self.size)
+        try:
+            (
+                self.results,
+                self.telemetry,
+                self.supersteps,
+                self.simulated_time,
+            ) = _drive_job(
+                self._parents, self._procs, self.size, self.exchange,
+                self._fabric, list(programs), fault_plan, self.stats,
+                self.max_supersteps,
+            )
+        except Exception:
+            self._broken = True
+            raise
+        self.jobs_run += 1
+        return self.stats
+
+    # --------------------------------------------------------------- cleanup
+    def close(self) -> None:
+        """Shut the workers down and release every shared resource."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._parents:
+            try:
+                conn.send((_SHUTDOWN, None))
+            except (BrokenPipeError, OSError):  # worker already gone
+                pass
+        for conn in self._parents:
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1)
+        if self._fabric is not None:
+            self._fabric.close(unlink=True)
+            self._fabric = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("broken" if self._broken else "live")
+        return (
+            f"WorkerPool(size={self.size}, exchange={self.exchange!r}, "
+            f"jobs_run={self.jobs_run}, {state})"
+        )

@@ -1,7 +1,10 @@
 """Tests for the real-parallelism multiprocessing backend.
 
 These prove the BSP rank programs are genuinely shared-nothing: the same
-programs produce the same graph whether they share an address space or not.
+programs produce the same graph whether they share an address space or not —
+and regardless of which exchange transport (coordinator pickle pipes,
+coordinator shared-memory payloads, or the peer-to-peer mailbox fabric)
+carries the superstep traffic.
 """
 
 import numpy as np
@@ -13,13 +16,18 @@ from repro.core.partitioning import make_partition
 from repro.graph.edgelist import EdgeList
 from repro.graph.validation import validate_pa_graph
 from repro.core.parallel_pa_general import run_parallel_pa
-from repro.mpsim.errors import MPSimError
+from repro.mpsim.errors import MPSimError, RankFailure
+from repro.mpsim.faults import FaultPlan
 from repro.mpsim.mp_backend import (
+    EXCHANGE_P2P,
     EXCHANGE_PICKLE,
     EXCHANGE_SHM,
+    EXCHANGES,
     MultiprocessingBSPEngine,
 )
 from repro.rng import StreamFactory
+
+ALL_EXCHANGES = list(EXCHANGES)
 
 
 def _collect_edges(results) -> EdgeList:
@@ -29,13 +37,14 @@ def _collect_edges(results) -> EdgeList:
     return edges
 
 
-def _run_mp_x1(n, part, seed, exchange):
+def _x1_programs(part, seed):
     factory = StreamFactory(seed)
-    programs = [
-        PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(part.P)
-    ]
+    return [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(part.P)]
+
+
+def _run_mp_x1(n, part, seed, exchange, fault_plan=None):
     eng = MultiprocessingBSPEngine(part.P, exchange=exchange)
-    eng.run(programs)
+    eng.run(_x1_programs(part, seed), fault_plan=fault_plan)
     return _collect_edges(eng.results), eng
 
 
@@ -50,8 +59,9 @@ def _run_mp_general(n, x, part, seed, exchange):
     return _collect_edges(eng.results), eng
 
 
+# --------------------------------------------------------------- bit-identity
 @pytest.mark.parametrize("scheme", ["ucp", "rrp"])
-@pytest.mark.parametrize("exchange", [EXCHANGE_SHM, EXCHANGE_PICKLE])
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
 def test_x1_matches_in_process(scheme, exchange):
     n, P, seed = 600, 4, 21
     part = make_partition(scheme, n, P)
@@ -60,39 +70,145 @@ def test_x1_matches_in_process(scheme, exchange):
     assert np.array_equal(in_proc.canonical(), mp_edges.canonical())
 
 
-def test_x1_shm_and_pickle_bit_identical():
-    """The two exchange paths are pure transports: same graph either way."""
+def test_x1_all_exchanges_bit_identical():
+    """The exchanges are pure transports: same graph, supersteps, and
+    virtual time on every one of them."""
     n, P, seed = 700, 4, 3
     part = make_partition("rrp", n, P)
-    shm_edges, shm_eng = _run_mp_x1(n, part, seed, EXCHANGE_SHM)
-    pk_edges, pk_eng = _run_mp_x1(n, part, seed, EXCHANGE_PICKLE)
-    assert np.array_equal(shm_edges.canonical(), pk_edges.canonical())
-    assert shm_eng.supersteps == pk_eng.supersteps
+    runs = {ex: _run_mp_x1(n, part, seed, ex) for ex in ALL_EXCHANGES}
+    ref_edges, ref_eng = runs[EXCHANGE_SHM]
+    for ex in ALL_EXCHANGES:
+        edges, eng = runs[ex]
+        assert np.array_equal(ref_edges.canonical(), edges.canonical()), ex
+        assert eng.supersteps == ref_eng.supersteps, ex
+        assert eng.simulated_time == pytest.approx(ref_eng.simulated_time), ex
 
 
-def test_general_shm_pickle_and_in_process_bit_identical():
-    """x>1: all three execution paths run the identical rank programs, so
-    equal seeds give the identical canonical edge list."""
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
+def test_general_matches_in_process(exchange):
+    """x>1: every execution path runs the identical rank programs, so equal
+    seeds give the identical canonical edge list."""
     n, x, P, seed = 500, 3, 3, 5
     part = make_partition("rrp", n, P)
     in_proc, _, _ = run_parallel_pa(n, x, part, seed=seed)
-    shm_edges, _ = _run_mp_general(n, x, part, seed, EXCHANGE_SHM)
-    pk_edges, _ = _run_mp_general(n, x, part, seed, EXCHANGE_PICKLE)
-    assert np.array_equal(in_proc.canonical(), shm_edges.canonical())
-    assert np.array_equal(in_proc.canonical(), pk_edges.canonical())
+    mp_edges, _ = _run_mp_general(n, x, part, seed, exchange)
+    assert np.array_equal(in_proc.canonical(), mp_edges.canonical())
 
 
 def test_exchange_traffic_stats_agree():
-    """Both exchanges account the same record and byte totals."""
+    """All exchanges account the same record and byte totals."""
     n, P, seed = 400, 3, 11
     part = make_partition("rrp", n, P)
-    _, shm_eng = _run_mp_x1(n, part, seed, EXCHANGE_SHM)
-    _, pk_eng = _run_mp_x1(n, part, seed, EXCHANGE_PICKLE)
-    for r in range(P):
-        assert shm_eng.stats[r].msgs_sent == pk_eng.stats[r].msgs_sent
-        assert shm_eng.stats[r].bytes_sent == pk_eng.stats[r].bytes_sent
+    engines = [_run_mp_x1(n, part, seed, ex)[1] for ex in ALL_EXCHANGES]
+    ref = engines[0]
+    for eng in engines[1:]:
+        for r in range(P):
+            assert eng.stats[r].msgs_sent == ref.stats[r].msgs_sent
+            assert eng.stats[r].bytes_sent == ref.stats[r].bytes_sent
 
 
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
+def test_stats_summary_agrees_with_in_process(exchange):
+    """Worker-side accounting reproduces the in-process engine's numbers:
+    the whole ``summary()`` dict, the superstep count, and the virtual time
+    agree, not just the traffic totals."""
+    n, P, seed = 500, 4, 13
+    part = make_partition("rrp", n, P)
+    _, bsp_eng, _ = run_parallel_pa_x1(n, part, seed=seed)
+    _, mp_eng = _run_mp_x1(n, part, seed, exchange)
+    assert mp_eng.supersteps == bsp_eng.supersteps
+    assert mp_eng.simulated_time == pytest.approx(bsp_eng.simulated_time, abs=1e-9)
+    ref = bsp_eng.stats.summary()
+    got = mp_eng.stats.summary()
+    assert set(got) == set(ref)
+    for key, val in ref.items():
+        assert got[key] == pytest.approx(val, abs=1e-9), key
+
+
+# ----------------------------------------------------------------- stragglers
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
+def test_straggler_determinism(exchange):
+    """Randomly skewed per-worker delays must not change the graph.
+
+    Stragglers sleep for *real* wall time in their worker processes, so the
+    arrival order on the parent's pipes / the p2p barrier is genuinely
+    perturbed — the output must still be bit-identical to a healthy
+    in-process run.
+    """
+    n, P, seed = 600, 4, 17
+    part = make_partition("rrp", n, P)
+    rng = np.random.default_rng(99)
+    plan = FaultPlan(seed=99)
+    for rank in range(P):
+        plan.straggle(rank, factor=float(1.0 + 4.0 * rng.random()))
+    in_proc, _, _ = run_parallel_pa_x1(n, part, seed=seed)
+    edges, eng = _run_mp_x1(n, part, seed, exchange, fault_plan=plan)
+    assert np.array_equal(in_proc.canonical(), edges.canonical())
+    # the straggle factors inflate virtual time, never the structure
+    healthy = _run_mp_x1(n, part, seed, exchange)[1]
+    assert eng.supersteps == healthy.supersteps
+    assert eng.simulated_time > healthy.simulated_time
+
+
+def test_crash_and_drop_plans_rejected():
+    part = make_partition("rrp", 100, 2)
+    programs = _x1_programs(part, 0)
+    eng = MultiprocessingBSPEngine(2)
+    with pytest.raises(ValueError, match="crash"):
+        eng.run(programs, fault_plan=FaultPlan().crash(0, at_superstep=2))
+    with pytest.raises(ValueError, match="drop"):
+        eng.run(programs, fault_plan=FaultPlan().drop(3))
+
+
+# ------------------------------------------------------------------- failures
+class _NoOpProgram:
+    """Single-superstep program: no traffic, immediately done."""
+
+    def __init__(self, rank):
+        self.rank = rank
+        self.done = False
+
+    def step(self, ctx, inbox):
+        self.done = True
+        return {}
+
+    def result(self):
+        return ("ok", self.rank)
+
+
+class _ExplodingResultProgram(_NoOpProgram):
+    """Runs cleanly but fails during final collection."""
+
+    def result(self):
+        raise RuntimeError("boom at collection")
+
+
+class _ExplodingStepProgram(_NoOpProgram):
+    """Fails mid-superstep."""
+
+    def step(self, ctx, inbox):
+        raise RuntimeError("boom in step")
+
+
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
+def test_result_failure_raises_rank_failure(exchange):
+    """A ``result()`` that raises during final collection surfaces as
+    ``RankFailure`` naming the culprit — not a protocol assertion."""
+    eng = MultiprocessingBSPEngine(2, exchange=exchange)
+    with pytest.raises(RankFailure) as exc_info:
+        eng.run([_NoOpProgram(0), _ExplodingResultProgram(1)])
+    assert exc_info.value.rank == 1
+
+
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
+def test_step_failure_raises_rank_failure(exchange):
+    eng = MultiprocessingBSPEngine(2, exchange=exchange)
+    with pytest.raises(RankFailure) as exc_info:
+        eng.run([_ExplodingStepProgram(0), _NoOpProgram(1)])
+    assert exc_info.value.rank == 0
+
+
+# ----------------------------------------------------------------- edge cases
 def test_invalid_exchange_rejected():
     with pytest.raises(ValueError):
         MultiprocessingBSPEngine(2, exchange="carrier-pigeon")
@@ -112,10 +228,8 @@ def test_general_case_valid_graph():
 def test_stats_transferred_back():
     n, P = 300, 2
     part = make_partition("rrp", n, P)
-    factory = StreamFactory(0)
-    programs = [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(P)]
     eng = MultiprocessingBSPEngine(P)
-    eng.run(programs)
+    eng.run(_x1_programs(part, 0))
     assert sum(eng.stats[r].nodes for r in range(P)) == n
 
 
