@@ -54,11 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--text", action="store_true", help="write text instead of binary")
     g.add_argument("--validate", action="store_true", help="validate before writing")
     g.add_argument("--checkpoint", type=Path, default=None,
-                   help="snapshot BSP state here every --checkpoint-every supersteps")
+                   help="snapshot engine state here every --checkpoint-every "
+                        "supersteps (--engine bsp or mp)")
     g.add_argument("--checkpoint-every", type=int, default=1)
     g.add_argument("--checkpoint-dir", type=Path, default=None,
                    help="rotate checkpoints under this directory and run "
-                        "supervised: crashes are recovered automatically")
+                        "supervised: crashes are recovered automatically "
+                        "(--engine bsp or mp; on mp, killed worker "
+                        "processes are respawned and resumed)")
     g.add_argument("--checkpoint-keep", type=int, default=3,
                    help="checkpoint generations to retain in --checkpoint-dir")
     g.add_argument("--inject-faults", type=int, default=None, metavar="SEED",
@@ -66,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(combine with --checkpoint-dir to recover from it)")
     g.add_argument("--max-retries", type=int, default=3,
                    help="supervised recovery attempts before giving up")
+    g.add_argument("--barrier-timeout", type=float, default=120.0,
+                   help="wall-clock bound (s) on the --exchange p2p barrier; "
+                        "dead ranks are detected much faster via sentinels, "
+                        "this only catches wedged-but-alive ones")
 
     o = sub.add_parser("other", help="generate non-PA models on the same substrate")
     o.add_argument("--model", choices=["er", "rmat", "chung-lu"], required=True)
@@ -140,11 +147,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.pool and args.engine != "mp":
         print("--pool requires --engine mp", file=sys.stderr)
         return 2
+    if args.pool and (args.checkpoint or args.checkpoint_dir):
+        print("--pool cannot checkpoint (pooled workers outlive any single "
+              "job's recovery lifecycle); drop --pool to snapshot and resume",
+              file=sys.stderr)
+        return 2
     pool = None
     if args.pool:
         from repro.mpsim.pool import WorkerPool
 
-        pool = WorkerPool(args.ranks, exchange=args.exchange)
+        pool = WorkerPool(args.ranks, exchange=args.exchange,
+                          barrier_timeout=args.barrier_timeout)
     t0 = time.perf_counter()
     try:
         result = generate(
@@ -163,6 +176,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             checkpoint_keep=args.checkpoint_keep,
             fault_seed=args.inject_faults,
             max_retries=args.max_retries,
+            barrier_timeout=args.barrier_timeout,
         )
     finally:
         if pool is not None:

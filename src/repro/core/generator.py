@@ -120,6 +120,7 @@ def generate(
     fault_plan: Any = None,
     fault_seed: int | None = None,
     max_retries: int = 3,
+    barrier_timeout: float = 120.0,
 ) -> GenerationResult:
     """Generate a preferential-attachment network.
 
@@ -153,25 +154,36 @@ def generate(
     cost_model:
         Virtual-time charges for the simulated cluster.
     checkpoint_path, checkpoint_every:
-        When ``checkpoint_path`` is set (BSP engine only), the run snapshots
-        its complete state there every ``checkpoint_every`` supersteps;
-        crash recovery via :func:`repro.mpsim.checkpoint.resume` is
-        bit-exact.
+        When ``checkpoint_path`` is set (``bsp`` and ``mp`` engines), the
+        run snapshots its complete state there every ``checkpoint_every``
+        supersteps; crash recovery via
+        :func:`repro.mpsim.checkpoint.resume` is bit-exact.  On ``mp``,
+        workers write per-rank shards and the coordinator commits each
+        complete cut as an ordinary manifest, so the snapshot is loadable by
+        either engine.  Not supported with ``pool=`` (pooled workers
+        outlive any single job's recovery lifecycle) or ``engine="event"``.
     checkpoint_dir, checkpoint_keep:
-        When ``checkpoint_dir`` is set (BSP engine only), snapshots rotate
-        through ``checkpoint_keep`` generations under that directory and the
-        run executes under a :class:`repro.mpsim.supervisor.Supervisor`:
-        rank crashes and deadlocks are recovered automatically (up to
-        ``max_retries`` times) and recorded in the result's ``recoveries``.
+        When ``checkpoint_dir`` is set (``bsp`` and ``mp`` engines),
+        snapshots rotate through ``checkpoint_keep`` generations under that
+        directory and the run executes under a
+        :class:`repro.mpsim.supervisor.Supervisor`: rank crashes and
+        deadlocks — on ``mp``, real ``SIGKILL``-ed worker processes — are
+        recovered automatically (up to ``max_retries`` times) and recorded
+        in the result's ``recoveries``.
     fault_plan, fault_seed:
         Inject faults: either an explicit
         :class:`repro.mpsim.faults.FaultPlan`, or a seed from which a
         default chaos plan (one scheduled rank crash) is derived.  With a
-        supervised BSP run the output is still bit-identical to the
-        fault-free graph; without supervision failures propagate to the
-        caller.
+        supervised run (``checkpoint_dir``) the output is still
+        bit-identical to the fault-free graph; without supervision failures
+        propagate to the caller.
     max_retries:
         Recovery budget for supervised runs.
+    barrier_timeout:
+        Last-resort wall-clock bound (seconds) on the ``engine="mp"``
+        ``exchange="p2p"`` barrier.  Worker deaths are detected by the
+        coordinator within one liveness poll and abort the barrier, so this
+        only matters for organically wedged (not dead) ranks.
 
     Examples
     --------
@@ -192,6 +204,11 @@ def generate(
             raise ValueError("sequential engine requires ranks=1")
         if plan is not None:
             raise ValueError("fault injection requires a parallel engine")
+        if checkpoint_path is not None or checkpoint_dir is not None:
+            raise ValueError(
+                "checkpointing requires a superstep engine (engine='bsp' or "
+                "'mp'); the sequential model runs in one shot"
+            )
         from repro.seq.copy_model import copy_model
 
         edges = copy_model(n, x=x, p=p, seed=seed)
@@ -217,6 +234,12 @@ def generate(
         raise ValueError(f"partition covers n={part.n}, requested n={n}")
 
     if engine == "event":
+        if checkpoint_path is not None or checkpoint_dir is not None:
+            raise ValueError(
+                "checkpointing requires engine='bsp' or engine='mp'; the "
+                "event-driven simulator has no superstep boundaries to "
+                "snapshot at"
+            )
         from repro.core.event_driven import run_event_driven_pa
 
         edges, sim = run_event_driven_pa(
@@ -241,9 +264,11 @@ def generate(
         )
 
     if engine == "mp":
-        if checkpoint_path is not None or checkpoint_dir is not None:
-            raise ValueError("checkpointing requires engine='bsp'")
-        return _generate_mp(n, x, p, part, seed, cost_model, exchange, pool, plan)
+        return _generate_mp(
+            n, x, p, part, seed, cost_model, exchange, pool, plan,
+            checkpoint_path, checkpoint_every, checkpoint_dir,
+            checkpoint_keep, max_retries, barrier_timeout,
+        )
 
     if engine != "bsp":
         raise ValueError(
@@ -308,8 +333,20 @@ def generate(
     )
 
 
-def _generate_mp(n, x, p, part, seed, cost_model, exchange, pool, plan):
-    """Run the generation on the real-process backend (or a live pool)."""
+def _generate_mp(
+    n, x, p, part, seed, cost_model, exchange, pool, plan,
+    checkpoint_path=None, checkpoint_every=1, checkpoint_dir=None,
+    checkpoint_keep=3, max_retries=3, barrier_timeout=120.0,
+):
+    """Run the generation on the real-process backend (or a live pool).
+
+    Mirrors the BSP branch's checkpoint ladder: ``checkpoint_dir`` runs the
+    one-shot engine under a :class:`~repro.mpsim.supervisor.Supervisor`
+    (killed workers are respawned and resumed from the newest valid
+    snapshot, bit-identically), ``checkpoint_path`` snapshots without
+    supervision, and a :class:`~repro.mpsim.pool.WorkerPool` supports
+    neither — pooled workers outlive any single job's recovery lifecycle.
+    """
     from repro.core.parallel_pa import PAx1RankProgram
     from repro.core.parallel_pa_general import PAGeneralRankProgram
     from repro.mpsim.mp_backend import MultiprocessingBSPEngine
@@ -317,26 +354,69 @@ def _generate_mp(n, x, p, part, seed, cost_model, exchange, pool, plan):
 
     if x > 1 and n <= x:
         raise ValueError(f"need n > x, got n={n}, x={x}")
-    factory = StreamFactory(seed)
-    if x == 1:
-        programs = [
-            PAx1RankProgram(r, part, p, factory.stream(r)) for r in range(part.P)
-        ]
-    else:
-        programs = [
+
+    def program_factory():
+        factory = StreamFactory(seed)
+        if x == 1:
+            return [
+                PAx1RankProgram(r, part, p, factory.stream(r))
+                for r in range(part.P)
+            ]
+        return [
             PAGeneralRankProgram(r, part, x, p, factory.stream(r))
             for r in range(part.P)
         ]
 
-    if pool is not None:
+    if pool is not None and (
+        checkpoint_path is not None or checkpoint_dir is not None
+    ):
+        raise ValueError(
+            "checkpointing is not supported on a WorkerPool: pooled workers "
+            "outlive any single job's recovery lifecycle; drop pool= so "
+            "engine='mp' forks one-shot workers that can snapshot and resume"
+        )
+
+    recoveries: list = []
+    if checkpoint_dir is not None:
+        from pathlib import Path
+
+        from repro.mpsim.checkpoint import Checkpointer
+        from repro.mpsim.supervisor import Supervisor
+
+        checkpointer = Checkpointer(
+            Path(checkpoint_dir) / "run.ckpt",
+            every=checkpoint_every,
+            keep=checkpoint_keep,
+        )
+        supervisor = Supervisor(
+            lambda: MultiprocessingBSPEngine(
+                part.P, exchange=exchange, cost_model=cost_model,
+                barrier_timeout=barrier_timeout,
+            ),
+            program_factory,
+            checkpointer,
+            max_retries=max_retries,
+        )
+        eng, _ = supervisor.run(fault_plan=plan)
+        recoveries = list(eng.stats.recoveries)
+    elif pool is not None:
         if pool.size != part.P:
             raise ValueError(
                 f"pool has {pool.size} workers, partition needs {part.P}"
             )
         eng = pool
+        eng.run(program_factory(), fault_plan=plan)
     else:
-        eng = MultiprocessingBSPEngine(part.P, exchange=exchange, cost_model=cost_model)
-    eng.run(programs, fault_plan=plan)
+        checkpointer = None
+        if checkpoint_path is not None:
+            from repro.mpsim.checkpoint import Checkpointer
+
+            checkpointer = Checkpointer(checkpoint_path, every=checkpoint_every)
+        eng = MultiprocessingBSPEngine(
+            part.P, exchange=exchange, cost_model=cost_model,
+            barrier_timeout=barrier_timeout,
+        )
+        eng.run(program_factory(), fault_plan=plan, checkpointer=checkpointer)
 
     edges = EdgeList(capacity=max(n * max(x, 1) - 1, 1))
     for pair in eng.results:
@@ -360,6 +440,7 @@ def _generate_mp(n, x, p, part, seed, cost_model, exchange, pool, plan):
         ),
         nodes_per_rank=part.sizes(),
         world_stats=eng.stats,
+        recoveries=recoveries,
         fault_plan=plan,
     )
 

@@ -41,13 +41,17 @@ from repro.mpsim.errors import CorruptCheckpointError, MPSimError
 __all__ = [
     "Checkpointer",
     "CheckpointData",
+    "ShardData",
     "checkpoint_chain",
     "load_checkpoint",
     "load_latest_valid",
+    "load_shard",
+    "save_shard",
     "resume",
 ]
 
 _MAGIC = "repro-bsp-checkpoint"
+_SHARD_MAGIC = "repro-bsp-shard"
 _VERSION = 2
 
 
@@ -63,6 +67,29 @@ class CheckpointData:
     stats: Any
     programs: list[Any]
     inboxes: list[list[tuple[int, Any]]]
+
+
+@dataclass
+class ShardData:
+    """One rank's share of a distributed (multi-process) checkpoint cut.
+
+    The real-process backend cannot hand the whole world to one
+    :meth:`Checkpointer.maybe_save` call — each rank's program lives in its
+    own address space.  Instead every worker serialises its own shard
+    (program state, the inbox it is about to consume, and its statistics
+    row) with the same checksum/atomic-rename discipline as a full
+    checkpoint, and the coordinator assembles the ``size`` shards of a cut
+    into one ordinary :class:`CheckpointData` manifest.  A committed
+    manifest is indistinguishable from an in-process snapshot — either
+    engine can resume from it.
+    """
+
+    rank: int
+    superstep: int
+    simulated_time: float
+    program: Any
+    inbox: list[tuple[int, Any]]
+    rank_stats: Any
 
 
 class Checkpointer:
@@ -114,10 +141,6 @@ class Checkpointer:
         inboxes: list[list[tuple[int, Any]]],
     ) -> bool:
         """Called by the engine after each superstep; returns True if saved."""
-        if engine.supersteps % self.every != 0:
-            return False
-        if engine.supersteps <= self.min_superstep:
-            return False
         data = CheckpointData(
             size=engine.size,
             cost=engine.cost,
@@ -128,16 +151,25 @@ class Checkpointer:
             programs=list(programs),
             inboxes=inboxes,
         )
-        blob = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
-        payload = (_MAGIC, _VERSION, hashlib.sha256(blob).hexdigest(), blob)
+        return self.commit(data)
+
+    def commit(self, data: CheckpointData) -> bool:
+        """Write ``data`` as the newest snapshot if the schedule allows.
+
+        This is the engine-agnostic half of :meth:`maybe_save`: the
+        multiprocessing coordinator calls it directly with a
+        :class:`CheckpointData` it assembled from worker-written shards.
+        Applies the ``every`` cadence and the supervisor's ``min_superstep``
+        replay suppression, then performs the fsync'd write-then-rename and
+        keep-last-``keep`` rotation.  Returns True if a snapshot was
+        written.
+        """
+        if data.supersteps % self.every != 0:
+            return False
+        if data.supersteps <= self.min_superstep:
+            return False
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with tempfile.NamedTemporaryFile(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp", delete=False
-        ) as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            fh.flush()
-            os.fsync(fh.fileno())
-            tmp_name = fh.name
+        tmp_name = _atomic_dump(_MAGIC, data, self.path)
         chain = self.chain()
         for i in range(len(chain) - 1, 0, -1):
             if chain[i - 1].exists():
@@ -145,6 +177,72 @@ class Checkpointer:
         Path(tmp_name).replace(self.path)
         self.snapshots += 1
         return True
+
+
+def _atomic_dump(magic: str, data: Any, path: Path) -> str:
+    """Write ``(magic, version, sha256, blob)`` to a fsync'd temp file.
+
+    Returns the temp file's name; the caller renames it into place (the
+    rename is what makes the write atomic — readers either see the old
+    complete file or the new complete file, never a torn one).
+    """
+    blob = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = (magic, _VERSION, hashlib.sha256(blob).hexdigest(), blob)
+    with tempfile.NamedTemporaryFile(
+        dir=path.parent, prefix=path.name, suffix=".tmp", delete=False
+    ) as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.flush()
+        os.fsync(fh.fileno())
+        return fh.name
+
+
+def _load_envelope(path: str | Path, magic: str, what: str) -> Any:
+    """Read and validate one ``(magic, version, sha256, blob)`` file."""
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CorruptCheckpointError(f"{path}: unreadable {what} ({exc!r})") from exc
+    if not (isinstance(payload, tuple) and len(payload) == 4 and payload[0] == magic):
+        raise CorruptCheckpointError(f"{path}: not a BSP {what} file")
+    _magic, version, digest, blob = payload
+    if version != _VERSION:
+        raise MPSimError(f"{path}: unsupported {what} version {version}")
+    if hashlib.sha256(blob).hexdigest() != digest:
+        raise CorruptCheckpointError(f"{path}: checksum mismatch (corrupted {what})")
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise CorruptCheckpointError(f"{path}: undecodable payload ({exc!r})") from exc
+
+
+def save_shard(path: str | Path, shard: ShardData) -> None:
+    """Atomically write one rank's checkpoint shard.
+
+    Called *inside* a worker process; uses the same checksum envelope and
+    write-then-rename discipline as full checkpoints so a worker killed
+    mid-write can never leave a torn shard that the coordinator would trust.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_name = _atomic_dump(_SHARD_MAGIC, shard, path)
+    Path(tmp_name).replace(path)
+
+
+def load_shard(path: str | Path) -> ShardData:
+    """Read and validate one checkpoint shard.
+
+    Raises :class:`CorruptCheckpointError` on truncation, garbage, or a
+    checksum mismatch — the coordinator treats any invalid shard as "this
+    cut never completed" and falls back to an older manifest.
+    """
+    data = _load_envelope(path, _SHARD_MAGIC, "checkpoint shard")
+    if not isinstance(data, ShardData):
+        raise CorruptCheckpointError(f"{path}: payload is not ShardData")
+    return data
 
 
 def checkpoint_chain(path: str | Path) -> list[Path]:
@@ -178,26 +276,7 @@ def load_checkpoint(path: str | Path) -> CheckpointData:
     FileNotFoundError
         The file does not exist.
     """
-    try:
-        with open(path, "rb") as fh:
-            payload = pickle.load(fh)
-    except FileNotFoundError:
-        raise
-    except Exception as exc:
-        raise CorruptCheckpointError(f"{path}: unreadable checkpoint ({exc!r})") from exc
-    if not (
-        isinstance(payload, tuple) and len(payload) == 4 and payload[0] == _MAGIC
-    ):
-        raise CorruptCheckpointError(f"{path}: not a BSP checkpoint file")
-    _magic, version, digest, blob = payload
-    if version != _VERSION:
-        raise MPSimError(f"{path}: unsupported checkpoint version {version}")
-    if hashlib.sha256(blob).hexdigest() != digest:
-        raise CorruptCheckpointError(f"{path}: checksum mismatch (corrupted snapshot)")
-    try:
-        data = pickle.loads(blob)
-    except Exception as exc:
-        raise CorruptCheckpointError(f"{path}: undecodable payload ({exc!r})") from exc
+    data = _load_envelope(path, _MAGIC, "checkpoint")
     if not isinstance(data, CheckpointData):
         raise CorruptCheckpointError(f"{path}: payload is not CheckpointData")
     return data

@@ -34,12 +34,23 @@ class DeadlockError(MPSimError):
 
 
 class RankFailure(MPSimError):
-    """A rank's program raised; wraps the original exception with the rank id."""
+    """A rank failed; wraps the original exception with the rank id.
 
-    def __init__(self, rank: int, original: BaseException) -> None:
-        super().__init__(f"rank {rank} failed: {original!r}")
+    Raised for program exceptions on any engine, and — on the real-process
+    backend — for worker deaths (a killed or crashed OS process).  When the
+    failure superstep is known (e.g. from the dead worker's last heartbeat),
+    it is carried in :attr:`superstep` so recovery and operators can see
+    *where* in the run the rank was lost, not just which rank.
+    """
+
+    def __init__(
+        self, rank: int, original: BaseException, superstep: int | None = None
+    ) -> None:
+        at = f" at superstep {superstep}" if superstep is not None else ""
+        super().__init__(f"rank {rank} failed{at}: {original!r}")
         self.rank = rank
         self.original = original
+        self.superstep = superstep
 
 
 class InjectedFault(MPSimError):

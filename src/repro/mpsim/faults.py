@@ -25,6 +25,16 @@ bit-identical edge list to a fault-free run.
 
 Every fault actually applied is appended to :attr:`FaultPlan.log`, so tests
 and operators can audit exactly what the plan did.
+
+Engines differ in which fault kinds they can physically realise, so a plan
+exposes its *pending* fault kinds through :meth:`FaultPlan.capabilities`
+(machine-checkable capability strings) — the API backends use to accept or
+reject a plan, instead of peeking at private fields.  The real-process
+backend additionally uses :meth:`FaultPlan.consume_crash` to acknowledge a
+crash that fired inside a worker it cannot observe directly: a killed
+process takes its copy of the plan with it, so the coordinator marks the
+event fired on *its* copy when it attributes the death — which is what keeps
+a supervised retry from re-killing the respawned rank forever.
 """
 
 from __future__ import annotations
@@ -34,7 +44,22 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["FaultPlan", "FaultRecord"]
+__all__ = [
+    "FaultPlan",
+    "FaultRecord",
+    "CAP_CRASH_SUPERSTEP",
+    "CAP_CRASH_TIME",
+    "CAP_DROP",
+    "CAP_DUPLICATE",
+    "CAP_STRAGGLE",
+]
+
+#: capability strings returned by :meth:`FaultPlan.capabilities`
+CAP_CRASH_SUPERSTEP = "crash:superstep"
+CAP_CRASH_TIME = "crash:time"
+CAP_DROP = "drop"
+CAP_DUPLICATE = "duplicate"
+CAP_STRAGGLE = "straggle"
 
 #: message fates returned by :meth:`FaultPlan.message_fate`
 DELIVER, DROP, DUPLICATE = 1, 0, 2
@@ -199,10 +224,70 @@ class FaultPlan:
         """Engine hook: time-inflation factor for ``rank`` (1.0 = healthy)."""
         return self._stragglers.get(rank, 1.0)
 
+    def consume_crash(self, rank: int, superstep: int | None = None) -> bool:
+        """Coordinator hook: acknowledge a crash that fired *out of process*.
+
+        The multiprocessing backend realises crash events as real worker
+        kills, which destroy the worker's (forked) copy of the plan before it
+        can report the event as fired.  When the coordinator attributes the
+        death to ``rank``, it calls this on its own copy: the earliest
+        unfired crash scheduled for that rank — and, when the death superstep
+        is known, not scheduled later than it — is marked fired and logged.
+        Returns False (and marks nothing) when no matching crash was pending,
+        i.e. the death was organic rather than injected.
+        """
+        for ev in self._crashes:
+            if ev.fired or ev.rank != rank:
+                continue
+            if (
+                superstep is not None
+                and ev.at_superstep is not None
+                and ev.at_superstep > superstep
+            ):
+                continue
+            ev.fired = True
+            self.log.append(FaultRecord("crash", rank, superstep=superstep))
+            return True
+        return False
+
     # ------------------------------------------------------------ inspection
     @property
     def pending_crashes(self) -> int:
         return sum(not ev.fired for ev in self._crashes)
+
+    def capabilities(self) -> frozenset[str]:
+        """The fault kinds this plan can still apply, as capability strings.
+
+        Backends use this to accept or reject a plan without reaching into
+        private fields: ``crash:superstep`` / ``crash:time`` for pending
+        crashes (by how they are scheduled), ``drop`` / ``duplicate`` for
+        remaining message-fate budget, and ``straggle`` for slow ranks.
+        A crash scheduled by *both* superstep and time counts as
+        ``crash:superstep`` — any engine with a superstep counter can fire
+        it.
+        """
+        caps: set[str] = set()
+        for ev in self._crashes:
+            if ev.fired:
+                continue
+            caps.add(
+                CAP_CRASH_SUPERSTEP if ev.at_superstep is not None else CAP_CRASH_TIME
+            )
+        if self._drops_left > 0:
+            caps.add(CAP_DROP)
+        if self._duplicates_left > 0:
+            caps.add(CAP_DUPLICATE)
+        if self._stragglers:
+            caps.add(CAP_STRAGGLE)
+        return frozenset(caps)
+
+    def has_drops(self) -> bool:
+        """True while message-drop budget remains unspent."""
+        return self._drops_left > 0
+
+    def has_duplicates(self) -> bool:
+        """True while message-duplication budget remains unspent."""
+        return self._duplicates_left > 0
 
     @property
     def straggler_ranks(self) -> tuple[int, ...]:

@@ -1,0 +1,54 @@
+"""Shared-memory worker heartbeats for the multiprocessing backend.
+
+When a worker process dies, its OS sentinel tells the coordinator *that* it
+died within one liveness poll — but not *where* in the run it was.  For
+fault attribution (and for marking an injected crash as consumed on the
+coordinator's copy of the plan) the coordinator also needs the superstep the
+rank was executing when it stopped beating.
+
+:class:`Heartbeats` is a tiny ``multiprocessing.RawArray`` of
+``(superstep, monotonic-timestamp)`` doubles per rank, created in the parent
+before forking and inherited by every worker.  A worker calls :meth:`beat`
+at the top of each superstep; the coordinator reads :meth:`last_superstep`
+when it attributes a death, and :meth:`age` exposes staleness for
+liveness-style diagnostics.  Lock-free by design: each rank writes only its
+own pair, the coordinator only reads, and a torn read costs at most an
+off-by-one superstep in an error message.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import RawArray
+
+__all__ = ["Heartbeats"]
+
+
+class Heartbeats:
+    """Per-rank ``(superstep, timestamp)`` heartbeat board for ``size`` ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        # flat [superstep0, time0, superstep1, time1, ...]; RawArray is
+        # fork-inherited without pickling and needs no lock (single writer
+        # per slot pair)
+        self._arr = RawArray("d", 2 * size)
+        for r in range(size):
+            self._arr[2 * r] = -1.0
+            self._arr[2 * r + 1] = time.monotonic()
+
+    def beat(self, rank: int, superstep: int) -> None:
+        """Record that ``rank`` is alive and entering ``superstep``."""
+        self._arr[2 * rank] = float(superstep)
+        self._arr[2 * rank + 1] = time.monotonic()
+
+    def last_superstep(self, rank: int) -> int | None:
+        """The last superstep ``rank`` reported entering, or None if never."""
+        s = self._arr[2 * rank]
+        return None if s < 0 else int(s)
+
+    def age(self, rank: int) -> float:
+        """Seconds since ``rank`` last beat (since creation if it never did)."""
+        return time.monotonic() - self._arr[2 * rank + 1]

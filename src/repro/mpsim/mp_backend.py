@@ -47,24 +47,57 @@ durations) and shipped to the parent at job end, so
 ``engine.stats.summary()`` agrees with a matching in-process run and
 ``engine.simulated_time`` is populated on every transport.
 
+Fault tolerance (see ``docs/fault_tolerance.md``):
+
+* :class:`~repro.mpsim.faults.FaultPlan` crashes scheduled by superstep are
+  realised as *real* fail-stop deaths — the victim worker ``SIGKILL``\\ s
+  itself just before stepping, with no cleanup or goodbye message.
+* The parent detects any worker death within one liveness poll
+  (:data:`_LIVENESS_POLL` seconds) by waiting on the process *sentinels*
+  alongside the reply pipes, and attributes it to a rank and superstep via
+  the shared :class:`~repro.mpsim.heartbeat.Heartbeats` board; under p2p
+  the fabric's barrier is aborted so surviving ranks fail fast instead of
+  waiting out the barrier timeout.  Deaths surface as
+  :class:`~repro.mpsim.errors.RankFailure` with the victim's rank and last
+  superstep attached.
+* With a :class:`~repro.mpsim.checkpoint.Checkpointer` attached, workers
+  write per-rank state *shards* at checkpoint supersteps and the parent
+  assembles each complete cut into an ordinary checkpoint manifest — so a
+  supervised run (:class:`~repro.mpsim.supervisor.Supervisor`) can reload
+  the newest valid snapshot, respawn the ranks, resume, and still produce a
+  bit-identical graph.
+
 For repeated jobs over the same rank count, see
 :class:`repro.mpsim.pool.WorkerPool`, which forks this module's workers once
 and reuses them (pipes, payload segments, and p2p fabric included) across
-many ``run()`` calls.
+many ``run()`` calls — and since this PR heals itself by forking
+replacements for dead members instead of staying permanently broken.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
 import time
 from multiprocessing import connection as _mpc
-from typing import Any, Sequence
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.mpsim.bsp import BSPRankContext, RankProgram
+from repro.mpsim.checkpoint import (
+    CheckpointData,
+    Checkpointer,
+    ShardData,
+    load_shard,
+    save_shard,
+)
 from repro.mpsim.costmodel import CostModel
 from repro.mpsim.errors import InvalidRankError, MPSimError, RankFailure
+from repro.mpsim.faults import CAP_CRASH_TIME, CAP_DROP, CAP_DUPLICATE
+from repro.mpsim.heartbeat import Heartbeats
 from repro.mpsim.p2p import P2PFabric
 from repro.mpsim.stats import RankStats, WorldStats
 
@@ -86,6 +119,7 @@ _STOP = "stop"
 _STEP = "step"
 _JOB = "job"
 _SHUTDOWN = "shutdown"
+_ABANDON = "abandon"
 
 EXCHANGE_SHM = "shm"
 EXCHANGE_PICKLE = "pickle"
@@ -101,7 +135,9 @@ _MIN_HALF_BYTES = 1 << 16
 #: determinism tests exercise genuinely skewed arrival timings
 _STRAGGLE_SLEEP = 1e-3
 
-#: how often the parent re-checks worker liveness while waiting on pipes
+#: how often the parent re-checks worker liveness while waiting on pipes;
+#: with sentinel watching a death is usually noticed immediately, this is
+#: only the re-arm period of the wait
 _LIVENESS_POLL = 0.25
 
 
@@ -234,6 +270,14 @@ class _ShutdownRequested(Exception):
     """Parent asked the worker to exit while a job was in flight."""
 
 
+class _JobAbandoned(Exception):
+    """Parent abandoned the in-flight job (pool healing); carries the token."""
+
+    def __init__(self, token: Any) -> None:
+        super().__init__(f"job abandoned (token {token!r})")
+        self.token = token
+
+
 def _result_of(rank: int, program: RankProgram) -> Any:
     """Extract a rank program's result payload, if it exposes one.
 
@@ -258,6 +302,10 @@ def _telemetry_of(program: RankProgram) -> dict[str, int]:
     }
 
 
+def _shard_path(shard_dir: str, cut: int, rank: int) -> Path:
+    return Path(shard_dir) / f"cut{cut}.rank{rank}.shard"
+
+
 def _execute_step(
     rank: int,
     size: int,
@@ -267,14 +315,28 @@ def _execute_step(
     inbox: Sequence[tuple[int, np.ndarray]],
     cost: CostModel,
     fault_plan: Any,
+    superstep: int,
+    heartbeats: Heartbeats | None,
 ) -> tuple[dict[int, list[np.ndarray]], int, float]:
     """Run one superstep of ``program`` and account it like the in-process
     engine does.
+
+    Beats the heartbeat first (so a death is attributable to this
+    superstep), then fires any scheduled crash as a real fail-stop death:
+    the worker ``SIGKILL``\\ s itself before stepping — the same pre-step
+    timing the in-process engine uses, which is what keeps recovery cuts
+    aligned between engines.
 
     Returns the cleaned outbox (contiguous, non-empty arrays only), the
     outgoing record count, and the superstep's virtual duration for this
     rank.  Program exceptions surface as :class:`RankFailure`.
     """
+    if heartbeats is not None:
+        heartbeats.beat(rank, superstep)
+    if fault_plan is not None and fault_plan.should_crash(rank, superstep=superstep):
+        # a *real* fail-stop death: no cleanup, no goodbye message — the
+        # parent must detect it from the sentinel and the silent heartbeat
+        os.kill(os.getpid(), signal.SIGKILL)
     in_records = sum(len(arr) for _, arr in inbox)
     in_bytes = sum(arr.nbytes for _, arr in inbox)
     try:
@@ -334,28 +396,61 @@ def _run_job_coordinator(
     reader: Any,
     cost: CostModel,
     fault_plan: Any,
+    heartbeats: Heartbeats | None = None,
+    resume: tuple[int, RankStats, list] | None = None,
 ) -> None:
-    """Worker side of one coordinator-routed job (``shm``/``pickle``)."""
+    """Worker side of one coordinator-routed job (``shm``/``pickle``).
+
+    ``resume`` — ``(superstep0, rank_stats, inbox0)`` — continues a
+    checkpointed run: the superstep counter and statistics row pick up where
+    the snapshot left off, and ``inbox0`` (the snapshot's in-flight
+    messages) is consumed by the first ``_STEP``, whose payload from the
+    parent is empty.
+
+    A ``_STEP`` payload is ``(inbox_payload, shard_req)``; a non-``None``
+    ``shard_req = (cut, simulated_time, shard_dir)`` instructs the worker to
+    write its checkpoint shard for ``cut`` — its state at the *start* of
+    this superstep, which equals the in-process engine's state after
+    superstep ``cut`` — before stepping.
+    """
     stats = WorldStats.for_size(size)
+    superstep = 0
+    pending_inbox: list | None = None
+    if resume is not None:
+        superstep, rank_stats, pending_inbox = resume
+        stats.ranks[rank] = rank_stats
     ctx = BSPRankContext(rank, size, stats, cost)
     rs = stats[rank]
-    superstep = 0
     while True:
         cmd, payload = conn.recv()
         if cmd == _SHUTDOWN:
             raise _ShutdownRequested
+        if cmd == _ABANDON:
+            raise _JobAbandoned(payload)
         if cmd == _STOP:
             conn.send(
                 ("final", rs, _result_of(rank, program), _telemetry_of(program), None)
             )
             return
         superstep += 1
+        step_payload, shard_req = payload
         if exchange == EXCHANGE_SHM:
-            inbox = [(src, reader.read(desc)) for src, desc in payload]
+            inbox = [(src, reader.read(desc)) for src, desc in step_payload]
         else:
-            inbox = payload
+            inbox = step_payload
+        if pending_inbox is not None:
+            inbox = pending_inbox + list(inbox)
+            pending_inbox = None
+        if shard_req is not None:
+            cut, sim_abs, shard_dir = shard_req
+            path = _shard_path(shard_dir, cut, rank)
+            save_shard(
+                path, ShardData(rank, cut, sim_abs, program, list(inbox), rs)
+            )
+            conn.send(("shard", cut, str(path)))
         clean, _, t = _execute_step(
-            rank, size, program, ctx, rs, inbox, cost, fault_plan
+            rank, size, program, ctx, rs, inbox, cost, fault_plan,
+            superstep, heartbeats,
         )
         if exchange == EXCHANGE_SHM:
             meta = writer.write(clean, superstep)
@@ -375,6 +470,9 @@ def _run_job_p2p(
     cost: CostModel,
     fault_plan: Any,
     max_supersteps: int,
+    heartbeats: Heartbeats | None = None,
+    resume: tuple[int, RankStats, list] | None = None,
+    ckpt: tuple[str, int, int, float] | None = None,
 ) -> None:
     """Worker side of one peer-to-peer job: no parent on the data path.
 
@@ -383,12 +481,23 @@ def _run_job_p2p(
     publish the (done, traffic, time) triple, hit the barrier, then take the
     global termination decision from the shared counters and read the inbox
     straight out of the peers' segments.
+
+    Checkpointing is decided *distributedly*: ``ckpt = (shard_dir, every,
+    min_superstep, sim0)`` gives every rank the same schedule, and the shared
+    traffic counters give every rank the same view of whether the cut is
+    worth snapshotting — so all ranks write their shard for the same cuts
+    without any coordinator round.  ``resume`` continues a checkpointed run
+    exactly as in the coordinator paths; the final tail reports the
+    superstep count (absolute) and the simulated time *delta* of this job.
     """
     stats = WorldStats.for_size(size)
+    superstep = 0
+    inbox: list[tuple[int, np.ndarray]] = []
+    if resume is not None:
+        superstep, rank_stats, inbox = resume
+        stats.ranks[rank] = rank_stats
     ctx = BSPRankContext(rank, size, stats, cost)
     rs = stats[rank]
-    inbox: list[tuple[int, np.ndarray]] = []
-    superstep = 0
     simulated = 0.0
     try:
         while True:
@@ -396,12 +505,13 @@ def _run_job_p2p(
                 raise MPSimError(f"exceeded max_supersteps={max_supersteps}")
             superstep += 1
             clean, out_records, t = _execute_step(
-                rank, size, program, ctx, rs, inbox, cost, fault_plan
+                rank, size, program, ctx, rs, inbox, cost, fault_plan,
+                superstep, heartbeats,
             )
             meta = writer.write(clean, superstep)
             fabric.post(rank, superstep, meta)
             fabric.publish(rank, superstep, bool(program.done), out_records, t)
-            fabric.wait()
+            fabric.wait(rank, superstep)
             simulated += fabric.max_step_time(superstep)
             if fabric.quiescent(superstep):
                 break
@@ -409,6 +519,22 @@ def _run_job_p2p(
                 (src, reader.read(desc))
                 for src, desc in fabric.collect(rank, superstep)
             ]
+            if ckpt is not None:
+                shard_dir, every, min_superstep, sim0 = ckpt
+                if (
+                    superstep % every == 0
+                    and superstep > min_superstep
+                    and fabric.traffic(superstep) > 0
+                ):
+                    path = _shard_path(shard_dir, superstep, rank)
+                    save_shard(
+                        path,
+                        ShardData(
+                            rank, superstep, sim0 + simulated, program,
+                            list(inbox), rs,
+                        ),
+                    )
+                    conn.send(("shard", superstep, str(path)))
     except Exception:
         fabric.abort()  # fail peers fast instead of letting them time out
         raise
@@ -432,6 +558,9 @@ def _worker_main(
     program: RankProgram | None,
     max_supersteps: int,
     cost: CostModel,
+    heartbeats: Heartbeats | None = None,
+    resume: tuple[int, RankStats, list] | None = None,
+    ckpt: tuple[str, int, int, float] | None = None,
 ) -> None:
     """One worker process: serve jobs until shutdown.
 
@@ -439,6 +568,8 @@ def _worker_main(
     pooled jobs ship their programs in the job command instead.  Payload
     segments (and the reader's attachment cache) persist across jobs so a
     :class:`~repro.mpsim.pool.WorkerPool` pays segment setup once.
+    ``resume``/``ckpt`` ride the fork (no pickling) and apply to the first
+    job only — a resumed engine run is always one-shot.
     """
     needs_shm = exchange in (EXCHANGE_SHM, EXCHANGE_P2P)
     writer = _ShmWriter() if needs_shm else None
@@ -451,28 +582,40 @@ def _worker_main(
                 return
             if cmd == _SHUTDOWN:
                 return
+            if cmd == _ABANDON:
+                # idle worker: nothing in flight, just acknowledge the token
+                conn.send(("abandoned", payload))
+                continue
             if cmd != _JOB:  # pragma: no cover - protocol violation
-                conn.send(("error", "mpsim", f"unexpected command {cmd!r}"))
+                conn.send(("error", "mpsim", f"unexpected command {cmd!r}", rank, None))
                 return
             job_program, fault_plan = payload
             prog = job_program if job_program is not None else program
+            job_resume, resume = resume, None
             try:
                 if exchange == EXCHANGE_P2P:
                     _run_job_p2p(
                         rank, size, prog, conn, fabric, writer, reader,
                         cost, fault_plan, max_supersteps,
+                        heartbeats, job_resume, ckpt,
                     )
                 else:
                     _run_job_coordinator(
                         rank, size, prog, conn, exchange, writer, reader,
-                        cost, fault_plan,
+                        cost, fault_plan, heartbeats, job_resume,
                     )
             except _ShutdownRequested:
                 return
+            except _JobAbandoned as exc:
+                conn.send(("abandoned", exc.token))
             except RankFailure as exc:
-                _report_error(conn, fabric, "rank", repr(exc.original))
+                # exc.rank may name a *peer* (barrier attribution), not the
+                # reporter — carry it so the parent raises for the victim
+                _report_error(
+                    conn, fabric, "rank", repr(exc.original), exc.rank, exc.superstep
+                )
             except Exception as exc:
-                _report_error(conn, fabric, "mpsim", repr(exc))
+                _report_error(conn, fabric, "mpsim", repr(exc), rank, None)
     finally:
         if reader is not None:
             reader.close()
@@ -480,23 +623,79 @@ def _worker_main(
             writer.close()
 
 
-def _report_error(conn: Any, fabric: P2PFabric | None, kind: str, msg: str) -> None:
+def _report_error(
+    conn: Any,
+    fabric: P2PFabric | None,
+    kind: str,
+    msg: str,
+    failing_rank: int,
+    superstep: int | None,
+) -> None:
     """Abort peers (p2p) and surface a job error to the parent, best-effort."""
     if fabric is not None:
         fabric.abort()
     try:
-        conn.send(("error", kind, msg))
+        conn.send(("error", kind, msg, failing_rank, superstep))
     except Exception:  # pragma: no cover - parent already gone
         pass
 
 
 # ===================================================================== parent
+def _attribute_death(
+    rank: int,
+    fabric: P2PFabric | None,
+    heartbeats: Heartbeats | None,
+    fault_plan: Any,
+) -> None:
+    """Raise the :class:`RankFailure` for a worker the parent saw die.
+
+    The death superstep comes from the rank's last heartbeat; if the fault
+    plan had an unfired crash scheduled for this rank the death is
+    acknowledged on the *parent's* copy of the plan (the worker's forked
+    copy died with it) — which is what stops a supervised retry from
+    re-killing the respawned rank forever.  With a p2p fabric the barrier is
+    aborted first so surviving peers fail fast too.
+    """
+    if fabric is not None:
+        fabric.abort()
+    superstep = heartbeats.last_superstep(rank) if heartbeats is not None else None
+    injected = (
+        fault_plan is not None
+        and callable(getattr(fault_plan, "consume_crash", None))
+        and fault_plan.consume_crash(rank, superstep)
+    )
+    why = (
+        "worker killed by injected crash"
+        if injected
+        else "worker process died unexpectedly"
+    )
+    raise RankFailure(rank, RuntimeError(why), superstep=superstep)
+
+
+def _safe_send(
+    conn: Any,
+    rank: int,
+    msg: Any,
+    fabric: P2PFabric | None,
+    heartbeats: Heartbeats | None,
+    fault_plan: Any,
+) -> None:
+    """Send to a worker, converting a dead pipe into an attributed failure."""
+    try:
+        conn.send(msg)
+    except (BrokenPipeError, OSError):
+        _attribute_death(rank, fabric, heartbeats, fault_plan)
+
+
 def _recv_all(
     parents: Sequence[Any],
     procs: Sequence[Any],
     fabric: P2PFabric | None,
+    heartbeats: Heartbeats | None = None,
+    fault_plan: Any = None,
+    on_shard: Callable[[int, int, str], None] | None = None,
 ) -> dict[int, tuple]:
-    """Collect exactly one message per worker, draining in *arrival* order.
+    """Collect exactly one reply per worker, draining in *arrival* order.
 
     ``multiprocessing.connection.wait`` services whichever pipes are ready,
     so a straggler rank cannot head-of-line-block the parent from reading
@@ -504,51 +703,125 @@ def _recv_all(
     then iterate the returned dict in rank order, which keeps downstream
     routing deterministic regardless of arrival timing.
 
-    Dead workers surface as :class:`RankFailure`; with a p2p fabric the
-    barrier is aborted first so surviving peers fail fast too.
+    The wait set includes every outstanding worker's process *sentinel*, so
+    a death wakes the parent immediately instead of after a poll interval.
+    Dead workers surface as :class:`RankFailure` with heartbeat-attributed
+    rank and superstep (see :func:`_attribute_death`).
+
+    ``("shard", cut, path)`` checkpoint notifications are routed to
+    ``on_shard`` without consuming the worker's pending reply slot; before
+    a death is raised, every buffered shard notification is drained so the
+    newest complete cut can still be committed.
     """
     msgs: dict[int, tuple] = {}
     pending: dict[Any, int] = {conn: rank for rank, conn in enumerate(parents)}
-    while pending:
-        ready = _mpc.wait(list(pending), timeout=_LIVENESS_POLL)
-        if not ready:
-            for conn, rank in pending.items():
-                if not procs[rank].is_alive():
-                    if fabric is not None:
-                        fabric.abort()
-                    raise RankFailure(
-                        rank, RuntimeError("worker process died unexpectedly")
-                    )
-            continue
-        for conn in ready:
-            rank = pending.pop(conn)
+
+    def _died(rank: int) -> None:
+        # the victim (and its peers) may have flushed shard notifications
+        # before the death; keep them — the cut they complete is exactly the
+        # recovery point the supervisor wants
+        for conn2, rank2 in pending.items():
             try:
-                msgs[rank] = conn.recv()
-            except EOFError:
-                if fabric is not None:
-                    fabric.abort()
-                raise RankFailure(
-                    rank, RuntimeError("worker closed its pipe unexpectedly")
-                )
+                while conn2.poll(0):
+                    m = conn2.recv()
+                    if m[0] == "shard" and on_shard is not None:
+                        on_shard(rank2, m[1], m[2])
+            except (EOFError, OSError):
+                pass
+        _attribute_death(rank, fabric, heartbeats, fault_plan)
+
+    while pending:
+        sentinels = {procs[r].sentinel: r for r in pending.values()}
+        ready = _mpc.wait(list(pending) + list(sentinels), timeout=_LIVENESS_POLL)
+        for conn in [c for c in ready if c in pending]:
+            rank = pending[conn]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                _died(rank)
+            if msg[0] == "shard":
+                if on_shard is not None:
+                    on_shard(rank, msg[1], msg[2])
+                continue  # still owed this worker's real reply
+            msgs[rank] = msg
+            del pending[conn]
+        for obj in ready:
+            rank = sentinels.get(obj)
+            if rank is None:
+                continue
+            conn = parents[rank]
+            if conn not in pending:
+                continue  # reply already collected; death surfaces later
+            if conn.poll(0):
+                continue  # buffered data first; re-check on the next pass
+            _died(rank)
     return msgs
 
 
 def _raise_job_errors(msgs: dict[int, tuple]) -> None:
     """Map worker error reports to the exceptions the in-process engine uses.
 
-    Program failures win over engine/barrier failures (a crashing rank
-    aborts the barrier, so its peers' ``barrier`` reports are collateral),
-    and the lowest-ranked report is raised for determinism.
+    Program/rank failures win over engine failures (a crashing rank aborts
+    the barrier, so its peers' reports are collateral).  Error reports carry
+    the *failing* rank — which, for barrier-attributed failures, may differ
+    from the reporting rank — and the lowest failing rank is raised for
+    determinism.
     """
     errors = {r: m for r, m in msgs.items() if m[0] == "error"}
     if not errors:
         return
-    for rank in sorted(errors):
-        kind, msg = errors[rank][1], errors[rank][2]
-        if kind == "rank":
-            raise RankFailure(rank, RuntimeError(msg))
-    rank = min(errors)
-    raise MPSimError(f"rank {rank}: {errors[rank][2]}")
+    rank_reports: dict[int, tuple[str, int | None]] = {}
+    for reporter in sorted(errors):
+        _tag, kind, msg, failing_rank, superstep = errors[reporter]
+        if kind == "rank" and failing_rank not in rank_reports:
+            rank_reports[failing_rank] = (msg, superstep)
+    if rank_reports:
+        failing = min(rank_reports)
+        msg, superstep = rank_reports[failing]
+        raise RankFailure(failing, RuntimeError(msg), superstep=superstep)
+    reporter = min(errors)
+    raise MPSimError(f"rank {reporter}: {errors[reporter][2]}")
+
+
+def _commit_cut(
+    checkpointer: Checkpointer,
+    size: int,
+    cost: CostModel,
+    max_supersteps: int,
+    cut: int,
+    paths: dict[int, str],
+) -> bool:
+    """Assemble one complete cut's shards into a checkpoint manifest.
+
+    Loads and validates all ``size`` shards (any invalid shard voids the
+    cut — an older manifest remains the recovery point), builds an ordinary
+    :class:`CheckpointData`, and commits it through the checkpointer's
+    atomic-write/rotation path.  Consumed shard files are deleted.
+    """
+    try:
+        shards = [load_shard(paths[r]) for r in range(size)]
+    except MPSimError:
+        return False
+    world = WorldStats.for_size(size)
+    for s in shards:
+        world.ranks[s.rank] = s.rank_stats
+    data = CheckpointData(
+        size=size,
+        cost=cost,
+        max_supersteps=max_supersteps,
+        supersteps=cut,
+        simulated_time=shards[0].simulated_time,
+        stats=world,
+        programs=[s.program for s in shards],
+        inboxes=[list(s.inbox) for s in shards],
+    )
+    saved = checkpointer.commit(data)
+    for p in paths.values():
+        try:
+            Path(p).unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    return saved
 
 
 def _drive_job(
@@ -561,26 +834,50 @@ def _drive_job(
     fault_plan: Any,
     stats: WorldStats,
     max_supersteps: int,
+    heartbeats: Heartbeats | None = None,
+    checkpointer: Checkpointer | None = None,
+    shard_dir: str | None = None,
+    cost: CostModel | None = None,
+    step0: int = 0,
+    sim0: float = 0.0,
 ) -> tuple[list[Any], list[dict], int, float]:
     """Parent side of one job, shared by the engine and the worker pool.
 
     ``programs`` is ``None`` when workers inherited their programs at fork
     (one-shot engine runs); pooled jobs pass the list to pickle across.
-    Returns ``(results, telemetry, supersteps, simulated_time)`` and writes
-    the workers' final :class:`RankStats` into ``stats``.
+    ``step0`` is the superstep the job resumes from (0 for fresh runs);
+    ``sim0`` the simulated time already on the engine's clock, used only to
+    stamp checkpoint manifests with absolute times.  Returns
+    ``(results, telemetry, supersteps, simulated_delta)`` — the superstep
+    count is absolute, the simulated time is this job's increment — and
+    writes the workers' final :class:`RankStats` into ``stats``.
     """
+    shards: dict[int, dict[int, str]] = {}
+
+    def _on_shard(rank: int, cut: int, path: str) -> None:
+        got = shards.setdefault(cut, {})
+        got[rank] = path
+        if len(got) == size and checkpointer is not None:
+            _commit_cut(
+                checkpointer, size, cost or CostModel(), max_supersteps,
+                cut, shards.pop(cut),
+            )
+
     for rank, conn in enumerate(parents):
         shipped = programs[rank] if programs is not None else None
-        conn.send((_JOB, (shipped, fault_plan)))
+        _safe_send(
+            conn, rank, (_JOB, (shipped, fault_plan)), fabric, heartbeats, fault_plan
+        )
 
     results: list[Any] = [None] * size
     telemetry: list[dict] = [{} for _ in range(size)]
 
     if exchange == EXCHANGE_P2P:
         # workers run to quiescence on their own; just collect the finals
-        msgs = _recv_all(parents, procs, fabric)
+        # (and commit checkpoint cuts as their shard notifications arrive)
+        msgs = _recv_all(parents, procs, fabric, heartbeats, fault_plan, _on_shard)
         _raise_job_errors(msgs)
-        supersteps = 0
+        supersteps = step0
         simulated = 0.0
         for rank in range(size):
             kind, rank_stats, result, tele, tail = msgs[rank]
@@ -595,17 +892,23 @@ def _drive_job(
         return results, telemetry, supersteps, simulated
 
     # coordinator topologies: the parent routes descriptors (shm) or whole
-    # payloads (pickle) between workers each superstep
-    supersteps = 0
+    # payloads (pickle) between workers each superstep, and decides the
+    # checkpoint schedule itself (a shard request rides the next _STEP)
+    supersteps = step0
     simulated = 0.0
     inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
+    shard_req: tuple[int, float, str] | None = None
     while True:
         if supersteps >= max_supersteps:
             raise MPSimError(f"exceeded max_supersteps={max_supersteps}")
         supersteps += 1
         for rank, conn in enumerate(parents):
-            conn.send((_STEP, inboxes[rank]))
-        msgs = _recv_all(parents, procs, None)
+            _safe_send(
+                conn, rank, (_STEP, (inboxes[rank], shard_req)),
+                fabric, heartbeats, fault_plan,
+            )
+        shard_req = None
+        msgs = _recv_all(parents, procs, None, heartbeats, fault_plan, _on_shard)
         _raise_job_errors(msgs)
         next_inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
         any_traffic = False
@@ -625,10 +928,20 @@ def _drive_job(
         inboxes = next_inboxes
         if not any_traffic and all_done:
             break
+        if (
+            checkpointer is not None
+            and any_traffic
+            and supersteps % checkpointer.every == 0
+            and supersteps > checkpointer.min_superstep
+        ):
+            # snapshot cut `supersteps`: each worker's state at the start of
+            # the *next* superstep equals the in-process engine's state
+            # after this one, so the manifest is engine-interchangeable
+            shard_req = (supersteps, sim0 + simulated, shard_dir)
 
-    for conn in parents:
-        conn.send((_STOP, None))
-    msgs = _recv_all(parents, procs, None)
+    for rank, conn in enumerate(parents):
+        _safe_send(conn, rank, (_STOP, None), fabric, heartbeats, fault_plan)
+    msgs = _recv_all(parents, procs, None, heartbeats, fault_plan, _on_shard)
     # a worker may fail *during* final collection (e.g. its ``result()``
     # raises); surface that as a RankFailure like any mid-run crash
     _raise_job_errors(msgs)
@@ -650,20 +963,40 @@ def _install_rank_stats(stats: WorldStats, rank: int, rank_stats: Any) -> None:
 
 
 def _check_mp_fault_plan(fault_plan: Any) -> None:
-    """The mp backend supports straggler injection only.
+    """Reject fault kinds the real-process backend cannot realise.
 
-    Crash schedules and message drops/duplications require the engine to sit
-    on the message path with a single global RNG; in this backend each worker
-    holds a forked copy of the plan, so those draws would diverge.  The
-    in-process engine remains the place to exercise them.
+    Checked via the public :meth:`~repro.mpsim.faults.FaultPlan.capabilities`
+    API (plans without it are trusted to only use hooks the engine calls):
+
+    * superstep-scheduled **crashes** are supported — realised as real
+      worker ``SIGKILL`` deaths;
+    * **stragglers** are supported — realised as real sleeps;
+    * **drops/duplications** are rejected: payload bytes travel real pipes
+      and shared memory, and a sent message cannot be un-sent or doubled
+      without putting the engine back on the data path (use the in-process
+      engine to exercise those);
+    * **time-scheduled crashes** are rejected: workers share no global
+      virtual clock, so a wall-time trigger would fire non-deterministically
+      (schedule with ``crash(rank, at_superstep=...)`` instead).
     """
     if fault_plan is None:
         return
-    if getattr(fault_plan, "pending_crashes", 0):
-        raise ValueError("mp backend does not support crash injection; use BSPEngine")
-    if getattr(fault_plan, "_drops_left", 0) or getattr(fault_plan, "_duplicates_left", 0):
+    get_caps = getattr(fault_plan, "capabilities", None)
+    if not callable(get_caps):
+        return
+    caps = get_caps()
+    if CAP_DROP in caps or CAP_DUPLICATE in caps:
         raise ValueError(
-            "mp backend does not support message drop/duplication; use BSPEngine"
+            "mp backend cannot inject message drops/duplications: payloads "
+            "travel real pipes and shared memory and cannot be un-sent; "
+            "run drop/duplicate plans on the in-process engine "
+            "(engine='bsp'/'sim')"
+        )
+    if CAP_CRASH_TIME in caps:
+        raise ValueError(
+            "mp backend cannot schedule crashes by virtual time: workers "
+            "share no global virtual clock; schedule deterministically with "
+            "crash(rank, at_superstep=...)"
         )
 
 
@@ -680,12 +1013,14 @@ def _normalise_exchange(exchange: str) -> str:
 class MultiprocessingBSPEngine:
     """Drive :class:`~repro.mpsim.bsp.RankProgram` objects in real processes.
 
-    The API mirrors :class:`~repro.mpsim.bsp.BSPEngine.run`, with one
-    addition: because programs live in child address spaces, their final
-    state is not visible to the caller.  Programs may expose a ``result()``
-    method; the values are collected into :attr:`results` (rank order) after
-    :meth:`run`, and per-rank request counters (when the program exposes
-    them) into :attr:`telemetry`.
+    The API mirrors :class:`~repro.mpsim.bsp.BSPEngine.run` — including the
+    ``checkpointer``/``initial_inboxes`` hooks, so
+    :class:`~repro.mpsim.supervisor.Supervisor` can drive either engine —
+    with one addition: because programs live in child address spaces, their
+    final state is not visible to the caller.  Programs may expose a
+    ``result()`` method; the values are collected into :attr:`results` (rank
+    order) after :meth:`run`, and per-rank request counters (when the
+    program exposes them) into :attr:`telemetry`.
 
     Parameters
     ----------
@@ -703,7 +1038,10 @@ class MultiprocessingBSPEngine:
         Virtual-time charges used by the worker-side accounting (defaults to
         the paper-testbed preset, same as the in-process engine).
     mailbox_slot_bytes, barrier_timeout:
-        p2p fabric tuning; ignored by the coordinator transports.
+        p2p fabric tuning; ignored by the coordinator transports.  The
+        barrier timeout is a last-resort backstop — worker deaths are
+        detected by the parent within one liveness poll and abort the
+        barrier long before it can expire.
     """
 
     def __init__(
@@ -730,19 +1068,64 @@ class MultiprocessingBSPEngine:
         self.simulated_time = 0.0
 
     def run(
-        self, programs: Sequence[RankProgram], fault_plan: Any = None
+        self,
+        programs: Sequence[RankProgram],
+        fault_plan: Any = None,
+        checkpointer: Checkpointer | None = None,
+        initial_inboxes: list[list[tuple[int, Any]]] | None = None,
+        tracer: Any = None,
     ) -> WorldStats:
         """Fork one worker per rank, run ``programs`` to quiescence, collect.
 
-        ``fault_plan`` may schedule stragglers
-        (:meth:`repro.mpsim.faults.FaultPlan.straggle`), which sleep for real
-        wall time in the affected workers; crash/drop schedules are rejected
-        (see the in-process engine for those).
+        ``fault_plan`` may schedule stragglers (real sleeps) and
+        superstep-scheduled crashes (real worker ``SIGKILL`` deaths,
+        surfaced as :class:`RankFailure` with the victim's rank and
+        heartbeat-attributed superstep); message drop/duplication and
+        time-scheduled crashes are rejected — see :func:`_check_mp_fault_plan`.
+
+        ``checkpointer`` enables cross-process snapshots: workers write
+        per-rank shards at checkpoint supersteps (into a ``<path>.shards/``
+        sibling directory) and the parent commits each complete cut as an
+        ordinary checkpoint manifest, loadable by either engine.  A cut is
+        snapshotted only if its exchange carried traffic.
+
+        ``initial_inboxes`` switches the run into *resume* mode (used by the
+        supervisor): the engine's ``stats``/``supersteps``/``simulated_time``
+        — restored from the snapshot by the caller — are continued rather
+        than reset, and each worker starts from its restored program, stats
+        row, and in-flight inbox.
+
+        ``tracer`` is accepted for engine-interchangeability but ignored:
+        per-superstep timelines are not observable parent-side on the p2p
+        transport, and this backend exists to measure *real* time anyway.
         """
         if len(programs) != self.size:
             raise MPSimError(f"expected {self.size} rank programs, got {len(programs)}")
         _check_mp_fault_plan(fault_plan)
-        self.stats = WorldStats.for_size(self.size)
+        resume_mode = initial_inboxes is not None
+        if resume_mode and len(initial_inboxes) != self.size:
+            raise MPSimError("initial_inboxes must have one entry per rank")
+        if not resume_mode:
+            self.stats = WorldStats.for_size(self.size)
+            self.supersteps = 0
+        heartbeats = Heartbeats(self.size)
+        shard_dir: str | None = None
+        if checkpointer is not None:
+            shards_path = checkpointer.path.parent / (checkpointer.path.name + ".shards")
+            shards_path.mkdir(parents=True, exist_ok=True)
+            for stale in shards_path.glob("*.shard"):
+                # leftovers of an incomplete cut from a crashed run; the
+                # committed manifests are the only trusted recovery points
+                try:
+                    stale.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            shard_dir = str(shards_path)
+        ckpt = (
+            (shard_dir, checkpointer.every, checkpointer.min_superstep, self.simulated_time)
+            if checkpointer is not None and self.exchange == EXCHANGE_P2P
+            else None
+        )
         ctx = mp.get_context("fork")
         fabric = (
             P2PFabric(
@@ -757,12 +1140,18 @@ class MultiprocessingBSPEngine:
         procs: list[Any] = []
         try:
             for rank, prog in enumerate(programs):
+                resume = (
+                    (self.supersteps, self.stats.ranks[rank], list(initial_inboxes[rank]))
+                    if resume_mode
+                    else None
+                )
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
                     args=(
                         rank, self.size, child_conn, self.exchange, fabric,
                         prog, self.max_supersteps, self.cost,
+                        heartbeats, resume, ckpt,
                     ),
                     daemon=True,
                 )
@@ -771,16 +1160,28 @@ class MultiprocessingBSPEngine:
                 parents.append(parent_conn)
                 procs.append(proc)
 
-            self.results, self.telemetry, self.supersteps, self.simulated_time = (
-                _drive_job(
-                    parents, procs, self.size, self.exchange, fabric,
-                    None, fault_plan, self.stats, self.max_supersteps,
-                )
+            results, telemetry, supersteps, simulated = _drive_job(
+                parents, procs, self.size, self.exchange, fabric,
+                None, fault_plan, self.stats, self.max_supersteps,
+                heartbeats=heartbeats, checkpointer=checkpointer,
+                shard_dir=shard_dir, cost=self.cost,
+                step0=self.supersteps, sim0=self.simulated_time,
             )
-            for conn in parents:
-                conn.send((_SHUTDOWN, None))
+            self.results, self.telemetry = results, telemetry
+            self.supersteps = supersteps
+            # accumulate like the in-process engine: the supervisor charges
+            # restart backoff onto the clock between attempts
+            self.simulated_time += simulated
         finally:
+            # shut down on *every* path: after a failure the survivors sit
+            # in their command loop, and closing the parent ends alone does
+            # not EOF them (later-forked siblings inherited the earlier
+            # ranks' parent pipe ends), so they would eat the join timeout
             for conn in parents:
+                try:
+                    conn.send((_SHUTDOWN, None))
+                except (BrokenPipeError, OSError):  # worker already gone
+                    pass
                 conn.close()
             for proc in procs:
                 proc.join(timeout=10)

@@ -42,7 +42,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.mpsim.errors import MPSimError
+from repro.mpsim.errors import MPSimError, RankFailure
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
     from multiprocessing import shared_memory as _shared_memory
@@ -100,8 +100,11 @@ class P2PFabric:
             create=True, size=max(size * size * 2 * self._slot, 1)
         )
         # control block: done flags, sent-record counters, virtual step
-        # times — each [2][size], indexed by superstep parity
-        self._ctl = _shared_memory.SharedMemory(create=True, size=2 * size * 8 * 3)
+        # times — each [2][size], indexed by superstep parity — plus one
+        # [size] barrier-progress row (highest superstep whose barrier each
+        # rank has *reached*, for attributing a broken barrier to the
+        # rank(s) that never arrived)
+        self._ctl = _shared_memory.SharedMemory(create=True, size=2 * size * 8 * 3 + size * 8)
         self._done = np.frombuffer(self._ctl.buf, np.int64, 2 * size, 0).reshape(2, size)
         self._traffic = np.frombuffer(
             self._ctl.buf, np.int64, 2 * size, 2 * size * 8
@@ -109,9 +112,13 @@ class P2PFabric:
         self._times = np.frombuffer(
             self._ctl.buf, np.float64, 2 * size, 4 * size * 8
         ).reshape(2, size)
+        self._progress = np.frombuffer(
+            self._ctl.buf, np.int64, size, 6 * size * 8
+        )
         self._done[:] = 0
         self._traffic[:] = 0
         self._times[:] = 0.0
+        self._progress[:] = -1
         self.barrier = mp.get_context("fork").Barrier(size)
 
     # ------------------------------------------------------------- mailboxes
@@ -191,14 +198,43 @@ class P2PFabric:
         """Post-barrier: the superstep's virtual duration (max over ranks)."""
         return float(self._times[superstep % 2].max())
 
+    def traffic(self, superstep: int) -> int:
+        """Post-barrier: total records sent world-wide in ``superstep``."""
+        return int(self._traffic[superstep % 2].sum())
+
     # --------------------------------------------------------------- barrier
-    def wait(self) -> None:
-        """Block until all ranks arrive; raises ``MPSimError`` on abort/timeout."""
+    def wait(self, rank: int | None = None, superstep: int | None = None) -> None:
+        """Block until all ranks arrive.
+
+        When the caller identifies itself (``rank``/``superstep``), its
+        arrival is recorded in the shared progress row *before* waiting, so
+        a broken barrier can be attributed: the raised
+        :class:`~repro.mpsim.errors.RankFailure` names the lowest rank whose
+        progress never reached this superstep's barrier — the casualty, not
+        the survivor that noticed.  Without attribution context (or when all
+        ranks did arrive and the barrier was aborted externally) a plain
+        :class:`MPSimError` is raised.
+        """
         import threading
 
+        if rank is not None and superstep is not None:
+            self._progress[rank] = superstep
         try:
             self.barrier.wait(self.timeout)
         except threading.BrokenBarrierError:
+            if superstep is not None:
+                missing = [
+                    r for r in range(self.size) if int(self._progress[r]) < superstep
+                ]
+                if missing:
+                    raise RankFailure(
+                        missing[0],
+                        MPSimError(
+                            f"rank(s) {missing} never reached the superstep-"
+                            f"{superstep} barrier (died or wedged)"
+                        ),
+                        superstep=superstep,
+                    )
             raise MPSimError("p2p barrier broken (a peer rank aborted or timed out)")
 
     def abort(self) -> None:
@@ -208,12 +244,30 @@ class P2PFabric:
         except Exception:  # pragma: no cover - barrier already torn down
             pass
 
+    def reset(self) -> None:
+        """Restore a clean fabric after an aborted job.
+
+        Resets the barrier and zeroes every control row so the next job
+        starts from the same state a fresh fabric would — used by
+        :class:`~repro.mpsim.pool.WorkerPool` when healing after a casualty.
+        Only call once every worker has acknowledged abandoning the failed
+        job; a straggler still inside ``wait()`` would re-break the barrier.
+        """
+        try:
+            self.barrier.reset()
+        except Exception:  # pragma: no cover - barrier already torn down
+            pass
+        self._done[:] = 0
+        self._traffic[:] = 0
+        self._times[:] = 0.0
+        self._progress[:] = -1
+
     # --------------------------------------------------------------- cleanup
     def close(self, unlink: bool = False) -> None:
         """Detach (and with ``unlink=True``, destroy) the shared segments."""
         # drop the numpy views first: SharedMemory.close() refuses while
         # exported buffers exist
-        self._done = self._traffic = self._times = None
+        self._done = self._traffic = self._times = self._progress = None
         for seg in (self._mail, self._ctl):
             if seg is None:
                 continue

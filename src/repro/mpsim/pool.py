@@ -23,10 +23,14 @@ callers, and bit-identical in output (asserted by the test-suite).
             pool.run(make_programs(seed))
             consume(pool.results)
 
-A job that fails (a rank program raising, a worker dying) marks the pool
-*broken*: the in-flight superstep state of the surviving workers is
-unknowable, so subsequent :meth:`run` calls are refused and the pool must be
-recreated.  :meth:`close` is always safe and idempotent.
+A job that fails (a rank program raising, a worker dying — including an
+injected ``SIGKILL`` crash) still raises from that :meth:`run`, but no
+longer poisons the pool: the next :meth:`run` *heals* first — dead members
+are replaced by freshly forked workers, survivors are told to abandon any
+in-flight job state (and drained of stale replies), and the p2p barrier is
+reset — so one casualty costs one job, not the pool.  The healed pool
+produces bit-identical output to a fresh one.  :meth:`close` is always safe
+and idempotent.
 """
 
 from __future__ import annotations
@@ -36,7 +40,9 @@ from typing import Any, Sequence
 
 from repro.mpsim.costmodel import CostModel
 from repro.mpsim.errors import MPSimError
+from repro.mpsim.heartbeat import Heartbeats
 from repro.mpsim.mp_backend import (
+    _ABANDON,
     _SHUTDOWN,
     EXCHANGE_P2P,
     _check_mp_fault_plan,
@@ -49,14 +55,22 @@ from repro.mpsim.stats import WorldStats
 
 __all__ = ["WorkerPool"]
 
+#: wall seconds a healing pool waits for a survivor to acknowledge the
+#: abandon token before giving up and replacing it too
+_ABANDON_TIMEOUT = 5.0
+
 
 class WorkerPool:
-    """A persistent fleet of BSP worker processes.
+    """A persistent, self-healing fleet of BSP worker processes.
 
     Parameters mirror :class:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine`;
     the pool accepts the same ``exchange`` transports and produces
     bit-identical output.  Workers fork immediately (with no inherited
-    program — jobs ship theirs) and live until :meth:`close`.
+    program — jobs ship theirs) and live until :meth:`close`; members lost
+    to a crash are replaced on the next :meth:`run` (see :attr:`respawns`).
+
+    The pool does not take a checkpointer — supervised checkpoint/resume
+    runs own their worker lifecycles and use the one-shot engine.
     """
 
     def __init__(
@@ -79,16 +93,17 @@ class WorkerPool:
             if self.exchange == EXCHANGE_P2P
             else None
         )
-        ctx = mp.get_context("fork")
+        self._heartbeats = Heartbeats(size)
+        self._ctx = mp.get_context("fork")
         self._parents: list[Any] = []
         self._procs: list[Any] = []
         for rank in range(size):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
                 target=_worker_main,
                 args=(
                     rank, size, child_conn, self.exchange, self._fabric,
-                    None, max_supersteps, self.cost,
+                    None, max_supersteps, self.cost, self._heartbeats,
                 ),
                 daemon=True,
             )
@@ -99,8 +114,11 @@ class WorkerPool:
 
         #: jobs completed successfully since the pool was created
         self.jobs_run = 0
+        #: replacement workers forked while healing after failures
+        self.respawns = 0
         self._closed = False
         self._broken = False
+        self._heal_token = 0
         # per-job outputs, same attributes the one-shot engine exposes
         self.stats = WorldStats.for_size(size)
         self.results: list[Any] = []
@@ -113,16 +131,19 @@ class WorkerPool:
         self, programs: Sequence[Any], fault_plan: Any = None
     ) -> WorldStats:
         """Run one job over the live workers; same contract as the engine's
-        :meth:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine.run`."""
+        :meth:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine.run`.
+
+        If an earlier job failed (or a member died between jobs), the pool
+        heals itself first: dead workers are replaced and survivors reset,
+        so the failure costs one job rather than the pool.
+        """
         if self._closed:
             raise MPSimError("worker pool is closed")
-        if self._broken:
-            raise MPSimError(
-                "worker pool is broken by an earlier job failure; create a new pool"
-            )
         if len(programs) != self.size:
             raise MPSimError(f"expected {self.size} rank programs, got {len(programs)}")
         _check_mp_fault_plan(fault_plan)
+        if self._broken or any(not p.is_alive() for p in self._procs):
+            self._heal()
         self.stats = WorldStats.for_size(self.size)
         try:
             (
@@ -133,13 +154,78 @@ class WorkerPool:
             ) = _drive_job(
                 self._parents, self._procs, self.size, self.exchange,
                 self._fabric, list(programs), fault_plan, self.stats,
-                self.max_supersteps,
+                self.max_supersteps, heartbeats=self._heartbeats,
+                cost=self.cost,
             )
         except Exception:
             self._broken = True
             raise
         self.jobs_run += 1
         return self.stats
+
+    # --------------------------------------------------------------- healing
+    def _heal(self) -> None:
+        """Restore every member to a known-idle state after a failure.
+
+        Dead workers (killed, crashed, or wedged past the abandon timeout)
+        are replaced by freshly forked processes inheriting the same pipes'
+        replacements, fabric, and heartbeat board; live survivors — which
+        may be mid-job, blocked waiting for a ``_STEP`` that will never come
+        — are sent an ``_ABANDON`` token and their pipes drained of stale
+        replies until they acknowledge it.  Only then is the p2p barrier
+        reset (a straggler still inside ``wait()`` would re-break it).
+        """
+        self._heal_token += 1
+        token = self._heal_token
+        for rank in range(self.size):
+            if not self._procs[rank].is_alive():
+                self._respawn(rank)
+                continue
+            conn = self._parents[rank]
+            try:
+                conn.send((_ABANDON, token))
+            except (BrokenPipeError, OSError):
+                self._respawn(rank)
+                continue
+            acked = False
+            try:
+                while conn.poll(_ABANDON_TIMEOUT):
+                    msg = conn.recv()
+                    if msg[0] == "abandoned" and msg[1] == token:
+                        acked = True
+                        break
+            except (EOFError, OSError):
+                pass
+            if not acked:
+                self._respawn(rank)
+        if self._fabric is not None:
+            self._fabric.reset()
+        self._broken = False
+
+    def _respawn(self, rank: int) -> None:
+        """Replace one member with a freshly forked worker."""
+        old = self._procs[rank]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=5)
+        try:
+            self._parents[rank].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                rank, self.size, child_conn, self.exchange, self._fabric,
+                None, self.max_supersteps, self.cost, self._heartbeats,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._parents[rank] = parent_conn
+        self._procs[rank] = proc
+        self.respawns += 1
 
     # --------------------------------------------------------------- cleanup
     def close(self) -> None:
@@ -176,8 +262,8 @@ class WorkerPool:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "closed" if self._closed else ("broken" if self._broken else "live")
+        state = "closed" if self._closed else ("healing" if self._broken else "live")
         return (
             f"WorkerPool(size={self.size}, exchange={self.exchange!r}, "
-            f"jobs_run={self.jobs_run}, {state})"
+            f"jobs_run={self.jobs_run}, respawns={self.respawns}, {state})"
         )

@@ -2,8 +2,15 @@
 
 The paper's algorithms run for hours on hundreds of ranks; at that scale a
 rank crash or a poisoned exchange must not cost the whole run.
-:class:`Supervisor` wraps :meth:`~repro.mpsim.bsp.BSPEngine.run` in a
-restart loop:
+:class:`Supervisor` wraps an engine's ``run`` in a restart loop.  It is
+engine-agnostic: any object satisfying the BSP engine protocol works —
+``size``/``stats``/``supersteps``/``simulated_time`` attributes plus
+``run(programs, checkpointer=..., initial_inboxes=..., tracer=...,
+fault_plan=...)`` — which covers both the simulated
+:class:`~repro.mpsim.bsp.BSPEngine` and the real-process
+:class:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine` (whose failures
+are real ``SIGKILL``-ed workers, detected by sentinel/heartbeat and
+resumed from cross-process checkpoint shards).  The loop:
 
 1. run the job under a :class:`~repro.mpsim.checkpoint.Checkpointer`;
 2. on :class:`~repro.mpsim.errors.RankFailure` (or
@@ -38,7 +45,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.mpsim.bsp import BSPEngine
 from repro.mpsim.checkpoint import CheckpointData, Checkpointer, load_checkpoint
 from repro.mpsim.errors import (
     DeadlockError,
@@ -68,9 +74,13 @@ class Supervisor:
     Parameters
     ----------
     engine_factory:
-        Zero-argument callable returning a fresh, configured
-        :class:`BSPEngine` (called once per attempt; checkpoint counters are
-        restored onto it when resuming).
+        Zero-argument callable returning a fresh, configured engine —
+        :class:`BSPEngine` or
+        :class:`~repro.mpsim.mp_backend.MultiprocessingBSPEngine` (called
+        once per attempt; checkpoint counters are restored onto it when
+        resuming).  Real-process engines respawn their whole worker fleet
+        per attempt, so a killed worker comes back as a fresh fork resumed
+        from the snapshot.
     program_factory:
         Zero-argument callable returning fresh rank programs with their
         initial RNG state — used for the first attempt and for
@@ -92,6 +102,7 @@ class Supervisor:
 
     Examples
     --------
+    >>> from repro.mpsim.bsp import BSPEngine
     >>> from repro.core.parallel_pa import PAx1RankProgram
     >>> from repro.core.partitioning import make_partition
     >>> from repro.mpsim.faults import FaultPlan
@@ -111,7 +122,7 @@ class Supervisor:
 
     def __init__(
         self,
-        engine_factory: Callable[[], BSPEngine],
+        engine_factory: Callable[[], Any],
         program_factory: Callable[[], Sequence[Any]],
         checkpointer: Checkpointer,
         max_retries: int = 3,
@@ -136,11 +147,14 @@ class Supervisor:
     # ------------------------------------------------------------------ run
     def run(
         self, fault_plan: Any = None, tracer: Any = None
-    ) -> tuple[BSPEngine, list[Any]]:
+    ) -> tuple[Any, list[Any]]:
         """Execute to completion; returns the final engine and programs.
 
         The returned engine's stats carry the cumulative counters of the
-        surviving lineage plus every :class:`RecoveryEvent` applied.
+        surviving lineage plus every :class:`RecoveryEvent` applied.  For
+        real-process engines the programs returned are the parent-side
+        copies (final state lives in the workers) — read results off
+        ``engine.results`` instead.
         """
         self.recoveries = []
         self.skipped_checkpoints = []
@@ -233,7 +247,7 @@ class Supervisor:
                 continue
         return 0
 
-    def _engine_from(self, data: CheckpointData) -> BSPEngine:
+    def _engine_from(self, data: CheckpointData) -> Any:
         engine = self.engine_factory()
         if engine.size != data.size:
             raise MPSimError(

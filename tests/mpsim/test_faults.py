@@ -141,3 +141,51 @@ class TestSimulatorFaults:
         sim = Simulator(2, fault_injector=lambda env: False)
         sim.run(prog)
         assert sim.dropped_messages == 1
+
+
+class TestPlanCapabilities:
+    """The public capability API backends use instead of private fields."""
+
+    def test_empty_plan_has_no_capabilities(self):
+        assert FaultPlan().capabilities() == frozenset()
+
+    def test_each_fault_kind_reports_its_capability(self):
+        from repro.mpsim.faults import (
+            CAP_CRASH_SUPERSTEP,
+            CAP_CRASH_TIME,
+            CAP_DROP,
+            CAP_DUPLICATE,
+            CAP_STRAGGLE,
+        )
+
+        plan = (
+            FaultPlan()
+            .crash(0, at_superstep=2)
+            .crash(1, at_time=3.0)
+            .drop(5)
+            .duplicate(5)
+            .straggle(2)
+        )
+        assert plan.capabilities() == frozenset(
+            {CAP_CRASH_SUPERSTEP, CAP_CRASH_TIME, CAP_DROP, CAP_DUPLICATE, CAP_STRAGGLE}
+        )
+        assert plan.has_drops() and plan.has_duplicates()
+
+    def test_dual_scheduled_crash_counts_as_superstep(self):
+        # any engine with a superstep counter can fire it
+        plan = FaultPlan().crash(0, at_superstep=2, at_time=9.0)
+        assert plan.capabilities() == frozenset({"crash:superstep"})
+
+    def test_fired_crashes_drop_out_of_capabilities(self):
+        plan = FaultPlan().crash(1, at_superstep=2)
+        assert plan.consume_crash(1, superstep=2)
+        assert plan.capabilities() == frozenset()
+        assert not plan.consume_crash(1)  # budget spent: organic death
+
+    def test_consume_crash_respects_schedule_ordering(self):
+        # a death at superstep 1 cannot consume a crash scheduled for 5
+        plan = FaultPlan().crash(1, at_superstep=5)
+        assert not plan.consume_crash(1, superstep=1)
+        assert plan.pending_crashes == 1
+        assert plan.consume_crash(1, superstep=5)
+        assert plan.counts() == {"crash": 1}

@@ -150,14 +150,27 @@ def test_straggler_determinism(exchange):
     assert eng.simulated_time > healthy.simulated_time
 
 
-def test_crash_and_drop_plans_rejected():
+def test_unrealizable_plans_rejected_with_reason():
+    """Drops/dups and virtual-time crashes cannot fire on real processes."""
     part = make_partition("rrp", 100, 2)
     programs = _x1_programs(part, 0)
     eng = MultiprocessingBSPEngine(2)
-    with pytest.raises(ValueError, match="crash"):
-        eng.run(programs, fault_plan=FaultPlan().crash(0, at_superstep=2))
     with pytest.raises(ValueError, match="drop"):
         eng.run(programs, fault_plan=FaultPlan().drop(3))
+    with pytest.raises(ValueError, match="duplicat"):
+        eng.run(programs, fault_plan=FaultPlan().duplicate(3))
+    with pytest.raises(ValueError, match="virtual time"):
+        eng.run(programs, fault_plan=FaultPlan().crash(0, at_time=1.5))
+
+
+def test_superstep_crash_plans_accepted_and_fire():
+    """A crash(at_superstep=...) plan SIGKILLs the real worker process."""
+    part = make_partition("rrp", 400, 2)
+    eng = MultiprocessingBSPEngine(2)
+    with pytest.raises(RankFailure) as exc_info:
+        eng.run(_x1_programs(part, 0), fault_plan=FaultPlan().crash(1, at_superstep=2))
+    assert exc_info.value.rank == 1
+    assert exc_info.value.superstep == 2
 
 
 # ------------------------------------------------------------------- failures

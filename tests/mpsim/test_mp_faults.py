@@ -1,0 +1,168 @@
+"""Chaos tests for real-process fault tolerance on the mp backend.
+
+The simulated :class:`~repro.mpsim.bsp.BSPEngine` fault tests prove the
+*protocol* recovers; these prove the *processes* do.  An injected crash here
+is a worker ``SIGKILL``-ing itself mid-run — no Python teardown, no goodbye
+message — and recovery means the coordinator attributing the death from
+heartbeats and sentinels, the Supervisor respawning a whole fleet resumed
+from cross-process checkpoint shards, and the regrown run producing a graph
+bit-identical to the fault-free one on every exchange transport.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.generator import generate
+from repro.core.parallel_pa import PAx1RankProgram
+from repro.core.partitioning import make_partition
+from repro.graph.edgelist import EdgeList
+from repro.mpsim.errors import RankFailure
+from repro.mpsim.faults import FaultPlan
+from repro.mpsim.heartbeat import Heartbeats
+from repro.mpsim.mp_backend import EXCHANGES, MultiprocessingBSPEngine
+from repro.mpsim.pool import WorkerPool
+from repro.rng import StreamFactory
+
+ALL_EXCHANGES = list(EXCHANGES)
+
+#: mp_backend._LIVENESS_POLL — the coordinator's dead-worker detection period
+_LIVENESS_POLL = 0.25
+
+
+def _x1_programs(part, seed):
+    factory = StreamFactory(seed)
+    return [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(part.P)]
+
+
+def _collect_edges(results) -> EdgeList:
+    edges = EdgeList()
+    for pair in results:
+        edges.append_arrays(pair[0], pair[1])
+    return edges
+
+
+# ------------------------------------------------------- supervised recovery
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
+def test_sigkilled_rank_recovers_bit_identically(exchange, tmp_path):
+    """The headline guarantee: SIGKILL a worker mid-run, get the exact same
+    graph back — on every exchange transport."""
+    n, P, seed = 2_000, 4, 11
+    baseline = generate(n, ranks=P, seed=seed, engine="mp", exchange=exchange)
+
+    plan = FaultPlan().crash(1, at_superstep=3)
+    result = generate(
+        n, ranks=P, seed=seed, engine="mp", exchange=exchange,
+        fault_plan=plan, checkpoint_dir=str(tmp_path), barrier_timeout=30.0,
+    )
+
+    assert result.edges == baseline.edges
+    assert len(result.recoveries) == 1
+    event = result.recoveries[0]
+    assert "RankFailure" in event.error and "rank 1" in event.error
+    assert event.checkpoint is not None  # resumed from a snapshot, not scratch
+    assert result.world_stats.recoveries == result.recoveries
+    assert plan.counts() == {"crash": 1}  # the kill really fired
+    assert result.supersteps == baseline.supersteps
+
+
+def test_two_crashes_across_retries_still_recover(tmp_path):
+    """Each retry consumes exactly one scheduled crash; a second pending
+    crash fires on the respawned fleet and is recovered in turn."""
+    n, P, seed = 2_000, 4, 5
+    baseline = generate(n, ranks=P, seed=seed, engine="mp", exchange="shm")
+    plan = FaultPlan().crash(1, at_superstep=2).crash(2, at_superstep=4)
+    result = generate(
+        n, ranks=P, seed=seed, engine="mp", exchange="shm",
+        fault_plan=plan, checkpoint_dir=str(tmp_path),
+    )
+    assert result.edges == baseline.edges
+    assert len(result.recoveries) == 2
+    assert plan.counts() == {"crash": 2}
+
+
+# --------------------------------------------------------- death attribution
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
+def test_unsupervised_crash_names_rank_and_superstep(exchange):
+    """Without a supervisor, the kill surfaces as RankFailure naming the
+    culprit rank and the superstep it died in."""
+    part = make_partition("rrp", 1_000, 4)
+    eng = MultiprocessingBSPEngine(4, exchange=exchange, barrier_timeout=30.0)
+    with pytest.raises(RankFailure) as exc_info:
+        eng.run(_x1_programs(part, 3), fault_plan=FaultPlan().crash(2, at_superstep=3))
+    assert exc_info.value.rank == 2
+    assert exc_info.value.superstep == 3
+    assert "injected" in repr(exc_info.value.original)
+
+
+def test_detection_is_sentinel_fast_not_timeout_bound():
+    """A dead rank is noticed within a couple of liveness polls — not by
+    waiting out the p2p barrier timeout."""
+    part = make_partition("rrp", 1_000, 4)
+    # a barrier timeout far above the assertion bound: if detection relied
+    # on it, this test would fail loudly
+    eng = MultiprocessingBSPEngine(4, exchange="p2p", barrier_timeout=60.0)
+    t0 = time.perf_counter()
+    with pytest.raises(RankFailure):
+        eng.run(_x1_programs(part, 3), fault_plan=FaultPlan().crash(1, at_superstep=2))
+    elapsed = time.perf_counter() - t0
+    # budget: fork+run ≲1s, detection ≤ 2 liveness polls (0.5s), teardown
+    # ≲1s — loaded-CI slack included, still 20x under the barrier timeout
+    assert elapsed < 2.5 + 4 * _LIVENESS_POLL, elapsed
+
+
+# ------------------------------------------------------------- pool healing
+@pytest.mark.parametrize("exchange", ALL_EXCHANGES)
+def test_pool_survives_sigkilled_member(exchange):
+    """One killed member costs one job: the failed run raises RankFailure,
+    the next run heals (respawn + abandon + barrier reset) and is
+    bit-identical to a fresh pool's output."""
+    n, P, seed = 1_000, 4, 17
+    part = make_partition("rrp", n, P)
+    eng = MultiprocessingBSPEngine(P, exchange=exchange)
+    eng.run(_x1_programs(part, seed))
+    expected = _collect_edges(eng.results)
+
+    with WorkerPool(P, exchange=exchange, barrier_timeout=30.0) as pool:
+        with pytest.raises(RankFailure) as exc_info:
+            pool.run(_x1_programs(part, seed), fault_plan=FaultPlan().crash(2, at_superstep=2))
+        assert exc_info.value.rank == 2
+        pool.run(_x1_programs(part, seed))
+        healed = _collect_edges(pool.results)
+        assert pool.respawns == 1
+        assert pool.jobs_run == 1
+    assert np.array_equal(expected.canonical(), healed.canonical())
+
+
+# --------------------------------------------------------------- heartbeats
+def test_heartbeat_board_tracks_progress():
+    hb = Heartbeats(3)
+    assert hb.last_superstep(0) is None  # never beat
+    hb.beat(0, 1)
+    hb.beat(0, 2)
+    hb.beat(1, 7)
+    assert hb.last_superstep(0) == 2
+    assert hb.last_superstep(1) == 7
+    assert hb.last_superstep(2) is None
+    assert hb.age(0) < 1.0
+    with pytest.raises(ValueError):
+        Heartbeats(0)
+
+
+def test_heartbeat_attribution_marks_coordinator_plan_copy():
+    """The killed worker's forked plan copy dies with it; the coordinator
+    marks the crash fired on ITS copy, so a supervised retry of the same
+    plan object does not re-kill."""
+    part = make_partition("rrp", 1_000, 4)
+    plan = FaultPlan().crash(1, at_superstep=2)
+    assert plan.pending_crashes == 1
+    eng = MultiprocessingBSPEngine(4, exchange="pickle")
+    with pytest.raises(RankFailure):
+        eng.run(_x1_programs(part, 3), fault_plan=plan)
+    assert plan.pending_crashes == 0
+    assert plan.counts() == {"crash": 1}
+    # the spent plan is now harmless: the same programs run to completion
+    eng2 = MultiprocessingBSPEngine(4, exchange="pickle")
+    eng2.run(_x1_programs(part, 3), fault_plan=plan)
+    assert len(eng2.results) == 4
