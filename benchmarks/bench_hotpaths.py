@@ -16,7 +16,9 @@ machine-readable ``BENCH_hotpaths.json`` at the repository root:
   backend, one entry per exchange topology (wall seconds and
   supersteps/sec);
 * ``mp_pool`` — five consecutive generation jobs on a persistent
-  :class:`~repro.mpsim.pool.WorkerPool` vs five cold engine runs.
+  :class:`~repro.mpsim.pool.WorkerPool` vs five cold engine runs;
+* ``telemetry_overhead`` — end-to-end BSP generation with telemetry
+  disabled (the default no-op path) vs enabled, the observability tax.
 
 Every measurement is best-of-``--repeats`` wall time: single-occupancy CI
 boxes (and the 1-CPU container this repo grew up on) show multi-x run-to-run
@@ -34,6 +36,9 @@ at least ``S``× the reference — the repo's perf-regression tripwire.
 ``--require-p2p-speedup S`` exits non-zero unless end-to-end p2p generation
 is at least ``S``× coordinator-shm (CI uses ``S = 1.0``: p2p must never be
 slower).
+``--max-telemetry-overhead R`` exits non-zero if enabled telemetry costs
+more than ``R``× the disabled run (needs the ``telemetry_overhead`` case;
+CI allows generous noise headroom on shared boxes).
 """
 
 from __future__ import annotations
@@ -77,12 +82,14 @@ SCALES = {
         bsp_n=5_000, bsp_general_n=2_000, bsp_P=4,
         mp_records=20_000, mp_rounds=5, mp_P=8,
         endtoend_n=50_000, pool_n=5_000, pool_jobs=5,
+        telemetry_n=50_000,
     ),
     "ci": dict(
         general_n=200_000, x1_n=200_000, ptr_n=500_000,
         bsp_n=10_000, bsp_general_n=4_000, bsp_P=4,
         mp_records=50_000, mp_rounds=10, mp_P=8,
         endtoend_n=200_000, pool_n=10_000, pool_jobs=5,
+        telemetry_n=200_000,
     ),
     "full": dict(
         general_n=200_000, x1_n=1_000_000, ptr_n=2_000_000,
@@ -91,6 +98,7 @@ SCALES = {
         # one-off fork/join of 8 worker processes (noisy on small hosts)
         mp_records=50_000, mp_rounds=20, mp_P=8,
         endtoend_n=1_000_000, pool_n=20_000, pool_jobs=5,
+        telemetry_n=500_000,
     ),
 }
 
@@ -280,6 +288,42 @@ def case_mp_pool(sizes, repeats):
     }
 
 
+def case_telemetry_overhead(sizes, repeats):
+    """The observability tax on the hottest instrumented loop.
+
+    Disabled telemetry is the default for every run, so its cost must be
+    indistinguishable from noise (the no-op path allocates nothing and
+    reads no clock); enabled telemetry pays two monotonic reads per span
+    and must stay within a few percent end to end.
+    """
+    from repro.telemetry import Telemetry
+
+    # a dedicated (larger) size: at BSP-case scale a run is milliseconds
+    # and scheduler noise swamps the single-digit-percent effect under test
+    n, P = sizes["telemetry_n"], sizes["bsp_P"]
+    part = UniformPartition(n, P)
+
+    def disabled():
+        run_parallel_pa_x1(n, part, seed=SEED)
+
+    def enabled():
+        tel = Telemetry()
+        run_parallel_pa_x1(n, part, seed=SEED, telemetry=tel)
+        return tel
+
+    # interleave-friendly: time disabled, enabled, then disabled again and
+    # keep the best of each, so drift on a shared box hits both sides
+    t_off = best_of(repeats, disabled)
+    t_on = best_of(repeats, enabled)
+    t_off = min(t_off, best_of(repeats, disabled))
+    return {
+        "n": n, "P": P,
+        "disabled_s": t_off,
+        "enabled_s": t_on,
+        "overhead_enabled_over_disabled": t_on / t_off,
+    }
+
+
 CASES = {
     "copy_model_general": case_copy_model_general,
     "copy_model_x1": case_copy_model_x1,
@@ -288,6 +332,7 @@ CASES = {
     "mp_exchange": case_mp_exchange,
     "mp_endtoend": case_mp_endtoend,
     "mp_pool": case_mp_pool,
+    "telemetry_overhead": case_telemetry_overhead,
 }
 
 
@@ -305,6 +350,10 @@ def main(argv=None) -> int:
     ap.add_argument("--require-p2p-speedup", type=float, default=None, metavar="S",
                     help="fail unless end-to-end p2p generation is >= S x "
                          "coordinator-shm (needs the mp_endtoend case)")
+    ap.add_argument("--max-telemetry-overhead", type=float, default=None,
+                    metavar="R",
+                    help="fail if enabled telemetry costs more than R x the "
+                         "disabled run (needs the telemetry_overhead case)")
     args = ap.parse_args(argv)
 
     wanted = [c.strip() for c in args.cases.split(",") if c.strip()]
@@ -386,6 +435,23 @@ def main(argv=None) -> int:
             return 1
         print(f"[bench_hotpaths] p2p speedup gate passed "
               f"({got:.2f}x >= {args.require_p2p_speedup}x)")
+    tel = report["cases"].get("telemetry_overhead")
+    if tel is not None:
+        print(f"[bench_hotpaths] telemetry: disabled {tel['disabled_s']:.3f}s, "
+              f"enabled {tel['enabled_s']:.3f}s "
+              f"({tel['overhead_enabled_over_disabled']:.3f}x)")
+    if args.max_telemetry_overhead is not None:
+        if tel is None:
+            print("[bench_hotpaths] --max-telemetry-overhead needs the "
+                  "telemetry_overhead case", file=sys.stderr)
+            return 2
+        got = tel["overhead_enabled_over_disabled"]
+        if got > args.max_telemetry_overhead:
+            print(f"[bench_hotpaths] FAIL: enabled telemetry costs {got:.3f}x "
+                  f"> allowed {args.max_telemetry_overhead}x", file=sys.stderr)
+            return 1
+        print(f"[bench_hotpaths] telemetry overhead gate passed "
+              f"({got:.3f}x <= {args.max_telemetry_overhead}x)")
     return 0
 
 

@@ -35,11 +35,13 @@ from repro.distgraph import DistributedGraph
 from repro.graph.edgelist import EdgeList
 from repro.graph.powerlaw import fit_powerlaw
 from repro.graph.validation import validate_pa_graph
+from repro.telemetry import Telemetry
 
 __all__ = [
     "DistributedGraph",
     "EdgeList",
     "GenerationResult",
+    "Telemetry",
     "__version__",
     "fit_powerlaw",
     "generate",

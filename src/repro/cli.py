@@ -13,6 +13,9 @@ Subcommands
     Run a small strong-scaling sweep and print the Figure-5-style table.
 ``chains``
     Dependency-chain statistics for a given ``(n, p)`` (Theorem 3.3 check).
+``inspect``
+    Per-rank utilisation / barrier-wait summary of a Chrome trace written
+    by ``generate --trace-out``.
 """
 
 from __future__ import annotations
@@ -73,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock bound (s) on the --exchange p2p barrier; "
                         "dead ranks are detected much faster via sentinels, "
                         "this only catches wedged-but-alive ones")
+    g.add_argument("--trace-out", type=Path, default=None,
+                   help="record telemetry and write a Chrome trace-event "
+                        "JSON here (open in chrome://tracing / Perfetto, "
+                        "or summarize with 'repro-pa inspect')")
+    g.add_argument("--metrics-out", type=Path, default=None,
+                   help="record telemetry and write Prometheus text-format "
+                        "metrics here")
 
     o = sub.add_parser("other", help="generate non-PA models on the same substrate")
     o.add_argument("--model", choices=["er", "rmat", "chung-lu"], required=True)
@@ -132,6 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("-p", "--prob", type=float, default=0.5)
     c.add_argument("--seed", type=int, default=0)
 
+    i = sub.add_parser("inspect", help="summarize a Chrome trace from --trace-out")
+    i.add_argument("path", type=Path, help="trace JSON written by generate --trace-out")
+
     return parser
 
 
@@ -152,12 +165,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
               "job's recovery lifecycle); drop --pool to snapshot and resume",
               file=sys.stderr)
         return 2
+    tel = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
     pool = None
     if args.pool:
         from repro.mpsim.pool import WorkerPool
 
         pool = WorkerPool(args.ranks, exchange=args.exchange,
-                          barrier_timeout=args.barrier_timeout)
+                          barrier_timeout=args.barrier_timeout, telemetry=tel)
     t0 = time.perf_counter()
     try:
         result = generate(
@@ -177,6 +195,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             fault_seed=args.inject_faults,
             max_retries=args.max_retries,
             barrier_timeout=args.barrier_timeout,
+            # a pooled run attaches telemetry to the pool at fork time
+            # (generate() refuses telemetry= alongside pool=)
+            telemetry=None if pool is not None else tel,
         )
     finally:
         if pool is not None:
@@ -206,6 +227,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         else:
             gio.write_edges_binary(args.output, result.edges)
         print(f"wrote {args.output}")
+    if tel is not None:
+        if args.trace_out is not None:
+            from repro.telemetry.export import write_chrome_trace
+
+            trace = tel.to_chrome_trace()
+            write_chrome_trace(args.trace_out, trace)
+            dropped = trace.get("metadata", {}).get("dropped_events", 0)
+            note = f" ({dropped} events dropped)" if dropped else ""
+            print(f"wrote trace {args.trace_out}: "
+                  f"{len(trace['traceEvents'])} events{note}")
+        if args.metrics_out is not None:
+            args.metrics_out.write_text(tel.to_prometheus())
+            print(f"wrote metrics {args.metrics_out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import inspect_summary, load_chrome_trace
+
+    trace = load_chrome_trace(args.path)
+    print(inspect_summary(trace))
     return 0
 
 
@@ -398,6 +440,7 @@ _COMMANDS = {
     "degree-dist": _cmd_degree_dist,
     "analyze": _cmd_analyze,
     "campaign": _cmd_campaign,
+    "inspect": _cmd_inspect,
 }
 
 

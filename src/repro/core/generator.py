@@ -44,6 +44,7 @@ from repro.graph.degree import degrees_from_edges
 from repro.graph.edgelist import EdgeList
 from repro.graph.validation import ValidationReport, validate_pa_graph
 from repro.mpsim.costmodel import CostModel
+from repro.telemetry.collector import resolve
 
 __all__ = ["GenerationResult", "generate"]
 
@@ -121,6 +122,7 @@ def generate(
     fault_seed: int | None = None,
     max_retries: int = 3,
     barrier_timeout: float = 120.0,
+    telemetry: Any = None,
 ) -> GenerationResult:
     """Generate a preferential-attachment network.
 
@@ -184,6 +186,16 @@ def generate(
         ``exchange="p2p"`` barrier.  Worker deaths are detected by the
         coordinator within one liveness poll and abort the barrier, so this
         only matters for organically wedged (not dead) ranks.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; the run's spans and
+        metrics (across every engine, including mp worker processes) land on
+        it for export — ``telemetry.to_chrome_trace("run.trace.json")``,
+        ``telemetry.to_prometheus()`` — see ``docs/observability.md``.
+        Observation-only: the generated graph is bit-identical with
+        telemetry on or off.  Not supported together with ``pool=`` —
+        construct the :class:`~repro.mpsim.pool.WorkerPool` with
+        ``telemetry=`` instead (the ring must exist before its workers
+        fork).
 
     Examples
     --------
@@ -199,6 +211,18 @@ def generate(
 
         plan = FaultPlan.chaos(fault_seed, ranks, crashes=1)
 
+    tel = resolve(telemetry)
+    if tel.enabled:
+        if pool is not None:
+            raise ValueError(
+                "telemetry= cannot attach to a running WorkerPool: the "
+                "telemetry ring must exist before the workers fork; build "
+                "the pool with WorkerPool(..., telemetry=tel) instead"
+            )
+        tel.meta.update(
+            engine=engine, n=n, x=x, p=p, scheme=scheme, ranks=ranks, seed=seed
+        )
+
     if engine == "sequential":
         if ranks != 1:
             raise ValueError("sequential engine requires ranks=1")
@@ -211,7 +235,8 @@ def generate(
             )
         from repro.seq.copy_model import copy_model
 
-        edges = copy_model(n, x=x, p=p, seed=seed)
+        with tel.span("copy_model", cat="compute", tid=0, n=n, x=x):
+            edges = copy_model(n, x=x, p=p, seed=seed)
         cost = cost_model or CostModel()
         return GenerationResult(
             edges=edges,
@@ -242,9 +267,11 @@ def generate(
             )
         from repro.core.event_driven import run_event_driven_pa
 
-        edges, sim = run_event_driven_pa(
-            n, x, part, p=p, seed=seed, cost_model=cost_model, fault_injector=plan
-        )
+        with tel.span("event.run", cat="run", tid=-1, n=n, x=x) as sp:
+            edges, sim = run_event_driven_pa(
+                n, x, part, p=p, seed=seed, cost_model=cost_model, fault_injector=plan
+            )
+            sp.note(virtual_total_s=sim.makespan)
         return GenerationResult(
             edges=edges,
             n=n,
@@ -267,7 +294,7 @@ def generate(
         return _generate_mp(
             n, x, p, part, seed, cost_model, exchange, pool, plan,
             checkpoint_path, checkpoint_every, checkpoint_dir,
-            checkpoint_keep, max_retries, barrier_timeout,
+            checkpoint_keep, max_retries, barrier_timeout, telemetry,
         )
 
     if engine != "bsp":
@@ -282,19 +309,23 @@ def generate(
         from repro.mpsim.checkpoint import Checkpointer
 
         checkpointer = Checkpointer(
-            Path(checkpoint_dir) / "run.ckpt", every=checkpoint_every, keep=checkpoint_keep
+            Path(checkpoint_dir) / "run.ckpt", every=checkpoint_every,
+            keep=checkpoint_keep, telemetry=telemetry,
         )
     elif checkpoint_path is not None:
         from repro.mpsim.checkpoint import Checkpointer
 
-        checkpointer = Checkpointer(checkpoint_path, every=checkpoint_every)
+        checkpointer = Checkpointer(
+            checkpoint_path, every=checkpoint_every, telemetry=telemetry
+        )
 
     recoveries: list = []
     if checkpoint_dir is not None:
         # rotated checkpoints => run under the supervisor: crashes and
         # deadlocks are recovered (bit-identically) instead of propagating
         eng, programs = _run_supervised(
-            n, x, p, part, seed, cost_model, checkpointer, plan, max_retries
+            n, x, p, part, seed, cost_model, checkpointer, plan, max_retries,
+            telemetry,
         )
         edges = EdgeList(capacity=max(n * max(x, 1) - 1, 1))
         for prog in programs:
@@ -304,12 +335,12 @@ def generate(
     elif x == 1:
         edges, eng, programs = run_parallel_pa_x1(
             n, part, p=p, seed=seed, cost_model=cost_model,
-            checkpointer=checkpointer, fault_plan=plan,
+            checkpointer=checkpointer, fault_plan=plan, telemetry=telemetry,
         )
     else:
         edges, eng, programs = run_parallel_pa(
             n, x, part, p=p, seed=seed, cost_model=cost_model,
-            checkpointer=checkpointer, fault_plan=plan,
+            checkpointer=checkpointer, fault_plan=plan, telemetry=telemetry,
         )
     return GenerationResult(
         edges=edges,
@@ -336,7 +367,7 @@ def generate(
 def _generate_mp(
     n, x, p, part, seed, cost_model, exchange, pool, plan,
     checkpoint_path=None, checkpoint_every=1, checkpoint_dir=None,
-    checkpoint_keep=3, max_retries=3, barrier_timeout=120.0,
+    checkpoint_keep=3, max_retries=3, barrier_timeout=120.0, telemetry=None,
 ):
     """Run the generation on the real-process backend (or a live pool).
 
@@ -387,15 +418,17 @@ def _generate_mp(
             Path(checkpoint_dir) / "run.ckpt",
             every=checkpoint_every,
             keep=checkpoint_keep,
+            telemetry=telemetry,
         )
         supervisor = Supervisor(
             lambda: MultiprocessingBSPEngine(
                 part.P, exchange=exchange, cost_model=cost_model,
-                barrier_timeout=barrier_timeout,
+                barrier_timeout=barrier_timeout, telemetry=telemetry,
             ),
             program_factory,
             checkpointer,
             max_retries=max_retries,
+            telemetry=telemetry,
         )
         eng, _ = supervisor.run(fault_plan=plan)
         recoveries = list(eng.stats.recoveries)
@@ -411,10 +444,12 @@ def _generate_mp(
         if checkpoint_path is not None:
             from repro.mpsim.checkpoint import Checkpointer
 
-            checkpointer = Checkpointer(checkpoint_path, every=checkpoint_every)
+            checkpointer = Checkpointer(
+                checkpoint_path, every=checkpoint_every, telemetry=telemetry
+            )
         eng = MultiprocessingBSPEngine(
             part.P, exchange=exchange, cost_model=cost_model,
-            barrier_timeout=barrier_timeout,
+            barrier_timeout=barrier_timeout, telemetry=telemetry,
         )
         eng.run(program_factory(), fault_plan=plan, checkpointer=checkpointer)
 
@@ -445,7 +480,10 @@ def _generate_mp(
     )
 
 
-def _run_supervised(n, x, p, part, seed, cost_model, checkpointer, plan, max_retries):
+def _run_supervised(
+    n, x, p, part, seed, cost_model, checkpointer, plan, max_retries,
+    telemetry=None,
+):
     """Run the BSP generation under a crash-recovering Supervisor."""
     from repro.core.parallel_pa import PAx1RankProgram
     from repro.core.parallel_pa_general import PAGeneralRankProgram
@@ -457,7 +495,7 @@ def _run_supervised(n, x, p, part, seed, cost_model, checkpointer, plan, max_ret
         raise ValueError(f"need n > x, got n={n}, x={x}")
 
     def engine_factory() -> BSPEngine:
-        return BSPEngine(part.P, cost_model=cost_model)
+        return BSPEngine(part.P, cost_model=cost_model, telemetry=telemetry)
 
     def program_factory():
         factory = StreamFactory(seed)
@@ -469,6 +507,7 @@ def _run_supervised(n, x, p, part, seed, cost_model, checkpointer, plan, max_ret
         ]
 
     supervisor = Supervisor(
-        engine_factory, program_factory, checkpointer, max_retries=max_retries
+        engine_factory, program_factory, checkpointer, max_retries=max_retries,
+        telemetry=telemetry,
     )
     return supervisor.run(fault_plan=plan)

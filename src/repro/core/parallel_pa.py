@@ -237,6 +237,7 @@ def run_parallel_pa_x1(
     max_supersteps: int = 10_000,
     checkpointer=None,
     fault_plan=None,
+    telemetry=None,
 ) -> tuple[EdgeList, BSPEngine, list[PAx1RankProgram]]:
     """Generate an ``x = 1`` PA network on the BSP engine.
 
@@ -252,7 +253,12 @@ def run_parallel_pa_x1(
     programs = [
         PAx1RankProgram(r, partition, p, factory.stream(r)) for r in range(partition.P)
     ]
-    engine = BSPEngine(partition.P, cost_model=cost_model, max_supersteps=max_supersteps)
+    engine = BSPEngine(
+        partition.P,
+        cost_model=cost_model,
+        max_supersteps=max_supersteps,
+        telemetry=telemetry,
+    )
     engine.run(programs, checkpointer=checkpointer, fault_plan=fault_plan)
     edges = EdgeList(capacity=max(n - 1, 1))
     for prog in programs:

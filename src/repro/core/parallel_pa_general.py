@@ -326,6 +326,7 @@ def run_parallel_pa(
     max_supersteps: int = 10_000,
     checkpointer=None,
     fault_plan=None,
+    telemetry=None,
 ) -> tuple[EdgeList, BSPEngine, list[PAGeneralRankProgram]]:
     """Generate a PA network with ``x`` edges per node on the BSP engine.
 
@@ -343,7 +344,12 @@ def run_parallel_pa(
         PAGeneralRankProgram(r, partition, x, p, factory.stream(r))
         for r in range(partition.P)
     ]
-    engine = BSPEngine(partition.P, cost_model=cost_model, max_supersteps=max_supersteps)
+    engine = BSPEngine(
+        partition.P,
+        cost_model=cost_model,
+        max_supersteps=max_supersteps,
+        telemetry=telemetry,
+    )
     engine.run(programs, checkpointer=checkpointer, fault_plan=fault_plan)
     edges = EdgeList(capacity=max(n * x, 1))
     for prog in programs:

@@ -39,6 +39,7 @@ from repro.mpsim.errors import (
     RankFailure,
 )
 from repro.mpsim.stats import WorldStats
+from repro.telemetry.collector import resolve
 
 __all__ = ["BSPEngine", "BSPRankContext", "RankProgram", "Outbox"]
 
@@ -160,12 +161,17 @@ class BSPEngine:
         cost_model: CostModel | None = None,
         max_supersteps: int = 10_000,
         topology: Any = None,
+        telemetry: Any = None,
     ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
         self.size = size
         self.cost = cost_model or CostModel()
         self.max_supersteps = max_supersteps
+        #: observability facade (:class:`repro.telemetry.Telemetry`); the
+        #: engine is single-process, so spans are recorded directly —
+        #: observation only, never part of the simulated cost model.
+        self.tel = resolve(telemetry)
         #: optional :class:`repro.mpsim.topology.Topology`; when set, each
         #: outgoing byte's transfer charge is scaled by the (src, dst) hop
         #: multiplier (precomputed into a dense table).
@@ -235,6 +241,10 @@ class BSPEngine:
                     "rank programs are not quiescing"
                 )
             self.supersteps += 1
+            step_span = self.tel.span(
+                "superstep", cat="superstep", tid=-1, superstep=self.supersteps
+            )
+            step_span.__enter__()
             step_times = np.zeros(self.size)
             step_records = np.zeros(self.size)
             next_inboxes: list[list[tuple[int, np.ndarray]]] = [
@@ -315,7 +325,24 @@ class BSPEngine:
                 step_times[rank] = t
                 step_records[rank] = out_records
 
-            self.simulated_time += float(step_times.max())
+            virtual_step = float(step_times.max())
+            self.simulated_time += virtual_step
+            step_span.note(
+                virtual_s=virtual_step,
+                virtual_total_s=self.simulated_time,
+                records=int(step_records.sum()),
+            )
+            step_span.__exit__(None, None, None)
+            if self.tel.enabled:
+                self.tel.counter(
+                    "bsp_supersteps_total", "supersteps executed by BSPEngine"
+                ).inc()
+                self.tel.counter(
+                    "bsp_records_total", "records exchanged (paper Fig. 7 metric)"
+                ).inc(int(step_records.sum()))
+                self.tel.gauge(
+                    "bsp_simulated_time_seconds", "virtual T_p accumulated so far"
+                ).set(self.simulated_time)
             if tracer is not None:
                 tracer.record(step_times, step_records)
             inboxes = next_inboxes

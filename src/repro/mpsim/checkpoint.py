@@ -37,6 +37,7 @@ from typing import Any, Sequence
 from repro.mpsim.bsp import BSPEngine
 from repro.mpsim.costmodel import CostModel
 from repro.mpsim.errors import CorruptCheckpointError, MPSimError
+from repro.telemetry.collector import resolve
 
 __all__ = [
     "Checkpointer",
@@ -107,9 +108,19 @@ class Checkpointer:
     keep:
         How many generations of snapshots to retain (``1`` = just ``path``,
         the pre-rotation behaviour).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; committed snapshots get
+        ``checkpoint.save`` spans and a ``checkpoint_snapshots_total``
+        counter, so checkpoint cost shows up on the run timeline.
     """
 
-    def __init__(self, path: str | Path, every: int = 1, keep: int = 1) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        every: int = 1,
+        keep: int = 1,
+        telemetry: Any = None,
+    ) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
         if keep < 1:
@@ -117,6 +128,7 @@ class Checkpointer:
         self.path = Path(path)
         self.every = every
         self.keep = keep
+        self.tel = resolve(telemetry)
         self.snapshots = 0
         #: saves are suppressed while ``engine.supersteps <= min_superstep``;
         #: the Supervisor raises this during a retry so a replay of
@@ -168,14 +180,21 @@ class Checkpointer:
             return False
         if data.supersteps <= self.min_superstep:
             return False
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp_name = _atomic_dump(_MAGIC, data, self.path)
-        chain = self.chain()
-        for i in range(len(chain) - 1, 0, -1):
-            if chain[i - 1].exists():
-                chain[i - 1].replace(chain[i])
-        Path(tmp_name).replace(self.path)
+        with self.tel.span(
+            "checkpoint.save", cat="checkpoint", tid=-1, superstep=data.supersteps
+        ):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp_name = _atomic_dump(_MAGIC, data, self.path)
+            chain = self.chain()
+            for i in range(len(chain) - 1, 0, -1):
+                if chain[i - 1].exists():
+                    chain[i - 1].replace(chain[i])
+            Path(tmp_name).replace(self.path)
         self.snapshots += 1
+        if self.tel.enabled:
+            self.tel.counter(
+                "checkpoint_snapshots_total", "checkpoint manifests committed"
+            ).inc()
         return True
 
 

@@ -100,6 +100,13 @@ from repro.mpsim.faults import CAP_CRASH_TIME, CAP_DROP, CAP_DUPLICATE
 from repro.mpsim.heartbeat import Heartbeats
 from repro.mpsim.p2p import P2PFabric
 from repro.mpsim.stats import RankStats, WorldStats
+from repro.telemetry.collector import (
+    NOOP_TELEMETRY,
+    RingCollector,
+    Telemetry,
+    resolve,
+)
+from repro.telemetry.ringbuf import EventRing
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
     from multiprocessing import shared_memory as _shared_memory
@@ -398,6 +405,7 @@ def _run_job_coordinator(
     fault_plan: Any,
     heartbeats: Heartbeats | None = None,
     resume: tuple[int, RankStats, list] | None = None,
+    tel: Any = NOOP_TELEMETRY,
 ) -> None:
     """Worker side of one coordinator-routed job (``shm``/``pickle``).
 
@@ -422,7 +430,10 @@ def _run_job_coordinator(
     ctx = BSPRankContext(rank, size, stats, cost)
     rs = stats[rank]
     while True:
-        cmd, payload = conn.recv()
+        # time blocked on the coordinator: routing latency plus however long
+        # the slowest peer makes everyone wait — the transport's barrier
+        with tel.span("step.wait", cat="barrier", tid=rank, superstep=superstep + 1):
+            cmd, payload = conn.recv()
         if cmd == _SHUTDOWN:
             raise _ShutdownRequested
         if cmd == _ABANDON:
@@ -435,7 +446,8 @@ def _run_job_coordinator(
         superstep += 1
         step_payload, shard_req = payload
         if exchange == EXCHANGE_SHM:
-            inbox = [(src, reader.read(desc)) for src, desc in step_payload]
+            with tel.span("exchange.read", cat="exchange", tid=rank, superstep=superstep):
+                inbox = [(src, reader.read(desc)) for src, desc in step_payload]
         else:
             inbox = step_payload
         if pending_inbox is not None:
@@ -444,19 +456,28 @@ def _run_job_coordinator(
         if shard_req is not None:
             cut, sim_abs, shard_dir = shard_req
             path = _shard_path(shard_dir, cut, rank)
-            save_shard(
-                path, ShardData(rank, cut, sim_abs, program, list(inbox), rs)
-            )
+            with tel.span("shard.save", cat="checkpoint", tid=rank, cut=cut):
+                save_shard(
+                    path, ShardData(rank, cut, sim_abs, program, list(inbox), rs)
+                )
             conn.send(("shard", cut, str(path)))
-        clean, _, t = _execute_step(
-            rank, size, program, ctx, rs, inbox, cost, fault_plan,
-            superstep, heartbeats,
-        )
-        if exchange == EXCHANGE_SHM:
-            meta = writer.write(clean, superstep)
-        else:
-            meta = clean
-        conn.send(("out", meta, bool(program.done), t))
+        with tel.span("compute", cat="compute", tid=rank, superstep=superstep) as sp:
+            clean, out_records, t = _execute_step(
+                rank, size, program, ctx, rs, inbox, cost, fault_plan,
+                superstep, heartbeats,
+            )
+            sp.note(virtual_s=t, records=out_records)
+        with tel.span("exchange.write", cat="exchange", tid=rank, superstep=superstep):
+            if exchange == EXCHANGE_SHM:
+                meta = writer.write(clean, superstep)
+            else:
+                meta = clean
+            conn.send(("out", meta, bool(program.done), t))
+        if tel.enabled:
+            tel.counter(
+                "mp_worker_supersteps_total", "supersteps executed worker-side"
+            ).inc(rank=rank)
+            tel.flush()
 
 
 def _run_job_p2p(
@@ -473,6 +494,7 @@ def _run_job_p2p(
     heartbeats: Heartbeats | None = None,
     resume: tuple[int, RankStats, list] | None = None,
     ckpt: tuple[str, int, int, float] | None = None,
+    tel: Any = NOOP_TELEMETRY,
 ) -> None:
     """Worker side of one peer-to-peer job: no parent on the data path.
 
@@ -504,21 +526,33 @@ def _run_job_p2p(
             if superstep >= max_supersteps:
                 raise MPSimError(f"exceeded max_supersteps={max_supersteps}")
             superstep += 1
-            clean, out_records, t = _execute_step(
-                rank, size, program, ctx, rs, inbox, cost, fault_plan,
-                superstep, heartbeats,
-            )
-            meta = writer.write(clean, superstep)
-            fabric.post(rank, superstep, meta)
+            with tel.span("compute", cat="compute", tid=rank, superstep=superstep) as sp:
+                clean, out_records, t = _execute_step(
+                    rank, size, program, ctx, rs, inbox, cost, fault_plan,
+                    superstep, heartbeats,
+                )
+                sp.note(virtual_s=t, records=out_records)
+            with tel.span("exchange.write", cat="exchange", tid=rank, superstep=superstep):
+                meta = writer.write(clean, superstep)
+                fabric.post(rank, superstep, meta)
             fabric.publish(rank, superstep, bool(program.done), out_records, t)
-            fabric.wait(rank, superstep)
+            # the real imbalance cost: fast ranks park here until the
+            # slowest peer arrives (paper Section 4.6's load-balance story)
+            with tel.span("barrier.wait", cat="barrier", tid=rank, superstep=superstep):
+                fabric.wait(rank, superstep)
+            if tel.enabled:
+                tel.counter(
+                    "mp_worker_supersteps_total", "supersteps executed worker-side"
+                ).inc(rank=rank)
+                tel.flush()
             simulated += fabric.max_step_time(superstep)
             if fabric.quiescent(superstep):
                 break
-            inbox = [
-                (src, reader.read(desc))
-                for src, desc in fabric.collect(rank, superstep)
-            ]
+            with tel.span("exchange.read", cat="exchange", tid=rank, superstep=superstep):
+                inbox = [
+                    (src, reader.read(desc))
+                    for src, desc in fabric.collect(rank, superstep)
+                ]
             if ckpt is not None:
                 shard_dir, every, min_superstep, sim0 = ckpt
                 if (
@@ -527,13 +561,14 @@ def _run_job_p2p(
                     and fabric.traffic(superstep) > 0
                 ):
                     path = _shard_path(shard_dir, superstep, rank)
-                    save_shard(
-                        path,
-                        ShardData(
-                            rank, superstep, sim0 + simulated, program,
-                            list(inbox), rs,
-                        ),
-                    )
+                    with tel.span("shard.save", cat="checkpoint", tid=rank, cut=superstep):
+                        save_shard(
+                            path,
+                            ShardData(
+                                rank, superstep, sim0 + simulated, program,
+                                list(inbox), rs,
+                            ),
+                        )
                     conn.send(("shard", superstep, str(path)))
     except Exception:
         fabric.abort()  # fail peers fast instead of letting them time out
@@ -561,6 +596,7 @@ def _worker_main(
     heartbeats: Heartbeats | None = None,
     resume: tuple[int, RankStats, list] | None = None,
     ckpt: tuple[str, int, int, float] | None = None,
+    ring: EventRing | None = None,
 ) -> None:
     """One worker process: serve jobs until shutdown.
 
@@ -569,11 +605,15 @@ def _worker_main(
     segments (and the reader's attachment cache) persist across jobs so a
     :class:`~repro.mpsim.pool.WorkerPool` pays segment setup once.
     ``resume``/``ckpt`` ride the fork (no pickling) and apply to the first
-    job only — a resumed engine run is always one-shot.
+    job only — a resumed engine run is always one-shot.  ``ring`` (also
+    fork-inherited) is the shared telemetry event ring; when present the
+    worker publishes spans as they close and cumulative metric snapshots
+    every superstep, so a crash loses at most the current superstep.
     """
     needs_shm = exchange in (EXCHANGE_SHM, EXCHANGE_P2P)
     writer = _ShmWriter() if needs_shm else None
     reader = _ShmReader() if needs_shm else None
+    tel = Telemetry.for_worker(ring, rank) if ring is not None else NOOP_TELEMETRY
     try:
         while True:
             try:
@@ -597,13 +637,14 @@ def _worker_main(
                     _run_job_p2p(
                         rank, size, prog, conn, fabric, writer, reader,
                         cost, fault_plan, max_supersteps,
-                        heartbeats, job_resume, ckpt,
+                        heartbeats, job_resume, ckpt, tel,
                     )
                 else:
                     _run_job_coordinator(
                         rank, size, prog, conn, exchange, writer, reader,
-                        cost, fault_plan, heartbeats, job_resume,
+                        cost, fault_plan, heartbeats, job_resume, tel,
                     )
+                tel.flush()
             except _ShutdownRequested:
                 return
             except _JobAbandoned as exc:
@@ -694,6 +735,7 @@ def _recv_all(
     heartbeats: Heartbeats | None = None,
     fault_plan: Any = None,
     on_shard: Callable[[int, int, str], None] | None = None,
+    tick: Callable[[], Any] | None = None,
 ) -> dict[int, tuple]:
     """Collect exactly one reply per worker, draining in *arrival* order.
 
@@ -712,6 +754,10 @@ def _recv_all(
     ``on_shard`` without consuming the worker's pending reply slot; before
     a death is raised, every buffered shard notification is drained so the
     newest complete cut can still be committed.
+
+    ``tick`` is invoked once per wait cycle — the telemetry ring drain rides
+    the liveness poll here, so long p2p jobs cannot overflow the ring while
+    the parent sits waiting for finals.
     """
     msgs: dict[int, tuple] = {}
     pending: dict[Any, int] = {conn: rank for rank, conn in enumerate(parents)}
@@ -731,6 +777,8 @@ def _recv_all(
         _attribute_death(rank, fabric, heartbeats, fault_plan)
 
     while pending:
+        if tick is not None:
+            tick()
         sentinels = {procs[r].sentinel: r for r in pending.values()}
         ready = _mpc.wait(list(pending) + list(sentinels), timeout=_LIVENESS_POLL)
         for conn in [c for c in ready if c in pending]:
@@ -840,6 +888,8 @@ def _drive_job(
     cost: CostModel | None = None,
     step0: int = 0,
     sim0: float = 0.0,
+    collector: RingCollector | None = None,
+    tel: Any = NOOP_TELEMETRY,
 ) -> tuple[list[Any], list[dict], int, float]:
     """Parent side of one job, shared by the engine and the worker pool.
 
@@ -847,7 +897,10 @@ def _drive_job(
     (one-shot engine runs); pooled jobs pass the list to pickle across.
     ``step0`` is the superstep the job resumes from (0 for fresh runs);
     ``sim0`` the simulated time already on the engine's clock, used only to
-    stamp checkpoint manifests with absolute times.  Returns
+    stamp checkpoint manifests with absolute times.  ``collector`` drains
+    the telemetry event ring opportunistically (once per superstep on the
+    coordinator transports, once per liveness-poll cycle under p2p) and
+    ``tel`` records the parent's own routing/waiting spans.  Returns
     ``(results, telemetry, supersteps, simulated_delta)`` — the superstep
     count is absolute, the simulated time is this job's increment — and
     writes the workers' final :class:`RankStats` into ``stats``.
@@ -871,11 +924,15 @@ def _drive_job(
 
     results: list[Any] = [None] * size
     telemetry: list[dict] = [{} for _ in range(size)]
+    tick = collector.drain if collector is not None else None
 
     if exchange == EXCHANGE_P2P:
         # workers run to quiescence on their own; just collect the finals
         # (and commit checkpoint cuts as their shard notifications arrive)
-        msgs = _recv_all(parents, procs, fabric, heartbeats, fault_plan, _on_shard)
+        with tel.span("job.collect", cat="run", tid=-1):
+            msgs = _recv_all(
+                parents, procs, fabric, heartbeats, fault_plan, _on_shard, tick
+            )
         _raise_job_errors(msgs)
         supersteps = step0
         simulated = 0.0
@@ -902,18 +959,21 @@ def _drive_job(
         if supersteps >= max_supersteps:
             raise MPSimError(f"exceeded max_supersteps={max_supersteps}")
         supersteps += 1
+        step_span = tel.span("superstep", cat="superstep", tid=-1, superstep=supersteps)
+        step_span.__enter__()
         for rank, conn in enumerate(parents):
             _safe_send(
                 conn, rank, (_STEP, (inboxes[rank], shard_req)),
                 fabric, heartbeats, fault_plan,
             )
         shard_req = None
-        msgs = _recv_all(parents, procs, None, heartbeats, fault_plan, _on_shard)
+        msgs = _recv_all(parents, procs, None, heartbeats, fault_plan, _on_shard, tick)
         _raise_job_errors(msgs)
         next_inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
         any_traffic = False
         all_done = True
         step_max = 0.0
+        step_records = 0
         for rank in range(size):  # rank order: deterministic delivery
             kind, payload, done, t = msgs[rank]
             if kind != "out":  # pragma: no cover - protocol violation
@@ -921,10 +981,13 @@ def _drive_job(
             for dest in sorted(payload):
                 for item in payload[dest]:
                     next_inboxes[dest].append((rank, item))
+                    step_records += 1
                     any_traffic = True
             all_done = all_done and done
             step_max = max(step_max, t)
         simulated += step_max
+        step_span.note(virtual_s=step_max, routed_payloads=step_records)
+        step_span.__exit__(None, None, None)
         inboxes = next_inboxes
         if not any_traffic and all_done:
             break
@@ -941,7 +1004,7 @@ def _drive_job(
 
     for rank, conn in enumerate(parents):
         _safe_send(conn, rank, (_STOP, None), fabric, heartbeats, fault_plan)
-    msgs = _recv_all(parents, procs, None, heartbeats, fault_plan, _on_shard)
+    msgs = _recv_all(parents, procs, None, heartbeats, fault_plan, _on_shard, tick)
     # a worker may fail *during* final collection (e.g. its ``result()``
     # raises); surface that as a RankFailure like any mid-run crash
     _raise_job_errors(msgs)
@@ -1042,6 +1105,14 @@ class MultiprocessingBSPEngine:
         barrier timeout is a last-resort backstop — worker deaths are
         detected by the parent within one liveness poll and abort the
         barrier long before it can expire.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`.  When enabled, a
+        shared-memory event ring is created before forking; workers publish
+        compute / exchange / barrier-wait spans (``tid`` = rank) and
+        cumulative metric snapshots into it, and the parent drains them into
+        the facade — including everything a crashed worker published before
+        dying.  Stored as :attr:`tel` (the pre-existing :attr:`telemetry`
+        attribute holds the per-rank request counters).
     """
 
     def __init__(
@@ -1052,6 +1123,7 @@ class MultiprocessingBSPEngine:
         cost_model: CostModel | None = None,
         mailbox_slot_bytes: int = 8192,
         barrier_timeout: float = 120.0,
+        telemetry: Any = None,
     ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
@@ -1064,6 +1136,7 @@ class MultiprocessingBSPEngine:
         self.stats = WorldStats.for_size(size)
         self.results: list[Any] = []
         self.telemetry: list[dict] = []
+        self.tel = resolve(telemetry)
         self.supersteps = 0
         self.simulated_time = 0.0
 
@@ -1136,6 +1209,9 @@ class MultiprocessingBSPEngine:
             if self.exchange == EXCHANGE_P2P
             else None
         )
+        # the event ring must exist before the fork so workers inherit it
+        ring = EventRing() if self.tel.enabled else None
+        collector = RingCollector(ring) if ring is not None else None
         parents: list[Any] = []
         procs: list[Any] = []
         try:
@@ -1151,7 +1227,7 @@ class MultiprocessingBSPEngine:
                     args=(
                         rank, self.size, child_conn, self.exchange, fabric,
                         prog, self.max_supersteps, self.cost,
-                        heartbeats, resume, ckpt,
+                        heartbeats, resume, ckpt, ring,
                     ),
                     daemon=True,
                 )
@@ -1160,18 +1236,34 @@ class MultiprocessingBSPEngine:
                 parents.append(parent_conn)
                 procs.append(proc)
 
-            results, telemetry, supersteps, simulated = _drive_job(
-                parents, procs, self.size, self.exchange, fabric,
-                None, fault_plan, self.stats, self.max_supersteps,
-                heartbeats=heartbeats, checkpointer=checkpointer,
-                shard_dir=shard_dir, cost=self.cost,
-                step0=self.supersteps, sim0=self.simulated_time,
-            )
+            with self.tel.span(
+                "mp.run", cat="run", tid=-1, exchange=self.exchange, size=self.size
+            ):
+                results, telemetry, supersteps, simulated = _drive_job(
+                    parents, procs, self.size, self.exchange, fabric,
+                    None, fault_plan, self.stats, self.max_supersteps,
+                    heartbeats=heartbeats, checkpointer=checkpointer,
+                    shard_dir=shard_dir, cost=self.cost,
+                    step0=self.supersteps, sim0=self.simulated_time,
+                    collector=collector, tel=self.tel,
+                )
             self.results, self.telemetry = results, telemetry
+            steps_this_job = supersteps - self.supersteps
             self.supersteps = supersteps
             # accumulate like the in-process engine: the supervisor charges
             # restart backoff onto the clock between attempts
             self.simulated_time += simulated
+            if self.tel.enabled:
+                if steps_this_job > 0:
+                    self.tel.counter(
+                        "mp_supersteps_total", "supersteps completed by the mp engine"
+                    ).inc(steps_this_job)
+                self.tel.gauge(
+                    "mp_simulated_time_seconds", "virtual T_p accumulated so far"
+                ).set(self.simulated_time)
+                self.tel.meta.setdefault("engine", "mp")
+                self.tel.meta["exchange"] = self.exchange
+                self.tel.meta["size"] = self.size
         finally:
             # shut down on *every* path: after a failure the survivors sit
             # in their command loop, and closing the parent ends alone does
@@ -1190,4 +1282,9 @@ class MultiprocessingBSPEngine:
                     proc.join(timeout=1)
             if fabric is not None:
                 fabric.close(unlink=True)
+            if collector is not None:
+                # merge on every path: a crashed run's published history is
+                # exactly what the post-mortem trace needs
+                collector.merge_into(self.tel)
+                ring.close(unlink=True)
         return self.stats

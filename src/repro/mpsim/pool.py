@@ -52,6 +52,8 @@ from repro.mpsim.mp_backend import (
 )
 from repro.mpsim.p2p import P2PFabric
 from repro.mpsim.stats import WorldStats
+from repro.telemetry.collector import RingCollector, resolve
+from repro.telemetry.ringbuf import EventRing
 
 __all__ = ["WorkerPool"]
 
@@ -81,6 +83,7 @@ class WorkerPool:
         cost_model: CostModel | None = None,
         mailbox_slot_bytes: int = 8192,
         barrier_timeout: float = 120.0,
+        telemetry: Any = None,
     ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
@@ -88,12 +91,17 @@ class WorkerPool:
         self.exchange = _normalise_exchange(exchange)
         self.max_supersteps = max_supersteps
         self.cost = cost_model or CostModel()
+        self.tel = resolve(telemetry)
         self._fabric = (
             P2PFabric(size, slot_bytes=mailbox_slot_bytes, timeout=barrier_timeout)
             if self.exchange == EXCHANGE_P2P
             else None
         )
         self._heartbeats = Heartbeats(size)
+        # created before the first fork (and shared by respawned members):
+        # one ring serves every job the pool ever runs
+        self._ring = EventRing() if self.tel.enabled else None
+        self._collector = RingCollector(self._ring) if self._ring is not None else None
         self._ctx = mp.get_context("fork")
         self._parents: list[Any] = []
         self._procs: list[Any] = []
@@ -104,6 +112,7 @@ class WorkerPool:
                 args=(
                     rank, size, child_conn, self.exchange, self._fabric,
                     None, max_supersteps, self.cost, self._heartbeats,
+                    None, None, self._ring,
                 ),
                 daemon=True,
             )
@@ -145,22 +154,40 @@ class WorkerPool:
         if self._broken or any(not p.is_alive() for p in self._procs):
             self._heal()
         self.stats = WorldStats.for_size(self.size)
+        job_index = self.jobs_run
         try:
-            (
-                self.results,
-                self.telemetry,
-                self.supersteps,
-                self.simulated_time,
-            ) = _drive_job(
-                self._parents, self._procs, self.size, self.exchange,
-                self._fabric, list(programs), fault_plan, self.stats,
-                self.max_supersteps, heartbeats=self._heartbeats,
-                cost=self.cost,
-            )
+            with self.tel.span(
+                "pool.job", cat="run", tid=-1, job=job_index, exchange=self.exchange
+            ):
+                (
+                    self.results,
+                    self.telemetry,
+                    self.supersteps,
+                    self.simulated_time,
+                ) = _drive_job(
+                    self._parents, self._procs, self.size, self.exchange,
+                    self._fabric, list(programs), fault_plan, self.stats,
+                    self.max_supersteps, heartbeats=self._heartbeats,
+                    cost=self.cost, collector=self._collector, tel=self.tel,
+                )
         except Exception:
             self._broken = True
+            if self.tel.enabled:
+                self.tel.counter(
+                    "pool_jobs_failed_total", "pool jobs that raised"
+                ).inc()
             raise
+        finally:
+            if self._collector is not None:
+                # fold whatever this job published (even a failed one's
+                # partial history) into the pool's facade now, so the ring
+                # starts the next job empty
+                self._collector.merge_into(self.tel)
         self.jobs_run += 1
+        if self.tel.enabled:
+            self.tel.counter(
+                "pool_jobs_total", "pool jobs completed successfully"
+            ).inc()
         return self.stats
 
     # --------------------------------------------------------------- healing
@@ -177,6 +204,7 @@ class WorkerPool:
         """
         self._heal_token += 1
         token = self._heal_token
+        self.tel.mark(f"pool heal #{token}")
         for rank in range(self.size):
             if not self._procs[rank].is_alive():
                 self._respawn(rank)
@@ -218,6 +246,7 @@ class WorkerPool:
             args=(
                 rank, self.size, child_conn, self.exchange, self._fabric,
                 None, self.max_supersteps, self.cost, self._heartbeats,
+                None, None, self._ring,
             ),
             daemon=True,
         )
@@ -226,6 +255,11 @@ class WorkerPool:
         self._parents[rank] = parent_conn
         self._procs[rank] = proc
         self.respawns += 1
+        if self.tel.enabled:
+            self.tel.mark(f"pool respawned rank {rank}")
+            self.tel.counter(
+                "pool_respawns_total", "replacement workers forked while healing"
+            ).inc(rank=rank)
 
     # --------------------------------------------------------------- cleanup
     def close(self) -> None:
@@ -248,6 +282,10 @@ class WorkerPool:
         if self._fabric is not None:
             self._fabric.close(unlink=True)
             self._fabric = None
+        if self._collector is not None:
+            self._collector.merge_into(self.tel)
+            self._ring.close(unlink=True)
+            self._ring, self._collector = None, None
 
     def __enter__(self) -> "WorkerPool":
         return self

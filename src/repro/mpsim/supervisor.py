@@ -53,6 +53,7 @@ from repro.mpsim.errors import (
     UnrecoverableError,
 )
 from repro.mpsim.stats import WorldStats
+from repro.telemetry.collector import resolve
 
 __all__ = ["Supervisor", "RecoveryEvent"]
 
@@ -99,6 +100,12 @@ class Supervisor:
     recover_on:
         Exception types that trigger recovery; anything else propagates
         immediately.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`.  Each attempt gets an
+        ``attempt`` span, each recovery a timeline mark (with the superstep
+        resumed from) and a ``supervisor_recoveries_total`` increment, and
+        checkpoint reloads a ``checkpoint.load`` span — so a crashed-and-
+        recovered run renders as one continuous annotated trace.
 
     Examples
     --------
@@ -129,6 +136,7 @@ class Supervisor:
         backoff: float = 1.0,
         backoff_factor: float = 2.0,
         recover_on: tuple[type[BaseException], ...] = (RankFailure, DeadlockError),
+        telemetry: Any = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -139,6 +147,7 @@ class Supervisor:
         self.backoff = backoff
         self.backoff_factor = backoff_factor
         self.recover_on = recover_on
+        self.tel = resolve(telemetry)
         #: RecoveryEvents of the most recent :meth:`run`
         self.recoveries: list[RecoveryEvent] = []
         #: checkpoint files skipped as corrupt during the most recent run
@@ -166,13 +175,14 @@ class Supervisor:
 
         while True:
             try:
-                stats = engine.run(
-                    programs,
-                    checkpointer=self.checkpointer,
-                    initial_inboxes=inboxes,
-                    tracer=tracer,
-                    fault_plan=fault_plan,
-                )
+                with self.tel.span("attempt", cat="run", tid=-1, attempt=attempt + 1):
+                    stats = engine.run(
+                        programs,
+                        checkpointer=self.checkpointer,
+                        initial_inboxes=inboxes,
+                        tracer=tracer,
+                        fault_plan=fault_plan,
+                    )
             except self.recover_on as exc:
                 attempt += 1
                 if attempt > self.max_retries:
@@ -183,7 +193,8 @@ class Supervisor:
                         last_error=exc,
                     ) from exc
                 delay = self.backoff * self.backoff_factor ** (attempt - 1)
-                data, used = self._pick_checkpoint(tried_supersteps)
+                with self.tel.span("checkpoint.load", cat="checkpoint", tid=-1):
+                    data, used = self._pick_checkpoint(tried_supersteps)
                 if data is None:
                     # nothing usable on disk: replay from the beginning
                     engine = self.engine_factory()
@@ -208,13 +219,19 @@ class Supervisor:
                         attempt, data.supersteps, delay, repr(exc), str(used)
                     )
                 self.recoveries.append(event)
+                label = (
+                    f"recovery #{attempt} from "
+                    + ("scratch" if event.checkpoint is None else event.checkpoint)
+                    + f" (+{delay:g}s backoff)"
+                )
                 if tracer is not None and hasattr(tracer, "mark"):
-                    tracer.mark(
-                        event.superstep,
-                        f"recovery #{attempt} from "
-                        + ("scratch" if event.checkpoint is None else event.checkpoint)
-                        + f" (+{delay:g}s backoff)",
-                    )
+                    tracer.mark(event.superstep, label)
+                if self.tel.enabled:
+                    self.tel.mark(label, superstep=event.superstep)
+                    self.tel.counter(
+                        "supervisor_recoveries_total",
+                        "recovery attempts the supervisor performed",
+                    ).inc(scratch=event.checkpoint is None)
                 continue
             break
 

@@ -133,3 +133,83 @@ class Tracer:
             "min_utilisation": float(util.min()) if util.size else 1.0,
             "total_barrier_wait": float(self.barrier_wait().sum()),
         }
+
+    def to_chrome_trace(self, path: str | None = None) -> dict:
+        """Render the virtual-time timeline as Chrome trace-event JSON.
+
+        Emits the same schema the real engines' wall-clock telemetry uses
+        (``tid`` = rank, ``cat`` = ``compute``/``barrier``), with *virtual*
+        seconds on the time axis: each superstep occupies the interval the
+        engine charged it (its slowest rank), a rank's own busy time is a
+        ``compute`` span and the remainder a ``barrier`` span — so
+        ``repro inspect`` and ``chrome://tracing`` show simulated and real
+        runs identically, units aside.  Marks become instant events.
+        """
+        from repro.telemetry.export import chrome_trace, write_chrome_trace
+
+        t = self.times
+        events: list[dict] = []
+        step_starts: list[float] = []
+        clock = 0.0
+        for step in range(t.shape[0] if t.size else 0):
+            step_starts.append(clock)
+            peak = float(t[step].max())
+            for rank in range(t.shape[1]):
+                busy = float(t[step, rank])
+                events.append(
+                    {
+                        "name": "compute",
+                        "cat": "compute",
+                        "ph": "X",
+                        "ts": clock * 1e6,
+                        "dur": busy * 1e6,
+                        "pid": 0,
+                        "tid": rank,
+                        "args": {
+                            "superstep": step + 1,
+                            "records": float(self._records[step][rank]),
+                        },
+                    }
+                )
+                if peak > busy:
+                    events.append(
+                        {
+                            "name": "barrier.wait",
+                            "cat": "barrier",
+                            "ph": "X",
+                            "ts": (clock + busy) * 1e6,
+                            "dur": (peak - busy) * 1e6,
+                            "pid": 0,
+                            "tid": rank,
+                            "args": {"superstep": step + 1},
+                        }
+                    )
+            clock += peak
+        for superstep, label in self.marks:
+            idx = max(0, min(int(superstep) - 1, len(step_starts) - 1))
+            ts = step_starts[idx] if step_starts else 0.0
+            events.append(
+                {
+                    "name": label,
+                    "cat": "mark",
+                    "ph": "i",
+                    "ts": ts * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "s": "g",
+                    "args": {"superstep": int(superstep), "mark": True},
+                }
+            )
+        events.sort(key=lambda e: e["ts"])
+        trace = chrome_trace(
+            events=events,
+            metadata={
+                "source": "tracer",
+                "time_axis": "virtual_seconds",
+                "dropped_events": 0,
+                "marks": [[s, label] for s, label in self.marks],
+            },
+        )
+        if path is not None:
+            write_chrome_trace(path, trace)
+        return trace

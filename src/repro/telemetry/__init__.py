@@ -1,0 +1,77 @@
+"""repro.telemetry — cross-process metrics, spans, and trace export.
+
+The repo's unified observability subsystem.  The paper's evaluation is
+built on per-rank load and message accounting (Section 4.6, Figure 7);
+related generators report that communication *imbalance*, not compute, is
+what kills scaling — so this package makes every engine's time visible:
+
+* :mod:`~repro.telemetry.metrics` — label-aware Counters / Gauges /
+  Histograms in a :class:`MetricsRegistry` that snapshots and merges like
+  :class:`~repro.mpsim.stats.WorldStats`;
+* :mod:`~repro.telemetry.spans` — nestable wall-clock spans with a
+  zero-overhead no-op path when telemetry is disabled;
+* :mod:`~repro.telemetry.ringbuf` — a fixed-slot shared-memory event ring
+  with drop-oldest-and-count semantics, so mp workers publish without ever
+  blocking the hot path;
+* :mod:`~repro.telemetry.collector` — the :class:`Telemetry` facade and
+  the coordinator-side drain that merges worker data into one run record,
+  surviving worker crashes mid-run;
+* :mod:`~repro.telemetry.export` — Chrome trace-event JSON, Prometheus
+  text exposition, JSONL run records, and the ``repro inspect`` summary.
+
+Quick start::
+
+    from repro import Telemetry, generate
+
+    tel = Telemetry()
+    result = generate(n=100_000, ranks=8, seed=42, engine="mp", telemetry=tel)
+    tel.to_chrome_trace("run.trace.json")     # open in chrome://tracing
+    print(tel.to_prometheus())                # scrapeable metrics
+
+or from the CLI::
+
+    repro-pa generate -n 100000 -P 8 --engine mp --trace-out run.trace.json
+    repro-pa inspect run.trace.json
+
+See ``docs/observability.md`` for the subsystem design.
+"""
+
+from repro.telemetry.collector import (
+    NOOP_TELEMETRY,
+    NullTelemetry,
+    RingCollector,
+    Telemetry,
+)
+from repro.telemetry.export import (
+    append_jsonl,
+    chrome_trace,
+    inspect_summary,
+    load_chrome_trace,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.ringbuf import EventRing
+from repro.telemetry.spans import Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "EventRing",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TELEMETRY",
+    "NullTelemetry",
+    "RingCollector",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "append_jsonl",
+    "chrome_trace",
+    "inspect_summary",
+    "load_chrome_trace",
+    "prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,284 @@
+"""Label-aware metric primitives: Counters, Gauges, Histograms.
+
+The paper's whole evaluation (Section 4.6, Figure 7) is counter data — nodes,
+requests sent, requests received, per rank — and the repo already aggregates
+those through :class:`~repro.mpsim.stats.WorldStats`.  This module is the
+generalisation that every *other* subsystem can use: a
+:class:`MetricsRegistry` holds named metrics, each metric holds one value per
+label set, and registries built independently (one per worker process) can
+be :meth:`~MetricsRegistry.merge`\\ d into a single world view exactly like
+``WorldStats`` rows are.
+
+Design constraints, in order:
+
+1. **Snapshot/merge round-trips.**  ``registry.snapshot()`` is a plain
+   picklable dict; ``merge(snapshot)`` folds it into another registry with
+   type-appropriate semantics (counters and histograms add, gauges
+   last-write-wins).  Cross-process aggregation ships *cumulative* snapshots
+   — re-merging a newer snapshot from the same source must not double-count,
+   so the collector keeps latest-per-source and merges once (see
+   :mod:`repro.telemetry.collector`).
+2. **Cheap on the hot path.**  ``Counter.inc`` with no labels is one dict
+   add.  Labelled access hashes a tuple of the label values.
+3. **No dependencies.**  Exposition formats live in
+   :mod:`repro.telemetry.export`, not here.
+
+Examples
+--------
+>>> reg = MetricsRegistry()
+>>> c = reg.counter("records_sent_total", "records shipped to peers")
+>>> c.inc(10, rank=0)
+>>> c.inc(5, rank=1)
+>>> h = reg.histogram("barrier_wait_s", "seconds stalled at the barrier")
+>>> h.observe(0.004, rank=0)
+>>> other = MetricsRegistry()
+>>> other.counter("records_sent_total", "records shipped to peers").inc(7, rank=0)
+>>> reg.merge(other.snapshot())
+>>> int(reg.counter("records_sent_total").value(rank=0))
+17
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured: from 10us to
+#: ~2 minutes, roughly x4 per step) — chosen to bracket both a fast superstep
+#: and a pathological barrier stall.
+DEFAULT_BUCKETS = (
+    1e-5, 4e-5, 1.6e-4, 6.4e-4, 2.56e-3, 1.024e-2,
+    4.096e-2, 0.16384, 0.65536, 2.62144, 10.48576, 41.94304, 128.0,
+)
+
+#: The empty label set — the common fast path.
+_NO_LABELS: tuple = ()
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple:
+    """Canonical hashable key for a label mapping (sorted by name)."""
+    if not labels:
+        return _NO_LABELS
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Shared plumbing: a name, a help string, and per-label-set storage."""
+
+    kind = "metric"
+
+    __slots__ = ("name", "help", "_values")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[tuple, Any] = {}
+
+    def labelsets(self) -> list[tuple]:
+        """Every label key observed so far (sorted for determinism)."""
+        return sorted(self._values)
+
+    def _dump_values(self) -> dict[tuple, Any]:
+        return dict(self._values)
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum, one cell per label set."""
+
+    kind = "counter"
+    __slots__ = ()
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {value})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels: Any) -> float:
+        return float(self._values.get(_label_key(labels), 0.0))
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return float(sum(self._values.values()))
+
+    def _merge_cell(self, key: tuple, cell: float) -> None:
+        self._values[key] = self._values.get(key, 0.0) + cell
+
+
+class Gauge(_Metric):
+    """A point-in-time value; merge takes the most recently written cell."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, delta: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + delta
+
+    def value(self, **labels: Any) -> float:
+        return float(self._values.get(_label_key(labels), 0.0))
+
+    def _merge_cell(self, key: tuple, cell: float) -> None:
+        self._values[key] = cell  # last write wins
+
+
+class Histogram(_Metric):
+    """Bucketed observations with a running sum and count per label set.
+
+    Buckets are cumulative-style upper bounds (Prometheus semantics): an
+    observation lands in the first bucket whose bound is >= the value, with
+    an implicit ``+Inf`` bucket at the end.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets",)
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name} needs at least one bucket")
+
+    def _cell(self, key: tuple) -> dict:
+        cell = self._values.get(key)
+        if cell is None:
+            cell = {"counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0}
+            self._values[key] = cell
+        return cell
+
+    def observe(self, value: float, **labels: Any) -> None:
+        cell = self._cell(_label_key(labels))
+        cell["counts"][bisect.bisect_left(self.buckets, value)] += 1
+        cell["sum"] += value
+        cell["count"] += 1
+
+    def count(self, **labels: Any) -> int:
+        cell = self._values.get(_label_key(labels))
+        return int(cell["count"]) if cell else 0
+
+    def sum(self, **labels: Any) -> float:
+        cell = self._values.get(_label_key(labels))
+        return float(cell["sum"]) if cell else 0.0
+
+    def mean(self, **labels: Any) -> float:
+        cell = self._values.get(_label_key(labels))
+        if not cell or not cell["count"]:
+            return 0.0
+        return float(cell["sum"] / cell["count"])
+
+    def _merge_cell(self, key: tuple, cell: dict) -> None:
+        mine = self._cell(key)
+        counts = cell["counts"]
+        if len(counts) != len(mine["counts"]):
+            raise ValueError(
+                f"histogram {self.name}: bucket mismatch "
+                f"({len(counts)} vs {len(mine['counts'])} cells)"
+            )
+        for i, c in enumerate(counts):
+            mine["counts"][i] += c
+        mine["sum"] += cell["sum"]
+        mine["count"] += cell["count"]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with snapshot/merge aggregation.
+
+    One registry exists per *source* — the coordinator has one, every mp
+    worker has its own — and the collector folds worker snapshots into the
+    coordinator's registry the same way :class:`~repro.mpsim.stats.WorldStats`
+    adopts per-rank rows.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # -------------------------------------------------------------- creation
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, buckets)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"{name} is a {metric.kind}, not a histogram")
+        return metric
+
+    def _get_or_create(self, cls: type, name: str, help: str) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"{name} is a {metric.kind}, not a {cls.kind}")
+        return metric
+
+    # ------------------------------------------------------------- inventory
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # ----------------------------------------------------------- aggregation
+    def snapshot(self) -> dict:
+        """A plain, picklable, *cumulative* dump of every metric."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            entry: dict[str, Any] = {
+                "kind": m.kind,
+                "help": m.help,
+                "values": m._dump_values(),
+            }
+            if isinstance(m, Histogram):
+                entry["buckets"] = list(m.buckets)
+            out[name] = entry
+        return out
+
+    def merge(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold one snapshot in: counters/histograms add, gauges overwrite."""
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            if kind == "histogram":
+                metric = self.histogram(
+                    name, entry.get("help", ""), entry.get("buckets", DEFAULT_BUCKETS)
+                )
+            else:
+                metric = self._get_or_create(_KINDS[kind], name, entry.get("help", ""))
+            for key, cell in entry["values"].items():
+                metric._merge_cell(tuple(key), cell)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Mapping]) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge(snapshot)
+        return reg

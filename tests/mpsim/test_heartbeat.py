@@ -1,0 +1,81 @@
+"""Unit tests for the shared-memory heartbeat board."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.mpsim.heartbeat import Heartbeats
+
+
+def test_size_must_be_positive():
+    with pytest.raises(ValueError):
+        Heartbeats(0)
+    with pytest.raises(ValueError):
+        Heartbeats(-3)
+
+
+def test_never_beaten_rank_reports_none():
+    hb = Heartbeats(4)
+    for rank in range(4):
+        assert hb.last_superstep(rank) is None
+
+
+def test_beat_records_superstep_per_rank():
+    hb = Heartbeats(3)
+    hb.beat(0, 5)
+    hb.beat(2, 9)
+    assert hb.last_superstep(0) == 5
+    assert hb.last_superstep(1) is None
+    assert hb.last_superstep(2) == 9
+
+
+def test_beat_overwrites_previous_superstep():
+    hb = Heartbeats(1)
+    hb.beat(0, 1)
+    hb.beat(0, 2)
+    hb.beat(0, 7)
+    assert hb.last_superstep(0) == 7
+
+
+def test_superstep_zero_counts_as_beaten():
+    hb = Heartbeats(1)
+    hb.beat(0, 0)
+    assert hb.last_superstep(0) == 0
+
+
+def test_age_starts_small_and_grows_until_next_beat():
+    hb = Heartbeats(1)
+    assert hb.age(0) < 1.0  # freshly constructed counts as a beat
+    time.sleep(0.02)
+    stale = hb.age(0)
+    assert stale >= 0.02
+    hb.beat(0, 1)
+    assert hb.age(0) < stale
+
+
+def test_age_is_per_rank():
+    hb = Heartbeats(2)
+    time.sleep(0.02)
+    hb.beat(1, 3)
+    assert hb.age(0) >= 0.02
+    assert hb.age(1) < hb.age(0)
+
+
+def _child_beats(hb: Heartbeats, rank: int, superstep: int) -> None:
+    hb.beat(rank, superstep)
+
+
+def test_beats_cross_process_via_fork_inheritance():
+    # the board is created pre-fork and inherited, exactly as the mp
+    # backend uses it; the parent must observe the child's beat
+    hb = Heartbeats(2)
+    ctx = mp.get_context("fork")
+    proc = ctx.Process(target=_child_beats, args=(hb, 1, 42))
+    proc.start()
+    proc.join(timeout=10)
+    assert proc.exitcode == 0
+    assert hb.last_superstep(1) == 42
+    assert hb.last_superstep(0) is None

@@ -1,0 +1,175 @@
+"""End-to-end telemetry guarantees across every engine.
+
+The contract under test:
+
+1. **Observation-only.**  Generation output is bit-identical with telemetry
+   attached and without, on every engine and every mp exchange transport —
+   telemetry reads clocks and counters, never RNG state or messages.
+2. **Completeness.**  A real-process run yields a merged trace containing
+   every rank's lane plus the coordinator's, with compute / exchange /
+   barrier spans, and it passes the Chrome trace-event schema check.
+3. **Crash robustness.**  A supervised run that loses a worker to SIGKILL
+   still produces one continuous annotated trace: the victim's published
+   history survives, the recovery is marked, and ``inspect_summary``
+   renders it.
+"""
+
+import pytest
+
+from repro.core.generator import generate
+from repro.mpsim.faults import FaultPlan
+from repro.telemetry import Telemetry
+from repro.telemetry.export import inspect_summary, validate_chrome_trace
+
+
+def _edges(n=1_500, engine="bsp", seed=13, telemetry=None, **kw):
+    ranks = 1 if engine == "sequential" else 4
+    return generate(
+        n, ranks=ranks, seed=seed, engine=engine, telemetry=telemetry, **kw
+    ).edges
+
+
+# -------------------------------------------------------- observation-only
+@pytest.mark.parametrize("engine", ["bsp", "event", "sequential"])
+def test_output_bit_identical_with_telemetry_in_process(engine):
+    baseline = _edges(engine=engine)
+    tel = Telemetry()
+    observed = _edges(engine=engine, telemetry=tel)
+    assert observed == baseline
+    assert tel.spans.spans  # and telemetry actually recorded something
+
+
+@pytest.mark.parametrize("exchange", ["pickle", "shm", "p2p"])
+def test_output_bit_identical_with_telemetry_mp(exchange):
+    baseline = _edges(engine="mp", exchange=exchange)
+    tel = Telemetry()
+    observed = _edges(engine="mp", exchange=exchange, telemetry=tel)
+    assert observed == baseline
+    assert tel.spans.spans
+
+
+# ------------------------------------------------------------ completeness
+@pytest.mark.parametrize("exchange", ["pickle", "shm", "p2p"])
+def test_mp_trace_covers_every_lane_and_validates(exchange):
+    tel = Telemetry()
+    _edges(engine="mp", exchange=exchange, telemetry=tel)
+
+    trace = tel.to_chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    tids = {e["tid"] for e in trace["traceEvents"]}
+    assert {-1, 0, 1, 2, 3} <= tids  # all 4 ranks + the coordinator lane
+    cats = {e.get("cat") for e in trace["traceEvents"]}
+    assert {"compute", "exchange", "barrier", "run"} <= cats
+    assert tel.dropped_events == 0
+    assert tel.counter("mp_worker_supersteps_total").total() > 0
+    assert tel.meta["exchange"] == exchange
+    # the summary renders without error and names every lane
+    text = inspect_summary(trace)
+    for tid in (-1, 0, 1, 2, 3):
+        assert f"\n{tid:>6} " in text
+
+
+def test_bsp_superstep_spans_carry_virtual_time():
+    tel = Telemetry()
+    result = generate(2_000, ranks=4, seed=3, engine="bsp", telemetry=tel)
+    steps = [s for s in tel.spans.spans if s.name == "superstep"]
+    assert len(steps) == result.supersteps
+    virtual = sum(s.args["virtual_s"] for s in steps)
+    assert virtual == pytest.approx(result.simulated_time)
+    assert tel.gauge("bsp_simulated_time_seconds").value() == pytest.approx(
+        result.simulated_time
+    )
+
+
+def test_pool_runs_attach_telemetry_at_construction():
+    from repro.mpsim.pool import WorkerPool
+
+    baseline = _edges(engine="mp", exchange="p2p")
+    tel = Telemetry()
+    pool = WorkerPool(4, exchange="p2p", telemetry=tel)
+    try:
+        first = generate(1_500, ranks=4, seed=13, engine="mp", pool=pool).edges
+        second = generate(1_500, ranks=4, seed=13, engine="mp", pool=pool).edges
+    finally:
+        pool.close()
+    assert first == baseline and second == baseline
+    assert tel.counter("pool_jobs_total").value() == 2.0
+    jobs = [s for s in tel.spans.spans if s.name == "pool.job"]
+    assert [s.args["job"] for s in jobs] == [0, 1]
+
+
+def test_generate_refuses_telemetry_with_foreign_pool():
+    from repro.mpsim.pool import WorkerPool
+
+    pool = WorkerPool(2)
+    try:
+        with pytest.raises(ValueError, match="WorkerPool"):
+            generate(500, ranks=2, engine="mp", pool=pool, telemetry=Telemetry())
+    finally:
+        pool.close()
+
+
+# -------------------------------------------------------- crash robustness
+def test_crashed_and_recovered_run_yields_annotated_trace(tmp_path):
+    n, seed = 2_000, 11
+    baseline = _edges(n=n, engine="mp", seed=seed, exchange="shm")
+
+    tel = Telemetry()
+    plan = FaultPlan().crash(1, at_superstep=3)
+    result = generate(
+        n, ranks=4, seed=seed, engine="mp", exchange="shm",
+        fault_plan=plan, checkpoint_dir=str(tmp_path),
+        barrier_timeout=30.0, telemetry=tel,
+    )
+    assert result.edges == baseline  # recovery is still bit-exact, observed
+    assert len(result.recoveries) == 1
+
+    # the recovery is on the timeline as a mark and in the metrics
+    assert any("recovery #1" in label for _, label in tel.marks)
+    assert tel.counter("supervisor_recoveries_total").total() == 1.0
+    attempts = [s for s in tel.spans.spans if s.name == "attempt"]
+    assert [s.args["attempt"] for s in attempts] == [1, 2]
+    assert tel.counter("checkpoint_snapshots_total").total() > 0
+
+    # the merged trace holds both attempts' worker spans and validates
+    trace = tel.to_chrome_trace(tmp_path / "crash.json")
+    assert validate_chrome_trace(trace) == []
+    assert {-1, 0, 1, 2, 3} <= {e["tid"] for e in trace["traceEvents"]}
+    marks = [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+    assert any("recovery #1" in e["name"] for e in marks)
+
+    text = inspect_summary(trace)
+    assert "recovery #1" in text
+
+
+# ------------------------------------------------- simulated-engine bridge
+def test_tracer_to_chrome_trace_matches_schema(tmp_path):
+    from repro.core.parallel_pa import PAx1RankProgram
+    from repro.core.partitioning import make_partition
+    from repro.mpsim.bsp import BSPEngine
+    from repro.mpsim.trace import Tracer
+    from repro.rng import StreamFactory
+
+    part = make_partition("rrp", 600, 4)
+    factory = StreamFactory(0)
+    programs = [PAx1RankProgram(r, part, 0.5, factory.stream(r)) for r in range(4)]
+    tracer = Tracer()
+    engine = BSPEngine(4)
+    engine.run(programs, tracer=tracer)
+    tracer.mark(2, "synthetic mark")
+
+    trace = tracer.to_chrome_trace(tmp_path / "virtual.json")
+    assert validate_chrome_trace(trace) == []
+    assert (tmp_path / "virtual.json").exists()
+    assert trace["metadata"]["time_axis"] == "virtual_seconds"
+
+    events = trace["traceEvents"]
+    computes = [e for e in events if e["cat"] == "compute"]
+    assert len(computes) == engine.supersteps * 4
+    # virtual time is conserved: total compute lane time per rank sums to
+    # that rank's busy time, and the peak envelope equals simulated_time
+    total_peak = max(e["ts"] + e["dur"] for e in events if e["ph"] == "X") / 1e6
+    assert total_peak == pytest.approx(engine.simulated_time)
+    assert any(e["ph"] == "i" and e["name"] == "synthetic mark" for e in events)
+    # the same summariser reads virtual traces
+    assert "barrier wait" in inspect_summary(trace)

@@ -1,0 +1,152 @@
+"""Unit tests for the label-aware metric primitives."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ----------------------------------------------------------------- counters
+def test_counter_inc_and_value():
+    c = Counter("reqs_total")
+    c.inc()
+    c.inc(4)
+    assert c.value() == 5.0
+
+
+def test_counter_labels_are_independent_cells():
+    c = Counter("reqs_total")
+    c.inc(2, rank=0)
+    c.inc(3, rank=1)
+    c.inc(5)
+    assert c.value(rank=0) == 2.0
+    assert c.value(rank=1) == 3.0
+    assert c.value() == 5.0
+    assert c.total() == 10.0
+
+
+def test_counter_label_order_does_not_matter():
+    c = Counter("x")
+    c.inc(1, a=1, b=2)
+    c.inc(1, b=2, a=1)
+    assert c.value(a=1, b=2) == 2.0
+
+
+def test_counter_rejects_negative():
+    c = Counter("x")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_unobserved_labelset_reads_zero():
+    assert Counter("x").value(rank=9) == 0.0
+
+
+# ------------------------------------------------------------------- gauges
+def test_gauge_set_add_value():
+    g = Gauge("depth")
+    g.set(3.0)
+    g.add(2.0)
+    assert g.value() == 5.0
+    g.set(1.0, rank=2)
+    assert g.value(rank=2) == 1.0
+
+
+# --------------------------------------------------------------- histograms
+def test_histogram_observe_count_sum_mean():
+    h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count() == 4
+    assert h.sum() == pytest.approx(55.55)
+    assert h.mean() == pytest.approx(55.55 / 4)
+
+
+def test_histogram_empty_cell_reads_zero():
+    h = Histogram("lat")
+    assert h.count() == 0
+    assert h.sum() == 0.0
+    assert h.mean() == 0.0
+
+
+def test_histogram_requires_buckets():
+    with pytest.raises(ValueError):
+        Histogram("lat", buckets=())
+
+
+# ----------------------------------------------------------------- registry
+def test_registry_get_or_create_is_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("n", "help")
+    b = reg.counter("n")
+    assert a is b
+    assert len(reg) == 1
+    assert "n" in reg
+    assert reg.names() == ["n"]
+
+
+def test_registry_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("n")
+    with pytest.raises(TypeError):
+        reg.gauge("n")
+    with pytest.raises(TypeError):
+        reg.histogram("n")
+
+
+def test_snapshot_is_picklable_and_cumulative():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2, rank=0)
+    reg.gauge("g").set(7.0)
+    reg.histogram("h").observe(0.01)
+    snap = pickle.loads(pickle.dumps(reg.snapshot()))
+    rebuilt = MetricsRegistry.from_snapshot(snap)
+    assert rebuilt.counter("c").value(rank=0) == 2.0
+    assert rebuilt.gauge("g").value() == 7.0
+    assert rebuilt.histogram("h").count() == 1
+
+
+def test_merge_semantics_counters_add_gauges_overwrite():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c").inc(2, rank=0)
+    b.counter("c").inc(3, rank=0)
+    a.gauge("g").set(1.0)
+    b.gauge("g").set(9.0)
+    a.histogram("h").observe(0.5)
+    b.histogram("h").observe(0.5)
+    a.merge(b.snapshot())
+    assert a.counter("c").value(rank=0) == 5.0
+    assert a.gauge("g").value() == 9.0  # last write wins
+    assert a.histogram("h").count() == 2
+    assert a.histogram("h").sum() == pytest.approx(1.0)
+
+
+def test_merging_same_cumulative_snapshot_twice_double_counts():
+    # this is WHY the collector keeps latest-per-source: merge() itself is
+    # additive, deduplication is the caller's job
+    a, b = MetricsRegistry(), MetricsRegistry()
+    b.counter("c").inc(3)
+    snap = b.snapshot()
+    a.merge(snap)
+    a.merge(snap)
+    assert a.counter("c").value() == 6.0
+
+
+def test_merge_histogram_bucket_mismatch_raises():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("h", buckets=(1.0, 2.0))
+    b.histogram("h", buckets=(1.0, 2.0, 3.0)).observe(0.5)
+    with pytest.raises(ValueError):
+        a.merge(b.snapshot())
+
+
+def test_default_buckets_are_sorted_and_cover_wide_range():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert DEFAULT_BUCKETS[0] <= 1e-4 and DEFAULT_BUCKETS[-1] >= 60.0

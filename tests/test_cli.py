@@ -158,3 +158,40 @@ class TestAnalyze:
         rc = main(["generate", "-n", "500", "-x", "2", "-P", "4",
                    "--scheme", "ecp", "--seed", "8", "--validate"])
         assert rc == 0
+
+
+class TestTelemetryCLI:
+    def test_trace_and_metrics_out_then_inspect(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        prom = tmp_path / "run.prom"
+        rc = main(["generate", "-n", "1500", "-P", "4", "--engine", "mp",
+                   "--seed", "5", "--trace-out", str(trace),
+                   "--metrics-out", str(prom)])
+        assert rc == 0
+        cap = capsys.readouterr().out
+        assert "wrote trace" in cap and "wrote metrics" in cap
+
+        from repro.telemetry.export import load_chrome_trace, validate_chrome_trace
+
+        assert validate_chrome_trace(load_chrome_trace(trace)) == []
+        assert "mp_supersteps_total" in prom.read_text()
+
+        rc = main(["inspect", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lane" in out and "barrier" in out
+
+    def test_trace_out_with_pool(self, tmp_path, capsys):
+        trace = tmp_path / "pool.trace.json"
+        rc = main(["generate", "-n", "1000", "-P", "4", "--engine", "mp",
+                   "--exchange", "p2p", "--pool", "--seed", "5",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        from repro.telemetry.export import load_chrome_trace, validate_chrome_trace
+
+        assert validate_chrome_trace(load_chrome_trace(trace)) == []
+
+    def test_plain_generate_records_no_telemetry(self, capsys):
+        rc = main(["generate", "-n", "200", "-P", "2", "--seed", "1"])
+        assert rc == 0
+        assert "wrote trace" not in capsys.readouterr().out
