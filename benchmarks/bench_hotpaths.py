@@ -83,6 +83,7 @@ SCALES = {
         mp_records=20_000, mp_rounds=5, mp_P=8,
         endtoend_n=50_000, pool_n=5_000, pool_jobs=5,
         telemetry_n=50_000,
+        sched_n=200, sched_schedules=8,
     ),
     "ci": dict(
         general_n=200_000, x1_n=200_000, ptr_n=500_000,
@@ -90,6 +91,7 @@ SCALES = {
         mp_records=50_000, mp_rounds=10, mp_P=8,
         endtoend_n=200_000, pool_n=10_000, pool_jobs=5,
         telemetry_n=200_000,
+        sched_n=300, sched_schedules=16,
     ),
     "full": dict(
         general_n=200_000, x1_n=1_000_000, ptr_n=2_000_000,
@@ -99,6 +101,7 @@ SCALES = {
         mp_records=50_000, mp_rounds=20, mp_P=8,
         endtoend_n=1_000_000, pool_n=20_000, pool_jobs=5,
         telemetry_n=500_000,
+        sched_n=300, sched_schedules=64,
     ),
 }
 
@@ -324,6 +327,34 @@ def case_telemetry_overhead(sizes, repeats):
     }
 
 
+def case_sched_explore(sizes, repeats):
+    """Throughput of the interleaving fuzzer (schedules per second).
+
+    Exploration is meant to run as a bounded CI sweep, so its cost per
+    schedule — a full permuted generation plus outcome hashing — is a
+    tracked quantity: a regression here silently shrinks how much of the
+    schedule space the same CI budget covers.
+    """
+    from repro.schedsim import explore
+
+    n, k = sizes["sched_n"], sizes["sched_schedules"]
+    out = {}
+    for engine in ("bsp", "event"):
+        config = {"n": n, "x": X, "ranks": sizes["bsp_P"], "scheme": "ecp",
+                  "seed": SEED, "engine": engine}
+
+        def sweep():
+            report = explore(config, policy="random", schedules=k)
+            assert report.ok, f"divergence in benchmark sweep: {engine}"
+
+        t = best_of(repeats, sweep)
+        out[engine] = {
+            "n": n, "x": X, "schedules": k,
+            "seconds": t, "schedules_per_s": k / t,
+        }
+    return out
+
+
 CASES = {
     "copy_model_general": case_copy_model_general,
     "copy_model_x1": case_copy_model_x1,
@@ -333,6 +364,7 @@ CASES = {
     "mp_endtoend": case_mp_endtoend,
     "mp_pool": case_mp_pool,
     "telemetry_overhead": case_telemetry_overhead,
+    "sched_explore": case_sched_explore,
 }
 
 

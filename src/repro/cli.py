@@ -16,11 +16,16 @@ Subcommands
 ``inspect``
     Per-rank utilisation / barrier-wait summary of a Chrome trace written
     by ``generate --trace-out``.
+``explore``
+    Schedule-space fuzzing: sweep seeded message-delivery/activation
+    schedules, assert the graph is schedule-invariant, shrink and dump any
+    failing schedule, and ``--replay`` dumped artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -76,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock bound (s) on the --exchange p2p barrier; "
                         "dead ranks are detected much faster via sentinels, "
                         "this only catches wedged-but-alive ones")
+    g.add_argument("--liveness-poll", type=float, default=0.25,
+                   help="--engine mp: how often (s) the coordinator re-arms "
+                        "its wait on worker pipes to check for silent deaths")
     g.add_argument("--trace-out", type=Path, default=None,
                    help="record telemetry and write a Chrome trace-event "
                         "JSON here (open in chrome://tracing / Perfetto, "
@@ -145,6 +153,38 @@ def build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("inspect", help="summarize a Chrome trace from --trace-out")
     i.add_argument("path", type=Path, help="trace JSON written by generate --trace-out")
 
+    e = sub.add_parser(
+        "explore",
+        help="fuzz message-delivery schedules and assert the graph is invariant",
+    )
+    e.add_argument("-n", "--nodes", type=int, default=300)
+    e.add_argument("-x", "--edges-per-node", type=int, default=1)
+    e.add_argument("-p", "--prob", type=float, default=0.5)
+    e.add_argument("-P", "--ranks", type=int, default=4)
+    e.add_argument("--scheme", choices=["ucp", "lcp", "rrp", "ecp"], default="ecp")
+    e.add_argument("--engine", choices=["bsp", "event"], default="bsp",
+                   help="in-process engine whose choice points are permuted")
+    e.add_argument("--seed", type=int, default=0, help="generator seed under test")
+    e.add_argument("--policy", choices=["random", "priority", "straggler", "dpor"],
+                   default="random", help="schedule policy driving the sweep")
+    e.add_argument("--schedules", type=int, default=64,
+                   help="schedules to explore (unique classes under --policy dpor)")
+    e.add_argument("--policy-seed", type=int, default=0,
+                   help="root seed the per-trial policy seeds derive from")
+    e.add_argument("--crash-rank", type=int, default=None,
+                   help="compose a FaultPlan crash of this rank into the sweep")
+    e.add_argument("--crash-superstep", type=int, default=None,
+                   help="crash superstep (--engine bsp)")
+    e.add_argument("--crash-time", type=float, default=None,
+                   help="crash virtual time in seconds (--engine event)")
+    e.add_argument("--watchdog-factor", type=int, default=10,
+                   help="no-progress budget = max(1000, factor x baseline ticks)")
+    e.add_argument("--artifact-dir", type=Path, default=None,
+                   help="dump shrunk failing-schedule artifacts here")
+    e.add_argument("--replay", type=Path, default=None,
+                   help="re-run a dumped failing-schedule artifact instead of "
+                        "sweeping (all other options are read from the file)")
+
     return parser
 
 
@@ -175,7 +215,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         from repro.mpsim.pool import WorkerPool
 
         pool = WorkerPool(args.ranks, exchange=args.exchange,
-                          barrier_timeout=args.barrier_timeout, telemetry=tel)
+                          barrier_timeout=args.barrier_timeout, telemetry=tel,
+                          liveness_poll=args.liveness_poll)
     t0 = time.perf_counter()
     try:
         result = generate(
@@ -195,6 +236,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             fault_seed=args.inject_faults,
             max_retries=args.max_retries,
             barrier_timeout=args.barrier_timeout,
+            liveness_poll=args.liveness_poll,
             # a pooled run attaches telemetry to the pool at fork time
             # (generate() refuses telemetry= alongside pool=)
             telemetry=None if pool is not None else tel,
@@ -246,9 +288,92 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.telemetry.export import inspect_summary, load_chrome_trace
 
-    trace = load_chrome_trace(args.path)
+    try:
+        trace = load_chrome_trace(args.path)
+    except FileNotFoundError:
+        print(f"inspect: no such trace file: {args.path}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"inspect: {args.path} is not valid trace JSON: {exc}", file=sys.stderr)
+        return 1
     print(inspect_summary(trace))
     return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.schedsim import explore, replay
+
+    if args.replay is not None:
+        try:
+            res = replay(str(args.replay))
+        except FileNotFoundError:
+            print(f"explore: no such artifact: {args.replay}", file=sys.stderr)
+            return 1
+        except (json.JSONDecodeError, ValueError) as exc:
+            print(f"explore: cannot replay {args.replay}: {exc}", file=sys.stderr)
+            return 1
+        out = res.outcome
+        print(f"replayed {args.replay}: "
+              f"digest={out.digest[:12] if out.digest else None} error={out.error}")
+        if res.reproduced:
+            print("reproduced: the replay matches the artifact's recorded outcome"
+                  + (" (still diverges from baseline)" if res.diverges else ""))
+            return 0
+        print("NOT reproduced: replay outcome differs from the artifact's "
+              f"(expected digest={str(res.expected.get('digest'))[:12]} "
+              f"error={res.expected.get('error')})", file=sys.stderr)
+        return 1
+
+    config = {
+        "n": args.nodes,
+        "x": args.edges_per_node,
+        "p": args.prob,
+        "ranks": args.ranks,
+        "scheme": args.scheme,
+        "seed": args.seed,
+        "engine": args.engine,
+    }
+    if args.crash_rank is not None:
+        crash = {"rank": args.crash_rank}
+        if args.crash_superstep is not None:
+            crash["at_superstep"] = args.crash_superstep
+        if args.crash_time is not None:
+            crash["at_time"] = args.crash_time
+        if len(crash) == 1:
+            print("--crash-rank needs --crash-superstep or --crash-time",
+                  file=sys.stderr)
+            return 2
+        config["fault"] = {"crashes": [crash]}
+
+    t0 = time.perf_counter()
+    report = explore(
+        config,
+        policy=args.policy,
+        schedules=args.schedules,
+        policy_seed=args.policy_seed,
+        watchdog_factor=args.watchdog_factor,
+        artifact_dir=str(args.artifact_dir) if args.artifact_dir else None,
+    )
+    wall = time.perf_counter() - t0
+    base = report.baseline
+    base_desc = base.error or f"digest {base.digest[:12]}"
+    dedup = (f", {report.unique_classes} unique classes "
+             f"({report.deduped} deduped)" if report.unique_classes is not None else "")
+    print(f"explored {report.explored} {args.policy} schedules of "
+          f"{args.engine}/x={args.edges_per_node} in {wall:.2f}s "
+          f"(baseline: {base_desc}, watchdog budget {report.watchdog}{dedup})")
+    if report.ok:
+        print("all schedules agree with the baseline outcome")
+        return 0
+    for div in report.divergences:
+        out = div.outcome
+        what = out.error or f"digest {out.digest[:12]}"
+        where = f" -> {div.artifact}" if div.artifact else ""
+        print(f"DIVERGENT trial {div.trial} (policy seed {div.policy_seed}): "
+              f"{what}; {len(div.deviations)} deviations shrunk to "
+              f"{len(div.minimal)}{where}", file=sys.stderr)
+    print(f"{len(report.divergences)} divergent schedule(s) found", file=sys.stderr)
+    return 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -441,6 +566,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "campaign": _cmd_campaign,
     "inspect": _cmd_inspect,
+    "explore": _cmd_explore,
 }
 
 

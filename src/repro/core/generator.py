@@ -122,7 +122,9 @@ def generate(
     fault_seed: int | None = None,
     max_retries: int = 3,
     barrier_timeout: float = 120.0,
+    liveness_poll: float = 0.25,
     telemetry: Any = None,
+    schedule: Any = None,
 ) -> GenerationResult:
     """Generate a preferential-attachment network.
 
@@ -186,6 +188,17 @@ def generate(
         ``exchange="p2p"`` barrier.  Worker deaths are detected by the
         coordinator within one liveness poll and abort the barrier, so this
         only matters for organically wedged (not dead) ranks.
+    liveness_poll:
+        ``engine="mp"`` only: how often (seconds) the coordinator wakes from
+        waiting on worker pipes to check for silent worker deaths.  Lower
+        values detect ``SIGKILL``-ed workers faster at the cost of more
+        wakeups; the default (0.25 s) matches prior releases.
+    schedule:
+        Optional :class:`repro.schedsim.Schedule` permuting message delivery
+        and rank activation order (in-process ``bsp``/``event`` engines
+        only — the real-process backend's interleavings are the OS's to
+        make).  Used by ``repro-pa explore``; see
+        ``docs/schedule_exploration.md``.
     telemetry:
         Optional :class:`repro.telemetry.Telemetry`; the run's spans and
         metrics (across every engine, including mp worker processes) land on
@@ -210,6 +223,19 @@ def generate(
         from repro.mpsim.faults import FaultPlan
 
         plan = FaultPlan.chaos(fault_seed, ranks, crashes=1)
+
+    if schedule is not None:
+        if engine not in ("bsp", "event"):
+            raise ValueError(
+                "schedule= permutes the in-process engines' choice points; "
+                f"engine={engine!r} does not expose them (use 'bsp' or 'event')"
+            )
+        if checkpoint_dir is not None:
+            raise ValueError(
+                "schedule= cannot compose with supervised recovery: a "
+                "Schedule is single-use and a recovered re-run would replay "
+                "a half-consumed decision stream"
+            )
 
     tel = resolve(telemetry)
     if tel.enabled:
@@ -269,7 +295,8 @@ def generate(
 
         with tel.span("event.run", cat="run", tid=-1, n=n, x=x) as sp:
             edges, sim = run_event_driven_pa(
-                n, x, part, p=p, seed=seed, cost_model=cost_model, fault_injector=plan
+                n, x, part, p=p, seed=seed, cost_model=cost_model,
+                fault_injector=plan, schedule=schedule,
             )
             sp.note(virtual_total_s=sim.makespan)
         return GenerationResult(
@@ -295,6 +322,7 @@ def generate(
             n, x, p, part, seed, cost_model, exchange, pool, plan,
             checkpoint_path, checkpoint_every, checkpoint_dir,
             checkpoint_keep, max_retries, barrier_timeout, telemetry,
+            liveness_poll,
         )
 
     if engine != "bsp":
@@ -336,11 +364,13 @@ def generate(
         edges, eng, programs = run_parallel_pa_x1(
             n, part, p=p, seed=seed, cost_model=cost_model,
             checkpointer=checkpointer, fault_plan=plan, telemetry=telemetry,
+            schedule=schedule,
         )
     else:
         edges, eng, programs = run_parallel_pa(
             n, x, part, p=p, seed=seed, cost_model=cost_model,
             checkpointer=checkpointer, fault_plan=plan, telemetry=telemetry,
+            schedule=schedule,
         )
     return GenerationResult(
         edges=edges,
@@ -368,6 +398,7 @@ def _generate_mp(
     n, x, p, part, seed, cost_model, exchange, pool, plan,
     checkpoint_path=None, checkpoint_every=1, checkpoint_dir=None,
     checkpoint_keep=3, max_retries=3, barrier_timeout=120.0, telemetry=None,
+    liveness_poll=0.25,
 ):
     """Run the generation on the real-process backend (or a live pool).
 
@@ -424,6 +455,7 @@ def _generate_mp(
             lambda: MultiprocessingBSPEngine(
                 part.P, exchange=exchange, cost_model=cost_model,
                 barrier_timeout=barrier_timeout, telemetry=telemetry,
+                liveness_poll=liveness_poll,
             ),
             program_factory,
             checkpointer,
@@ -450,6 +482,7 @@ def _generate_mp(
         eng = MultiprocessingBSPEngine(
             part.P, exchange=exchange, cost_model=cost_model,
             barrier_timeout=barrier_timeout, telemetry=telemetry,
+            liveness_poll=liveness_poll,
         )
         eng.run(program_factory(), fault_plan=plan, checkpointer=checkpointer)
 

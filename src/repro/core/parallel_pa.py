@@ -238,6 +238,7 @@ def run_parallel_pa_x1(
     checkpointer=None,
     fault_plan=None,
     telemetry=None,
+    schedule=None,
 ) -> tuple[EdgeList, BSPEngine, list[PAx1RankProgram]]:
     """Generate an ``x = 1`` PA network on the BSP engine.
 
@@ -246,6 +247,9 @@ def run_parallel_pa_x1(
     request counters — Figure 7's data).  ``fault_plan`` injects faults
     without recovery (failures propagate); use
     :class:`repro.mpsim.supervisor.Supervisor` for supervised runs.
+    ``schedule`` (a :class:`repro.schedsim.Schedule`) permutes the engine's
+    activation and inbox-assembly order; the x=1 program is order-invariant,
+    so any schedule yields the identical edge list.
     """
     if partition.n != n:
         raise ValueError(f"partition covers n={partition.n}, requested n={n}")
@@ -259,7 +263,9 @@ def run_parallel_pa_x1(
         max_supersteps=max_supersteps,
         telemetry=telemetry,
     )
-    engine.run(programs, checkpointer=checkpointer, fault_plan=fault_plan)
+    engine.run(
+        programs, checkpointer=checkpointer, fault_plan=fault_plan, schedule=schedule
+    )
     edges = EdgeList(capacity=max(n - 1, 1))
     for prog in programs:
         t, f = prog.result()

@@ -67,7 +67,13 @@ class PAGeneralRankProgram:
     """One rank's state machine for Algorithm 3.2 (see module docstring)."""
 
     def __init__(
-        self, rank: int, partition: Partition, x: int, p: float, rng: np.random.Generator
+        self,
+        rank: int,
+        partition: Partition,
+        x: int,
+        p: float,
+        rng: np.random.Generator,
+        canonical_inbox: bool = True,
     ) -> None:
         if x < 1:
             raise ValueError(f"x must be >= 1, got {x}")
@@ -76,6 +82,13 @@ class PAGeneralRankProgram:
         self.x = x
         self.p = p
         self.rng = rng
+        # Sort each superstep's inbox by source rank before processing.  The
+        # program's intra-batch arbitration and retry draws depend on record
+        # order, so without this the result is a function of the exchange's
+        # delivery order; the stable sort restores a canonical order no matter
+        # how the transport interleaved senders.  ``False`` exposes the raw
+        # order — the injected bug the schedule fuzzer must catch.
+        self.canonical_inbox = canonical_inbox
         self.nodes = partition.partition_nodes(rank)
         self.F = np.full((len(self.nodes), x), -1, dtype=np.int64)
         self._started = False
@@ -119,6 +132,8 @@ class PAGeneralRankProgram:
         return EdgeList.from_arrays(u, v)
 
     def step(self, ctx: BSPRankContext, inbox) -> dict[int, list[np.ndarray]]:
+        if self.canonical_inbox and len(inbox) > 1:
+            inbox = sorted(inbox, key=lambda item: item[0])
         out: dict[int, list[np.ndarray]] = defaultdict(list)
         newly: list[np.ndarray] = []  # flat slot keys (tidx * x + e) assigned
 
@@ -327,6 +342,8 @@ def run_parallel_pa(
     checkpointer=None,
     fault_plan=None,
     telemetry=None,
+    schedule=None,
+    canonical_inbox: bool = True,
 ) -> tuple[EdgeList, BSPEngine, list[PAGeneralRankProgram]]:
     """Generate a PA network with ``x`` edges per node on the BSP engine.
 
@@ -334,6 +351,9 @@ def run_parallel_pa(
     ``requests_sent`` / ``requests_received`` counters feed Figure 7).
     ``fault_plan`` injects faults without recovery (failures propagate); use
     :class:`repro.mpsim.supervisor.Supervisor` for supervised runs.
+    ``schedule`` (a :class:`repro.schedsim.Schedule`) permutes activation and
+    inbox order; ``canonical_inbox=False`` disables the programs' defensive
+    inbox sort, exposing delivery order to the algorithm (fuzzer test knob).
     """
     if partition.n != n:
         raise ValueError(f"partition covers n={partition.n}, requested n={n}")
@@ -341,7 +361,9 @@ def run_parallel_pa(
         raise ValueError(f"need n > x, got n={n}, x={x}")
     factory = StreamFactory(seed)
     programs = [
-        PAGeneralRankProgram(r, partition, x, p, factory.stream(r))
+        PAGeneralRankProgram(
+            r, partition, x, p, factory.stream(r), canonical_inbox=canonical_inbox
+        )
         for r in range(partition.P)
     ]
     engine = BSPEngine(
@@ -350,7 +372,9 @@ def run_parallel_pa(
         max_supersteps=max_supersteps,
         telemetry=telemetry,
     )
-    engine.run(programs, checkpointer=checkpointer, fault_plan=fault_plan)
+    engine.run(
+        programs, checkpointer=checkpointer, fault_plan=fault_plan, schedule=schedule
+    )
     edges = EdgeList(capacity=max(n * x, 1))
     for prog in programs:
         u, v = prog.result()

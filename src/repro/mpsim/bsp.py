@@ -194,6 +194,7 @@ class BSPEngine:
         initial_inboxes: list[list[tuple[int, np.ndarray]]] | None = None,
         tracer: Any = None,
         fault_plan: Any = None,
+        schedule: Any = None,
     ) -> WorldStats:
         """Execute ``programs`` (one per rank) until global quiescence.
 
@@ -216,6 +217,13 @@ class BSPEngine:
             crashes surface as :class:`RankFailure`, message drops and
             duplications are applied at exchange time, and straggler ranks
             have their per-step time inflated.
+        schedule:
+            Optional :class:`repro.schedsim.Schedule`.  Each superstep's
+            rank activation order and each destination's inbox assembly
+            order become explicit choice points (canonical order first, so
+            a baseline schedule reproduces the unscheduled run bit-exactly),
+            and the schedule's bounded-progress watchdog ticks once per
+            superstep, resetting whenever the global done-count rises.
         """
         if len(programs) != self.size:
             raise MPSimError(
@@ -233,6 +241,7 @@ class BSPEngine:
             inboxes = [[] for _ in range(self.size)]
         pending = True  # force at least one step so programs can initialise
         quiet_steps = 0
+        done_prev = 0
 
         while pending:
             if self.supersteps >= self.max_supersteps:
@@ -253,7 +262,12 @@ class BSPEngine:
             any_traffic = False
             any_work = False
 
-            for rank, prog in enumerate(programs):
+            rank_order: Sequence[int] = range(self.size)
+            if schedule is not None:
+                schedule.tick()
+                rank_order = schedule.permute("activation", list(range(self.size)))
+            for rank in rank_order:
+                prog = programs[rank]
                 if fault_plan is not None and fault_plan.should_crash(
                     rank, superstep=self.supersteps, time=self.simulated_time
                 ):
@@ -324,6 +338,17 @@ class BSPEngine:
                 rs.busy_time += t
                 step_times[rank] = t
                 step_records[rank] = out_records
+
+            if schedule is not None:
+                for dest, items in enumerate(next_inboxes):
+                    if len(items) > 1:
+                        tags = [((self.supersteps, dest), src) for src, _ in items]
+                        order = schedule.permute("inbox", tags)
+                        next_inboxes[dest] = [items[i] for i in order]
+                done_now = sum(1 for p in programs if p.done)
+                if done_now > done_prev:
+                    done_prev = done_now
+                    schedule.on_progress()
 
             virtual_step = float(step_times.max())
             self.simulated_time += virtual_step

@@ -5,6 +5,7 @@ from __future__ import annotations
 __all__ = [
     "MPSimError",
     "DeadlockError",
+    "LivelockError",
     "RankFailure",
     "InjectedFault",
     "InvalidRankError",
@@ -31,6 +32,23 @@ class DeadlockError(MPSimError):
     def __init__(self, message: str, blocked_ranks: tuple[int, ...] = ()) -> None:
         super().__init__(message)
         self.blocked_ranks = blocked_ranks
+
+
+class LivelockError(MPSimError):
+    """The schedule-exploration watchdog saw no progress for too long.
+
+    Raised by :class:`repro.schedsim.Schedule` when the engine keeps making
+    scheduling decisions (deliveries, supersteps) without any rank finishing
+    or any slot resolving for more than the configured budget of scheduler
+    steps — the bounded-progress definition of livelock.  True deadlocks
+    (nothing runnable at all) surface as :class:`DeadlockError` instead; this
+    error catches the complementary failure mode where the system spins.
+    """
+
+    def __init__(self, message: str, ticks: int = 0, budget: int = 0) -> None:
+        super().__init__(message)
+        self.ticks = ticks
+        self.budget = budget
 
 
 class RankFailure(MPSimError):

@@ -736,6 +736,7 @@ def _recv_all(
     fault_plan: Any = None,
     on_shard: Callable[[int, int, str], None] | None = None,
     tick: Callable[[], Any] | None = None,
+    liveness_poll: float = _LIVENESS_POLL,
 ) -> dict[int, tuple]:
     """Collect exactly one reply per worker, draining in *arrival* order.
 
@@ -780,7 +781,7 @@ def _recv_all(
         if tick is not None:
             tick()
         sentinels = {procs[r].sentinel: r for r in pending.values()}
-        ready = _mpc.wait(list(pending) + list(sentinels), timeout=_LIVENESS_POLL)
+        ready = _mpc.wait(list(pending) + list(sentinels), timeout=liveness_poll)
         for conn in [c for c in ready if c in pending]:
             rank = pending[conn]
             try:
@@ -890,6 +891,7 @@ def _drive_job(
     sim0: float = 0.0,
     collector: RingCollector | None = None,
     tel: Any = NOOP_TELEMETRY,
+    liveness_poll: float = _LIVENESS_POLL,
 ) -> tuple[list[Any], list[dict], int, float]:
     """Parent side of one job, shared by the engine and the worker pool.
 
@@ -931,7 +933,8 @@ def _drive_job(
         # (and commit checkpoint cuts as their shard notifications arrive)
         with tel.span("job.collect", cat="run", tid=-1):
             msgs = _recv_all(
-                parents, procs, fabric, heartbeats, fault_plan, _on_shard, tick
+                parents, procs, fabric, heartbeats, fault_plan, _on_shard, tick,
+                liveness_poll,
             )
         _raise_job_errors(msgs)
         supersteps = step0
@@ -967,7 +970,10 @@ def _drive_job(
                 fabric, heartbeats, fault_plan,
             )
         shard_req = None
-        msgs = _recv_all(parents, procs, None, heartbeats, fault_plan, _on_shard, tick)
+        msgs = _recv_all(
+            parents, procs, None, heartbeats, fault_plan, _on_shard, tick,
+            liveness_poll,
+        )
         _raise_job_errors(msgs)
         next_inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
         any_traffic = False
@@ -1004,7 +1010,9 @@ def _drive_job(
 
     for rank, conn in enumerate(parents):
         _safe_send(conn, rank, (_STOP, None), fabric, heartbeats, fault_plan)
-    msgs = _recv_all(parents, procs, None, heartbeats, fault_plan, _on_shard, tick)
+    msgs = _recv_all(
+        parents, procs, None, heartbeats, fault_plan, _on_shard, tick, liveness_poll
+    )
     # a worker may fail *during* final collection (e.g. its ``result()``
     # raises); surface that as a RankFailure like any mid-run crash
     _raise_job_errors(msgs)
@@ -1124,15 +1132,19 @@ class MultiprocessingBSPEngine:
         mailbox_slot_bytes: int = 8192,
         barrier_timeout: float = 120.0,
         telemetry: Any = None,
+        liveness_poll: float = _LIVENESS_POLL,
     ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
+        if liveness_poll <= 0:
+            raise ValueError(f"liveness_poll must be positive, got {liveness_poll}")
         self.size = size
         self.max_supersteps = max_supersteps
         self.exchange = _normalise_exchange(exchange)
         self.cost = cost_model or CostModel()
         self.mailbox_slot_bytes = mailbox_slot_bytes
         self.barrier_timeout = barrier_timeout
+        self.liveness_poll = liveness_poll
         self.stats = WorldStats.for_size(size)
         self.results: list[Any] = []
         self.telemetry: list[dict] = []
@@ -1246,6 +1258,7 @@ class MultiprocessingBSPEngine:
                     shard_dir=shard_dir, cost=self.cost,
                     step0=self.supersteps, sim0=self.simulated_time,
                     collector=collector, tel=self.tel,
+                    liveness_poll=self.liveness_poll,
                 )
             self.results, self.telemetry = results, telemetry
             steps_this_job = supersteps - self.supersteps

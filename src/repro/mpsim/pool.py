@@ -84,13 +84,17 @@ class WorkerPool:
         mailbox_slot_bytes: int = 8192,
         barrier_timeout: float = 120.0,
         telemetry: Any = None,
+        liveness_poll: float = 0.25,
     ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
+        if liveness_poll <= 0:
+            raise ValueError(f"liveness_poll must be positive, got {liveness_poll}")
         self.size = size
         self.exchange = _normalise_exchange(exchange)
         self.max_supersteps = max_supersteps
         self.cost = cost_model or CostModel()
+        self.liveness_poll = liveness_poll
         self.tel = resolve(telemetry)
         self._fabric = (
             P2PFabric(size, slot_bytes=mailbox_slot_bytes, timeout=barrier_timeout)
@@ -169,6 +173,7 @@ class WorkerPool:
                     self._fabric, list(programs), fault_plan, self.stats,
                     self.max_supersteps, heartbeats=self._heartbeats,
                     cost=self.cost, collector=self._collector, tel=self.tel,
+                    liveness_poll=self.liveness_poll,
                 )
         except Exception:
             self._broken = True

@@ -183,11 +183,19 @@ class Simulator:
         size: int,
         cost_model: CostModel | None = None,
         fault_injector: Callable[[Envelope], bool] | None = None,
+        schedule: Any = None,
     ) -> None:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
         self.size = size
         self.cost = cost_model or CostModel()
+        #: Optional :class:`repro.schedsim.Schedule`.  When set, every
+        #: delivery pick (which blocked rank resumes, which matching
+        #: envelope it consumes), the initial rank kick order, and the
+        #: quiescence release order become explicit choice points — index 0
+        #: always being the canonical earliest-timestamp choice, so a
+        #: baseline schedule reproduces the unscheduled run bit-exactly.
+        self.schedule = schedule
         #: Optional failure-injection hook.  Two forms are accepted:
         #:
         #: * a plain callable receiving every :class:`Envelope` at send time;
@@ -315,7 +323,11 @@ class Simulator:
             self._ranks.append(_RankState(rank, gen, comm))
 
         # Kick every rank to its first yield point (or completion).
-        for st in self._ranks:
+        kick = self._ranks
+        if self.schedule is not None:
+            order = self.schedule.permute("kick", [st.rank for st in kick])
+            kick = [kick[i] for i in order]
+        for st in kick:
             self._advance(st, first=True)
 
         while True:
@@ -348,6 +360,11 @@ class Simulator:
                 )
             # All remaining ranks sit in RecvOrQuiesce: terminate them.
             t_max = max(st.clock for st in self._ranks)
+            if self.schedule is not None and len(blocked_quiesce) > 1:
+                order = self.schedule.permute(
+                    "quiesce", [st.rank for st in blocked_quiesce]
+                )
+                blocked_quiesce = [blocked_quiesce[i] for i in order]
             for st in blocked_quiesce:
                 st.clock = max(st.clock, t_max)
                 st.blocked_on = None
@@ -358,8 +375,20 @@ class Simulator:
         return self.stats
 
     # -------------------------------------------------------------- internal
+    def _receive_env(self, st: _RankState, idx: int) -> Message:
+        """Consume mailbox entry ``idx``: clock, stats, and the Message."""
+        env = st.mailbox.pop(idx)
+        self._in_flight -= 1
+        st.clock = max(st.clock, env.deliver_at)
+        st.clock += self.cost.message_time(1, env.nbytes)
+        self.stats[st.rank].record_receive(1, env.nbytes)
+        self.stats[st.rank].busy_time = st.clock
+        return Message(env.source, env.tag, env.payload)
+
     def _deliver_one(self) -> bool:
         """Resume the blocked rank with the earliest matching delivery."""
+        if self.schedule is not None:
+            return self._deliver_one_scheduled()
         best: tuple[float, int] | None = None
         best_st: _RankState | None = None
         best_idx: int | None = None
@@ -375,15 +404,49 @@ class Simulator:
                 best, best_st, best_idx = key, st, idx
         if best_st is None:
             return False
-        env = best_st.mailbox.pop(best_idx)  # type: ignore[arg-type]
-        self._in_flight -= 1
-        best_st.clock = max(best_st.clock, env.deliver_at)
-        best_st.clock += self.cost.message_time(1, env.nbytes)
-        self.stats[best_st.rank].record_receive(1, env.nbytes)
-        self.stats[best_st.rank].busy_time = best_st.clock
+        msg = self._receive_env(best_st, best_idx)  # type: ignore[arg-type]
         best_st.blocked_on = None
-        self._advance(best_st, value=Message(env.source, env.tag, env.payload))
+        self._advance(best_st, value=msg)
         return True
+
+    def _deliver_one_scheduled(self) -> bool:
+        """Schedule-driven delivery pick over *every* matching envelope.
+
+        Candidates are presented in canonical ``(ready time, seq)`` order so
+        index 0 is exactly the choice :meth:`_deliver_one` would make — a
+        baseline schedule reproduces the unscheduled run bit-exactly, while
+        any other index models one message arriving (or one receiver being
+        serviced) out of order.
+        """
+        cands: list[tuple[tuple[float, int], _RankState, int]] = []
+        for st in self._ranks:
+            if st.finished or not isinstance(st.blocked_on, (Recv, RecvOrQuiesce)):
+                continue
+            for idx, env in enumerate(st.mailbox):
+                if env.matches(st.blocked_on.source, st.blocked_on.tag):
+                    cands.append(((max(env.deliver_at, st.clock), env.seq), st, idx))
+        if not cands:
+            return False
+        cands.sort(key=lambda c: c[0])
+        pick = self.schedule.choose(
+            "deliver", [(st.rank, st.mailbox[idx].source) for _, st, idx in cands]
+        )
+        _, st, idx = cands[pick]
+        msg = self._receive_env(st, idx)
+        st.blocked_on = None
+        self._advance(st, value=msg)
+        return True
+
+    def _pick_match(self, st: _RankState, op: Recv | RecvOrQuiesce) -> int:
+        """Schedule-driven pick among a rank's matching envelopes."""
+        matches = [
+            i for i, env in enumerate(st.mailbox) if env.matches(op.source, op.tag)
+        ]
+        matches.sort(key=lambda i: (st.mailbox[i].deliver_at, st.mailbox[i].seq))
+        pick = self.schedule.choose(
+            "deliver", [(st.rank, st.mailbox[i].source) for i in matches]
+        )
+        return matches[pick]
 
     def _release_barrier(self, waiters: list[_RankState]) -> None:
         t = max(st.clock for st in waiters) + self.cost.round_time()
@@ -410,13 +473,9 @@ class Simulator:
                     # Fast path: a matching message is already in the mailbox.
                     idx = st.find_match(op.source, op.tag)
                     if idx is not None:
-                        env = st.mailbox.pop(idx)
-                        self._in_flight -= 1
-                        st.clock = max(st.clock, env.deliver_at)
-                        st.clock += self.cost.message_time(1, env.nbytes)
-                        self.stats[st.rank].record_receive(1, env.nbytes)
-                        self.stats[st.rank].busy_time = st.clock
-                        value = Message(env.source, env.tag, env.payload)
+                        if self.schedule is not None:
+                            idx = self._pick_match(st, op)
+                        value = self._receive_env(st, idx)
                         continue
                     st.blocked_on = op
                     return
@@ -427,6 +486,8 @@ class Simulator:
         except StopIteration:
             st.finished = True
             st.blocked_on = None
+            if self.schedule is not None:
+                self.schedule.on_progress()
         except (DeadlockError, MPSimError):
             raise
         except BaseException as exc:  # surface rank crashes with context

@@ -80,6 +80,31 @@ class StreamFactory:
         """Vector form of :meth:`stream`."""
         return [self.stream(r, purpose) for r in ranks]
 
+    def substream(self, *key: int) -> np.random.Generator:
+        """Return a generator keyed by an arbitrary integer tuple.
+
+        Used for draws that must be reproducible *per logical entity* rather
+        than per rank — e.g. the event-driven general-case retry of edge slot
+        ``(t, e)`` at attempt ``a`` draws from ``substream(NS, t, e, a)``, so
+        the redraw sequence is a function of the slot alone and not of the
+        message arrival order that triggered it (the property the schedule
+        fuzzer asserts).
+
+        Keys of length 2 are rejected: they would collide with the
+        ``(rank, purpose)`` spawn keys of :meth:`stream`.  Callers namespace
+        their keys with a leading constant.
+        """
+        if len(key) == 2:
+            raise ValueError(
+                "2-element substream keys collide with (rank, purpose) "
+                "stream keys; prepend a namespace constant"
+            )
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=tuple(int(k) for k in key),
+        )
+        return np.random.Generator(np.random.PCG64(child))
+
 
 def rank_stream(seed: int | None, rank: int, purpose: int = 0) -> np.random.Generator:
     """Convenience wrapper: one-off stream for ``(seed, rank, purpose)``."""

@@ -1,0 +1,66 @@
+"""Schedule-space exploration for the in-process engines.
+
+The deterministic simulators only ever exercise one message interleaving per
+seed; this package turns delivery order and rank activation order into
+explicit, recordable choice points and sweeps them:
+
+* :mod:`repro.schedsim.policy` — pluggable :class:`SchedulePolicy`
+  implementations (baseline, seeded-random, priority-fuzzed,
+  straggler-skewed, DPOR-deduped) and the :class:`Schedule` adapter the
+  engines consume (decision recording, replay, bounded-progress watchdog);
+* :mod:`repro.schedsim.explore` — the budgeted sweep driver
+  (:func:`explore`), delta-debugging shrinker (:func:`ddmin`) and the
+  replayable failing-schedule artifact format (:func:`replay`).
+
+See ``docs/schedule_exploration.md`` for the full story.
+"""
+
+from repro.schedsim.explore import (
+    ARTIFACT_KIND,
+    ARTIFACT_VERSION,
+    Divergence,
+    ExplorationReport,
+    ReplayResult,
+    ScheduleOutcome,
+    ddmin,
+    dump_artifact,
+    explore,
+    load_artifact,
+    make_fault_plan,
+    replay,
+)
+from repro.schedsim.policy import (
+    POLICIES,
+    BaselinePolicy,
+    DPORRandomPolicy,
+    PriorityFuzzPolicy,
+    RandomPolicy,
+    Schedule,
+    SchedulePolicy,
+    StragglerSkewPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "SchedulePolicy",
+    "BaselinePolicy",
+    "RandomPolicy",
+    "PriorityFuzzPolicy",
+    "StragglerSkewPolicy",
+    "DPORRandomPolicy",
+    "Schedule",
+    "POLICIES",
+    "make_policy",
+    "ScheduleOutcome",
+    "Divergence",
+    "ExplorationReport",
+    "ReplayResult",
+    "explore",
+    "replay",
+    "ddmin",
+    "make_fault_plan",
+    "dump_artifact",
+    "load_artifact",
+    "ARTIFACT_KIND",
+    "ARTIFACT_VERSION",
+]

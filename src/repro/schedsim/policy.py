@@ -1,0 +1,320 @@
+"""Schedule policies and the :class:`Schedule` adapter the engines consume.
+
+The paper's correctness argument (Section 3.4) is about *any* message
+arrival order, but a deterministic simulator only ever exercises one
+schedule per seed.  This module turns delivery order and rank activation
+order into explicit *choice points*: wherever an engine would pick the
+canonical candidate (globally earliest delivery, lowest rank first), it
+instead asks a :class:`Schedule`, which delegates to a pluggable
+:class:`SchedulePolicy` and records the decision.
+
+Choice-point protocol
+---------------------
+
+Engines present candidates in **canonical order** — index 0 is always the
+choice the unscheduled engine would have made — as ``(lane, src)`` tags:
+``lane`` identifies the receiving mailbox (the destination rank, or
+``(superstep, dest)`` for BSP inboxes) and ``src`` the sending rank.  A
+policy returns an index; :class:`BaselinePolicy` returns 0 everywhere, so a
+baseline schedule reproduces the engine's native run bit-exactly.
+
+Decisions are recorded as a flat list of chosen indices.  Because the
+engines are deterministic *given* the decision sequence, replaying the
+recorded indices (:class:`Schedule` with ``replay=``) reproduces the run
+exactly — the property the shrinker and the ``repro-pa explore --replay``
+artifact format build on.  Single-candidate points are not recorded (there
+is no decision to make), which keeps recordings small and shrink-friendly.
+
+The watchdog rides the same object: every choice point (and every BSP
+superstep) ticks a counter that only engine-reported progress resets;
+exceeding the budget raises :class:`~repro.mpsim.errors.LivelockError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.mpsim.errors import LivelockError
+
+__all__ = [
+    "SchedulePolicy",
+    "BaselinePolicy",
+    "RandomPolicy",
+    "PriorityFuzzPolicy",
+    "StragglerSkewPolicy",
+    "DPORRandomPolicy",
+    "Schedule",
+    "POLICIES",
+    "make_policy",
+]
+
+#: spawn-key namespace for :class:`StragglerSkewPolicy`'s per-rank coin
+_SKEW_NS = 91
+
+
+def _src_rank(tag: Any) -> int:
+    """The sending rank of a candidate tag (plain int or ``(lane, src)``)."""
+    if isinstance(tag, tuple):
+        return int(tag[1])
+    return int(tag)
+
+
+class SchedulePolicy:
+    """Decide which candidate a choice point takes.  Base = deterministic.
+
+    Subclasses override :meth:`choose`; a fresh policy instance is one run's
+    worth of state (seeded policies are deterministic per seed, so the same
+    ``(config, policy, seed)`` triple always explores the same schedule).
+    """
+
+    name = "baseline"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.seed = seed
+
+    def choose(self, kind: str, tags: Sequence[Any]) -> int:
+        """Return the index of the candidate to take (0 = canonical)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+class BaselinePolicy(SchedulePolicy):
+    """Always index 0: reproduces the engine's native schedule bit-exactly."""
+
+
+class RandomPolicy(SchedulePolicy):
+    """Uniform seeded-random permutation of every choice point."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = 0) -> None:
+        super().__init__(seed)
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, kind: str, tags: Sequence[Any]) -> int:
+        return int(self._rng.integers(len(tags)))
+
+
+class PriorityFuzzPolicy(SchedulePolicy):
+    """Seeded per-rank priorities: high-priority senders always win.
+
+    Models a cluster where some ranks' messages systematically overtake
+    others (fast NICs, switch affinity) — a *consistent* skew, unlike
+    :class:`RandomPolicy`'s white noise.  A small ``jitter`` probability of
+    a uniform pick keeps the explored set from collapsing to one schedule.
+    """
+
+    name = "priority"
+
+    def __init__(self, seed: int | None = 0, jitter: float = 0.1) -> None:
+        super().__init__(seed)
+        self._rng = np.random.default_rng(seed)
+        self.jitter = jitter
+        self._prio: dict[int, float] = {}
+
+    def _priority(self, rank: int) -> float:
+        if rank not in self._prio:
+            self._prio[rank] = float(self._rng.random())
+        return self._prio[rank]
+
+    def choose(self, kind: str, tags: Sequence[Any]) -> int:
+        if self.jitter and self._rng.random() < self.jitter:
+            return int(self._rng.integers(len(tags)))
+        # highest-priority sender wins; canonical order breaks ties
+        return max(
+            range(len(tags)), key=lambda i: (self._priority(_src_rank(tags[i])), -i)
+        )
+
+
+class StragglerSkewPolicy(SchedulePolicy):
+    """Defer everything sent by a seeded set of straggler ranks.
+
+    Candidates from slow ranks are starved until nothing else is available —
+    the delivery-order shadow of a compute straggler, without touching the
+    cost model.  Each rank's slow/fast coin is a pure function of
+    ``(seed, rank)``, so the straggler set is stable across choice points.
+    """
+
+    name = "straggler"
+
+    def __init__(self, seed: int | None = 0, fraction: float = 0.34) -> None:
+        super().__init__(seed)
+        self.fraction = fraction
+        self._slow: dict[int, bool] = {}
+
+    def _is_slow(self, rank: int) -> bool:
+        if rank not in self._slow:
+            word = np.random.SeedSequence(
+                entropy=self.seed or 0, spawn_key=(_SKEW_NS, rank)
+            ).generate_state(1)[0]
+            self._slow[rank] = (word / 2**32) < self.fraction
+        return self._slow[rank]
+
+    def choose(self, kind: str, tags: Sequence[Any]) -> int:
+        for i, tag in enumerate(tags):
+            if not self._is_slow(_src_rank(tag)):
+                return i
+        return 0
+
+
+class DPORRandomPolicy(RandomPolicy):
+    """Random choices, deduplicated by Mazurkiewicz-trace signature.
+
+    Deliveries into *different* mailboxes commute (shared-nothing rank
+    programs observe only their own inbox sequence), so two schedules whose
+    per-mailbox source sequences agree are the same partial-order class.
+    The policy itself chooses like :class:`RandomPolicy`; the
+    :func:`~repro.schedsim.explore` driver computes each explored run's
+    :meth:`Schedule.signature` and skips classes it has already covered,
+    drawing replacement seeds until the budget of *unique* classes is met.
+    """
+
+    name = "dpor"
+
+
+POLICIES: Mapping[str, type[SchedulePolicy]] = {
+    "baseline": BaselinePolicy,
+    "random": RandomPolicy,
+    "priority": PriorityFuzzPolicy,
+    "straggler": StragglerSkewPolicy,
+    "dpor": DPORRandomPolicy,
+}
+
+
+def make_policy(name: str, seed: int | None = 0) -> SchedulePolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls(seed)
+
+
+class Schedule:
+    """One run's schedule: policy + decision recorder + progress watchdog.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`SchedulePolicy` consulted at every multi-candidate
+        choice point.  Defaults to :class:`BaselinePolicy`.
+    replay:
+        Sparse ``{decision position: chosen index}`` mapping.  When set, the
+        policy is ignored: each decision takes the mapped index (clamped to
+        the candidate count; unmapped positions take 0).  Replaying the
+        deviations recorded by a previous run reproduces it exactly.
+    watchdog:
+        Progress budget in scheduler ticks, or ``None`` to disable.  Every
+        choice point and every explicit :meth:`tick` counts one tick;
+        :meth:`on_progress` (called by the engines when a rank finishes /
+        when the done-count rises) resets the counter.  Exceeding the budget
+        raises :class:`~repro.mpsim.errors.LivelockError`.
+
+    A ``Schedule`` is single-use: drive exactly one engine run with it, then
+    read :attr:`decisions` / :meth:`deviations` / :meth:`signature`.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulePolicy | None = None,
+        replay: Mapping[int, int] | None = None,
+        watchdog: int | None = None,
+    ) -> None:
+        self.policy = policy or BaselinePolicy()
+        self.replay = {int(k): int(v) for k, v in replay.items()} if replay else None
+        self.watchdog = watchdog
+        #: chosen index of every multi-candidate decision, in decision order
+        self.decisions: list[int] = []
+        #: total scheduler ticks (choice points + explicit superstep ticks)
+        self.ticks = 0
+        self._since_progress = 0
+        self._events: list[tuple[Any, int]] = []  # (lane, src) delivery log
+
+    # ------------------------------------------------------------- watchdog
+    def tick(self) -> None:
+        """Count one scheduler step toward the bounded-progress watchdog."""
+        self.ticks += 1
+        self._since_progress += 1
+        if self.watchdog is not None and self._since_progress > self.watchdog:
+            raise LivelockError(
+                f"no progress for {self._since_progress} scheduler steps "
+                f"(budget {self.watchdog}): the schedule is spinning without "
+                "any rank completing work",
+                ticks=self._since_progress,
+                budget=self.watchdog,
+            )
+
+    def on_progress(self) -> None:
+        """Engine hook: a rank finished / the global done-count rose."""
+        self._since_progress = 0
+
+    # ------------------------------------------------------------ decisions
+    def choose(self, kind: str, tags: Sequence[Any]) -> int:
+        """Pick one of ``tags`` (canonical order; 0 = the engine's native
+        choice).  Records the decision when there is one to make."""
+        self.tick()
+        n = len(tags)
+        if n == 0:
+            raise ValueError("choice point with no candidates")
+        if n == 1:
+            pick = 0
+        else:
+            pos = len(self.decisions)
+            if self.replay is not None:
+                pick = min(self.replay.get(pos, 0), n - 1)
+            else:
+                pick = self.policy.choose(kind, tags)
+                if not 0 <= pick < n:
+                    pick = 0
+            self.decisions.append(pick)
+        tag = tags[pick]
+        if isinstance(tag, tuple):  # a delivery: log (lane, src) for dedupe
+            self._events.append((tag[0], int(tag[1])))
+        return pick
+
+    def permute(self, kind: str, tags: Sequence[Any]) -> list[int]:
+        """Order all of ``tags``: repeated :meth:`choose` over the remainder.
+
+        Returns an index permutation (identity under the baseline policy).
+        Selection is decision-at-a-time rather than one monolithic
+        permutation pick so the shrinker can remove individual reorderings.
+        """
+        if len(tags) <= 1:
+            self.tick()
+            return list(range(len(tags)))
+        remaining = list(range(len(tags)))
+        order: list[int] = []
+        while remaining:
+            pick = self.choose(kind, [tags[i] for i in remaining])
+            order.append(remaining.pop(pick))
+        return order
+
+    # ------------------------------------------------------------ inspection
+    def deviations(self) -> dict[int, int]:
+        """The sparse non-baseline decisions: ``{position: chosen index}``."""
+        return {i: c for i, c in enumerate(self.decisions) if c != 0}
+
+    def signature(self) -> tuple:
+        """Mazurkiewicz-trace class of the run's deliveries.
+
+        Two schedules with equal signatures delivered the same per-mailbox
+        source sequences; everything else (activation order, tie-breaks
+        between different mailboxes) commutes for shared-nothing programs.
+        """
+        lanes: dict[Any, list[int]] = {}
+        for lane, src in self._events:
+            lanes.setdefault(lane, []).append(src)
+        return tuple(sorted((repr(k), tuple(v)) for k, v in lanes.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "replay" if self.replay is not None else self.policy.name
+        return (
+            f"Schedule({mode}, decisions={len(self.decisions)}, "
+            f"ticks={self.ticks}, watchdog={self.watchdog})"
+        )

@@ -189,3 +189,71 @@ class TestPlanCapabilities:
         assert plan.pending_crashes == 1
         assert plan.consume_crash(1, superstep=5)
         assert plan.counts() == {"crash": 1}
+
+    def test_consume_crash_is_idempotent(self):
+        """A second acknowledgement of the same death consumes nothing."""
+        plan = FaultPlan().crash(2, at_superstep=3)
+        assert plan.consume_crash(2, superstep=3)
+        for _ in range(3):  # retried attribution of the same event
+            assert not plan.consume_crash(2, superstep=3)
+        assert plan.pending_crashes == 0
+        assert plan.counts() == {"crash": 1}
+
+    def test_consume_crash_one_event_per_call(self):
+        """Two pending crashes on one rank are consumed one at a time."""
+        plan = FaultPlan().crash(1, at_superstep=2).crash(1, at_superstep=4)
+        assert plan.consume_crash(1, superstep=4)
+        assert plan.pending_crashes == 1
+        assert plan.consume_crash(1, superstep=4)
+        assert not plan.consume_crash(1, superstep=4)
+
+    def test_chaos_capabilities_track_requested_fault_mix(self):
+        from repro.mpsim.faults import (
+            CAP_CRASH_SUPERSTEP,
+            CAP_DROP,
+            CAP_DUPLICATE,
+            CAP_STRAGGLE,
+        )
+
+        cases = [
+            (dict(crashes=1), {CAP_CRASH_SUPERSTEP}),
+            (dict(crashes=0, drops=3), {CAP_DROP}),
+            (dict(crashes=0, duplicates=2), {CAP_DUPLICATE}),
+            (dict(crashes=0, stragglers=2), {CAP_STRAGGLE}),
+            (
+                dict(crashes=2, drops=1, duplicates=1, stragglers=1),
+                {CAP_CRASH_SUPERSTEP, CAP_DROP, CAP_DUPLICATE, CAP_STRAGGLE},
+            ),
+            (dict(crashes=0), set()),
+        ]
+        for kwargs, expected in cases:
+            plan = FaultPlan.chaos(11, size=8, **kwargs)
+            assert plan.capabilities() == frozenset(expected), kwargs
+
+
+class TestUnityStragglers:
+    """``straggle(factor=1.0)`` is valid and a behavioural no-op."""
+
+    def test_factor_one_accepted(self):
+        plan = FaultPlan(0).straggle(2, factor=1.0)
+        assert plan.straggle_multiplier(2) == 1.0
+        assert plan.straggler_ranks == (2,)
+
+    def test_bsp_times_unchanged(self):
+        n, P = 1500, 4
+        part = make_partition("rrp", n, P)
+        base, base_eng, _ = run_parallel_pa_x1(n, part, seed=3)
+        unity, unity_eng, _ = run_parallel_pa_x1(
+            n, part, seed=3, fault_plan=FaultPlan(0).straggle(1, factor=1.0)
+        )
+        assert np.array_equal(base.canonical(), unity.canonical())
+        assert unity_eng.simulated_time == base_eng.simulated_time
+
+    def test_event_times_unchanged(self):
+        part = make_partition("rrp", 400, 4)
+        base, base_sim = run_event_driven_pa_x1(400, part, seed=2)
+        unity, unity_sim = run_event_driven_pa_x1(
+            400, part, seed=2, fault_injector=FaultPlan(0).straggle(0, factor=1.0)
+        )
+        assert np.array_equal(base.canonical(), unity.canonical())
+        assert unity_sim.makespan == base_sim.makespan

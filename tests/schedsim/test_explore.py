@@ -1,0 +1,263 @@
+"""End-to-end schedule exploration: invariance, injected bugs, shrink, replay.
+
+The sweep sizes here are the acceptance criterion of the schedule fuzzer:
+both in-process engines, both algorithm variants, >= 16 schedules each with
+bit-identical edge lists (the CI job runs the full 64-schedule sweep).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpsim.errors import LivelockError
+from repro.schedsim import (
+    Schedule,
+    ddmin,
+    dump_artifact,
+    explore,
+    load_artifact,
+    make_fault_plan,
+    replay,
+)
+from repro.schedsim.explore import ScheduleOutcome
+
+#: a configuration whose general-case runs demonstrably exercise cross-rank
+#: duplicate collisions (the order-sensitive code path) — verified by the
+#: injected-bug tests below actually diverging
+N, X, P, SEED = 300, 3, 4, 7
+
+
+def _config(engine, x=X, knobs=None, fault=None, n=N, seed=SEED):
+    cfg = {"n": n, "x": x, "p": 0.5, "ranks": P, "scheme": "ecp",
+           "seed": seed, "engine": engine}
+    if knobs:
+        cfg["knobs"] = knobs
+    if fault:
+        cfg["fault"] = fault
+    return cfg
+
+
+class TestInvarianceSweeps:
+    """Correct programs produce identical graphs under every schedule."""
+
+    @pytest.mark.parametrize("engine", ["bsp", "event"])
+    @pytest.mark.parametrize("x", [1, X])
+    def test_invariant_under_random_schedules(self, engine, x):
+        rep = explore(_config(engine, x=x), policy="random", schedules=16)
+        assert rep.ok, rep.divergences
+        assert rep.explored == 16
+        assert rep.baseline.digest is not None
+
+    @pytest.mark.parametrize("policy", ["priority", "straggler"])
+    def test_invariant_under_skewed_policies(self, policy):
+        assert explore(_config("bsp"), policy=policy, schedules=8).ok
+        assert explore(_config("event"), policy=policy, schedules=8).ok
+
+    def test_baseline_schedule_reproduces_native_run(self):
+        """A threaded-through baseline Schedule changes nothing bit-wise."""
+        from repro.core.partitioning import make_partition
+        from repro.core.parallel_pa_general import run_parallel_pa
+
+        part = make_partition("ecp", N, P)
+        native, _, _ = run_parallel_pa(N, X, part, seed=SEED)
+        sched, _, _ = run_parallel_pa(N, X, part, seed=SEED, schedule=Schedule())
+        assert np.array_equal(native.canonical(), sched.canonical())
+
+    def test_dpor_dedupes_commuting_orders(self):
+        rep = explore(_config("event", x=1, n=120), policy="dpor", schedules=8)
+        assert rep.ok
+        assert rep.unique_classes == rep.explored
+
+
+class TestInjectedBugs:
+    """The seeded order-sensitivity knobs are caught, shrunk, and replayed."""
+
+    def test_bsp_raw_inbox_bug_is_caught_and_shrunk(self, tmp_path):
+        rep = explore(
+            _config("bsp", knobs={"canonical_inbox": False}),
+            policy="random", schedules=16, artifact_dir=str(tmp_path),
+        )
+        assert not rep.ok
+        div = rep.divergences[0]
+        assert 0 < len(div.minimal) <= len(div.deviations)
+        assert div.artifact is not None
+
+        res = replay(div.artifact)
+        assert res.reproduced and res.diverges
+
+    def test_event_nonconfluent_bug_is_caught_and_shrunk(self, tmp_path):
+        rep = explore(
+            _config("event", knobs={"confluent": False}),
+            policy="random", schedules=8, artifact_dir=str(tmp_path),
+        )
+        assert not rep.ok
+        div = rep.divergences[0]
+        assert len(div.minimal) < len(div.deviations)
+        res = replay(div.artifact)
+        assert res.reproduced and res.diverges
+
+    def test_replay_is_deterministic(self, tmp_path):
+        rep = explore(
+            _config("bsp", knobs={"canonical_inbox": False}),
+            policy="random", schedules=16, artifact_dir=str(tmp_path),
+        )
+        art = rep.divergences[0].artifact
+        a, b = replay(art), replay(art)
+        assert a.outcome.digest == b.outcome.digest
+        assert a.outcome.decisions == b.outcome.decisions
+
+
+class TestFaultComposition:
+    """Crash/straggler plans join the explored space; unstable fates do not."""
+
+    def test_bsp_crash_attribution_is_schedule_stable(self):
+        rep = explore(
+            _config("bsp", x=1, fault={"crashes": [{"rank": 2, "at_superstep": 2}]}),
+            policy="random", schedules=8,
+        )
+        assert rep.ok
+        assert rep.baseline.error == "RankFailure(rank=2)"
+        assert rep.baseline.digest is None
+
+    def test_event_crash_attribution_is_schedule_stable(self):
+        rep = explore(
+            _config("event", x=1, fault={"crashes": [{"rank": 2, "at_time": 2e-5}]}),
+            policy="random", schedules=8,
+        )
+        assert rep.ok
+        assert rep.baseline.error == "RankFailure(rank=2)"
+
+    def test_stragglers_compose(self):
+        rep = explore(
+            _config("bsp", fault={"stragglers": [{"rank": 1, "factor": 8.0}]}),
+            policy="straggler", schedules=8,
+        )
+        assert rep.ok
+
+    def test_drop_and_duplicate_fates_rejected(self):
+        with pytest.raises(ValueError, match="not schedule-stable"):
+            make_fault_plan({"drops": 3})
+        with pytest.raises(ValueError, match="not schedule-stable"):
+            make_fault_plan({"duplicates": 2})
+
+    def test_multiple_pending_crashes_rejected(self):
+        with pytest.raises(ValueError, match="at most one pending crash"):
+            make_fault_plan({"crashes": [
+                {"rank": 0, "at_superstep": 1}, {"rank": 1, "at_superstep": 2},
+            ]})
+
+    def test_fresh_plan_per_trial(self):
+        """Crash events are one-shot; the spec must rebuild every run."""
+        spec = {"crashes": [{"rank": 0, "at_superstep": 1}]}
+        a, b = make_fault_plan(spec), make_fault_plan(spec)
+        assert a is not b
+        assert a.pending_crashes == b.pending_crashes == 1
+
+    def test_mp_engine_rejected(self):
+        with pytest.raises(ValueError, match="'bsp' or 'event'"):
+            explore(_config("mp", x=1, n=50), schedules=1)
+
+
+class TestWatchdog:
+    def test_livelock_surfaces_as_divergence(self):
+        """A runner that spins without progress trips the budget."""
+
+        calls = {"n": 0}
+
+        class _FakeEdges:
+            def canonical(self):
+                return np.zeros((1, 2), dtype=np.int64)
+
+        def runner(config, schedule):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                schedule.tick()  # cheap baseline => small budget
+                return _FakeEdges()
+            while True:  # every non-baseline schedule spins forever
+                schedule.choose("deliver", [(0, 0), (0, 1)])
+
+        rep = explore({"n": 1, "engine": "bsp"}, policy="random", schedules=2,
+                      watchdog_factor=1, runner=runner)
+        assert not rep.ok
+        assert all(d.outcome.error == "LivelockError" for d in rep.divergences)
+
+    def test_budget_scales_with_baseline(self):
+        rep = explore(_config("bsp", x=1), policy="random", schedules=1,
+                      watchdog_factor=50)
+        assert rep.watchdog >= 50 * 1  # max(1000, 50 * baseline ticks)
+        assert rep.watchdog >= 1000
+
+    def test_livelock_error_fields(self):
+        sch = Schedule(watchdog=3)
+        with pytest.raises(LivelockError):
+            for _ in range(5):
+                sch.tick()
+
+
+class TestShrinking:
+    def test_ddmin_finds_single_culprit(self):
+        culprit = 17
+        runs = []
+
+        def test_fn(subset):
+            runs.append(list(subset))
+            return culprit in subset
+
+        minimal = ddmin(list(range(40)), test_fn)
+        assert minimal == [culprit]
+
+    def test_ddmin_keeps_coupled_pair(self):
+        need = {3, 31}
+
+        def test_fn(subset):
+            return need <= set(subset)
+
+        assert sorted(ddmin(list(range(40)), test_fn)) == sorted(need)
+
+    def test_ddmin_respects_budget(self):
+        count = {"n": 0}
+
+        def test_fn(subset):
+            count["n"] += 1
+            return 0 in subset
+
+        ddmin(list(range(64)), test_fn, max_tests=10)
+        assert count["n"] <= 10
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        base = ScheduleOutcome(digest="aa", error=None)
+        obs = ScheduleOutcome(digest="bb", error=None)
+        path = dump_artifact(
+            str(tmp_path / "a.json"), _config("bsp"), "random", 123,
+            {4: 1, 9: 2}, total_decisions=40, baseline=base, observed=obs,
+        )
+        doc = load_artifact(path)
+        assert doc["decisions"] == {"4": 1, "9": 2}
+        assert doc["config"]["n"] == N
+        assert doc["baseline"]["digest"] == "aa"
+        assert doc["observed"]["digest"] == "bb"
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "something-else", "version": 1}')
+        with pytest.raises(ValueError, match="not a repro-schedule artifact"):
+            load_artifact(str(bad))
+
+
+class TestSubstream:
+    def test_two_element_keys_rejected(self):
+        from repro.rng import StreamFactory
+
+        with pytest.raises(ValueError, match="namespace"):
+            StreamFactory(0).substream(1, 2)
+
+    def test_substream_is_key_deterministic(self):
+        from repro.rng import StreamFactory
+
+        f = StreamFactory(5)
+        a = f.substream(101, 7, 2, 1).random(4)
+        b = StreamFactory(5).substream(101, 7, 2, 1).random(4)
+        c = f.substream(101, 7, 2, 2).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)

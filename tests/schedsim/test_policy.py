@@ -1,0 +1,118 @@
+"""Unit tests for schedule policies and the Schedule adapter."""
+
+import pytest
+
+from repro.mpsim.errors import LivelockError
+from repro.schedsim import (
+    POLICIES,
+    BaselinePolicy,
+    PriorityFuzzPolicy,
+    RandomPolicy,
+    Schedule,
+    StragglerSkewPolicy,
+    make_policy,
+)
+
+
+class TestPolicies:
+    def test_registry_and_factory(self):
+        assert set(POLICIES) == {"baseline", "random", "priority", "straggler", "dpor"}
+        for name in POLICIES:
+            assert make_policy(name, 3).choose("deliver", [(0, 0), (0, 1)]) in (0, 1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule policy"):
+            make_policy("chaos-monkey")
+
+    def test_baseline_always_zero(self):
+        pol = BaselinePolicy()
+        assert all(pol.choose("deliver", [(0, s) for s in range(k)]) == 0
+                   for k in range(1, 6))
+
+    def test_random_is_seed_deterministic(self):
+        tags = [(0, s) for s in range(5)]
+        r1, r2 = RandomPolicy(9), RandomPolicy(9)
+        picks = [r1.choose("d", tags) for _ in range(20)]
+        assert picks == [r2.choose("d", tags) for _ in range(20)]
+        assert len(set(picks)) > 1
+
+    def test_priority_is_consistent_per_rank(self):
+        pol = PriorityFuzzPolicy(seed=1, jitter=0.0)
+        tags = [(0, 3), (0, 1), (0, 2)]
+        first = pol.choose("deliver", tags)
+        assert all(pol.choose("deliver", tags) == first for _ in range(10))
+
+    def test_straggler_set_is_stable(self):
+        pol = StragglerSkewPolicy(seed=4, fraction=0.5)
+        slow = {r for r in range(8) if pol._is_slow(r)}
+        pol2 = StragglerSkewPolicy(seed=4, fraction=0.5)
+        assert slow == {r for r in range(8) if pol2._is_slow(r)}
+        assert not StragglerSkewPolicy(seed=4, fraction=0.0)._is_slow(0)
+
+
+class TestSchedule:
+    def test_single_candidate_not_recorded(self):
+        sch = Schedule(RandomPolicy(0))
+        assert sch.choose("deliver", [(0, 1)]) == 0
+        assert sch.decisions == []
+
+    def test_decisions_recorded_and_deviations_sparse(self):
+        sch = Schedule(RandomPolicy(1))
+        for _ in range(50):
+            sch.choose("deliver", [(0, 0), (0, 1), (0, 2)])
+        assert len(sch.decisions) == 50
+        dev = sch.deviations()
+        assert all(sch.decisions[k] == v and v != 0 for k, v in dev.items())
+
+    def test_replay_reproduces_choices(self):
+        sch = Schedule(RandomPolicy(2))
+        tags = [(0, 0), (0, 1), (0, 2), (0, 3)]
+        picks = [sch.choose("deliver", tags) for _ in range(30)]
+        rep = Schedule(replay=sch.deviations())
+        assert [rep.choose("deliver", tags) for _ in range(30)] == picks
+
+    def test_replay_clamps_out_of_range(self):
+        rep = Schedule(replay={0: 99})
+        assert rep.choose("deliver", [(0, 0), (0, 1)]) == 1
+
+    def test_permute_identity_under_baseline(self):
+        sch = Schedule(BaselinePolicy())
+        assert sch.permute("activation", [10, 11, 12]) == [0, 1, 2]
+
+    def test_permute_is_a_permutation(self):
+        sch = Schedule(RandomPolicy(7))
+        order = sch.permute("activation", list(range(6)))
+        assert sorted(order) == list(range(6))
+
+    def test_empty_choice_point_rejected(self):
+        with pytest.raises(ValueError, match="no candidates"):
+            Schedule().choose("deliver", [])
+
+    def test_watchdog_raises_livelock(self):
+        sch = Schedule(BaselinePolicy(), watchdog=10)
+        with pytest.raises(LivelockError) as ei:
+            for _ in range(12):
+                sch.tick()
+        assert ei.value.budget == 10
+        assert ei.value.ticks > 10
+
+    def test_progress_resets_watchdog(self):
+        sch = Schedule(BaselinePolicy(), watchdog=5)
+        for _ in range(100):
+            sch.tick()
+            sch.on_progress()
+        assert sch.ticks == 100
+
+    def test_signature_groups_by_lane(self):
+        a = Schedule()
+        a.choose("deliver", [((0, 1), 2), ((0, 1), 3)])
+        a.choose("deliver", [((0, 2), 4)])
+        b = Schedule()
+        b.choose("deliver", [((0, 2), 4)])
+        b.choose("deliver", [((0, 1), 2), ((0, 1), 3)])
+        # same per-lane source sequences, different interleaving => same class
+        assert a.signature() == b.signature()
+        c = Schedule(replay={0: 1})
+        c.choose("deliver", [((0, 1), 2), ((0, 1), 3)])
+        c.choose("deliver", [((0, 2), 4)])
+        assert c.signature() != a.signature()
