@@ -15,6 +15,13 @@ machine-readable ``BENCH_hotpaths.json`` at the repository root:
 * ``mp_endtoend`` — full ``x = 1`` PA generation on the multiprocessing
   backend, one entry per exchange topology (wall seconds and
   supersteps/sec);
+* ``commfree`` — the communication-free ``x = 1`` generator
+  (:mod:`repro.core.commfree`) on one core vs ``copy_model_x1`` — the
+  recompute-instead-of-message algorithm must win before parallelism even
+  starts;
+* ``commfree_endtoend`` — the same generator on forked slice workers at the
+  ``mp_endtoend`` scale; the derived ``speedup_vs_copy_p2p`` compares it
+  against the copy-model pipeline's best transport at equal n and P;
 * ``mp_pool`` — five consecutive generation jobs on a persistent
   :class:`~repro.mpsim.pool.WorkerPool` vs five cold engine runs;
 * ``telemetry_overhead`` — end-to-end BSP generation with telemetry
@@ -39,6 +46,10 @@ slower).
 ``--max-telemetry-overhead R`` exits non-zero if enabled telemetry costs
 more than ``R``× the disabled run (needs the ``telemetry_overhead`` case;
 CI allows generous noise headroom on shared boxes).
+``--require-commfree-speedup S`` exits non-zero unless end-to-end commfree
+generation is at least ``S``× the copy-model p2p pipeline at equal n and P
+(needs both the ``commfree_endtoend`` and ``mp_endtoend`` cases; CI uses
+``S = 1.0``: trading messages for recomputation must never lose).
 """
 
 from __future__ import annotations
@@ -67,6 +78,7 @@ from repro.mpsim.mp_backend import (
     MultiprocessingBSPEngine,
 )
 from repro.mpsim.pool import WorkerPool
+from repro.core.commfree import commfree_mp, commfree_x1
 from repro.rng import StreamFactory
 from repro.seq.copy_model import copy_model, copy_model_x1, resolve_pointers
 
@@ -263,6 +275,41 @@ def case_mp_endtoend(sizes, repeats):
     return out
 
 
+def case_commfree(sizes, repeats):
+    """Single-core x=1: communication-free generator vs the copy model.
+
+    Same machine, same n, both fully vectorised — this isolates the
+    algorithmic trade (counter-hash draws + chain chasing vs PCG draws +
+    pointer jumping) before any parallelism enters the picture.
+    """
+    n = sizes["x1_n"]
+    t_cf = best_of(repeats, commfree_x1, n, seed=SEED)
+    t_copy = best_of(repeats, copy_model_x1, n, seed=SEED)
+    return {
+        "n": n,
+        "seconds": t_cf,
+        "edges_per_s": (n - 1) / t_cf,
+        "copy_model_x1_s": t_copy,
+        "speedup_vs_copy_x1": t_copy / t_cf,
+    }
+
+
+def case_commfree_endtoend(sizes, repeats):
+    """Parallel x=1 generation with zero communication: forked slice
+    workers, coordinator concatenates.  ``main()`` derives
+    ``speedup_vs_copy_p2p`` against the ``mp_endtoend`` case (same n, same
+    P, same fork-based process model — the only difference is the
+    algorithm)."""
+    n, P = sizes["endtoend_n"], sizes["mp_P"]
+    t = best_of(repeats, commfree_mp, n, ranks=P, seed=SEED)
+    return {
+        "n": n, "P": P,
+        "wall_s": t,
+        "nodes_per_s": n / t,
+        "edges_per_s": (n - 1) / t,
+    }
+
+
 def case_mp_pool(sizes, repeats):
     """Amortised startup: J jobs on one pool vs J cold engine runs.
 
@@ -362,6 +409,8 @@ CASES = {
     "bsp_pa": case_bsp_pa,
     "mp_exchange": case_mp_exchange,
     "mp_endtoend": case_mp_endtoend,
+    "commfree": case_commfree,
+    "commfree_endtoend": case_commfree_endtoend,
     "mp_pool": case_mp_pool,
     "telemetry_overhead": case_telemetry_overhead,
     "sched_explore": case_sched_explore,
@@ -386,6 +435,11 @@ def main(argv=None) -> int:
                     metavar="R",
                     help="fail if enabled telemetry costs more than R x the "
                          "disabled run (needs the telemetry_overhead case)")
+    ap.add_argument("--require-commfree-speedup", type=float, default=None,
+                    metavar="S",
+                    help="fail unless end-to-end commfree generation is >= "
+                         "S x the copy-model p2p pipeline (needs the "
+                         "commfree_endtoend and mp_endtoend cases)")
     args = ap.parse_args(argv)
 
     wanted = [c.strip() for c in args.cases.split(",") if c.strip()]
@@ -403,7 +457,15 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
-            "cpus": os.cpu_count(),
+            # both counts: cpu_count() is what the box has, the affinity
+            # mask is what this process may actually use — mp speedups are
+            # unreadable without knowing which one constrained the run
+            "cpus_logical": os.cpu_count(),
+            "cpus_affinity": (
+                len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity")
+                else os.cpu_count()
+            ),
         },
         "cases": {},
     }
@@ -413,6 +475,16 @@ def main(argv=None) -> int:
         report["cases"][name] = CASES[name](sizes, args.repeats)
         print(f"[bench_hotpaths] {name} done in {time.perf_counter() - t0:.1f}s",
               flush=True)
+
+    # cross-case derivation: commfree end-to-end vs the copy-model pipeline's
+    # peer-to-peer transport at the same n and P (computed before the report
+    # is written so the tracked JSON carries the headline number)
+    cf_e2e = report["cases"].get("commfree_endtoend")
+    endtoend_modes = report["cases"].get("mp_endtoend", {}).get("modes", {})
+    if cf_e2e is not None and "p2p" in endtoend_modes:
+        cf_e2e["speedup_vs_copy_p2p"] = (
+            endtoend_modes["p2p"]["wall_s"] / cf_e2e["wall_s"]
+        )
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench_hotpaths] wrote {args.out}")
@@ -467,6 +539,31 @@ def main(argv=None) -> int:
             return 1
         print(f"[bench_hotpaths] p2p speedup gate passed "
               f"({got:.2f}x >= {args.require_p2p_speedup}x)")
+    cf = report["cases"].get("commfree")
+    if cf is not None:
+        print(f"[bench_hotpaths] commfree single-core n={cf['n']}: "
+              f"{cf['seconds']:.3f}s vs copy_model_x1 "
+              f"{cf['copy_model_x1_s']:.3f}s "
+              f"({cf['speedup_vs_copy_x1']:.2f}x)")
+    if cf_e2e is not None:
+        vs = cf_e2e.get("speedup_vs_copy_p2p")
+        extra = f" ({vs:.2f}x vs copy-model p2p)" if vs is not None else ""
+        print(f"[bench_hotpaths] commfree end-to-end n={cf_e2e['n']} "
+              f"P={cf_e2e['P']}: {cf_e2e['wall_s']:.3f}s, "
+              f"{cf_e2e['nodes_per_s'] / 1e6:.2f}M nodes/s{extra}")
+    if args.require_commfree_speedup is not None:
+        if cf_e2e is None or "speedup_vs_copy_p2p" not in cf_e2e:
+            print("[bench_hotpaths] --require-commfree-speedup needs the "
+                  "commfree_endtoend and mp_endtoend cases", file=sys.stderr)
+            return 2
+        got = cf_e2e["speedup_vs_copy_p2p"]
+        if got < args.require_commfree_speedup:
+            print(f"[bench_hotpaths] FAIL: commfree end-to-end speedup "
+                  f"{got:.2f}x < required {args.require_commfree_speedup}x",
+                  file=sys.stderr)
+            return 1
+        print(f"[bench_hotpaths] commfree speedup gate passed "
+              f"({got:.2f}x >= {args.require_commfree_speedup}x)")
     tel = report["cases"].get("telemetry_overhead")
     if tel is not None:
         print(f"[bench_hotpaths] telemetry: disabled {tel['disabled_s']:.3f}s, "

@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("-P", "--ranks", type=int, default=1, help="simulated processor count")
     g.add_argument("--scheme", choices=["ucp", "lcp", "rrp", "ecp"], default="rrp")
     g.add_argument("--engine", choices=["bsp", "event", "sequential", "mp"], default="bsp")
+    g.add_argument("--generator", choices=["copy", "commfree"], default="copy",
+                   help="'copy' (default): the paper's message-resolving "
+                        "copy-model pipeline; 'commfree': the communication-"
+                        "free family — every draw is recomputable from "
+                        "(seed, slot), so parallel ranks never exchange "
+                        "messages (engines: sequential, bsp, mp)")
     g.add_argument("--exchange", choices=["shm", "pickle", "p2p"], default="shm",
                    help="superstep transport for --engine mp: coordinator-"
                         "routed shared memory (shm), pickled pipes (pickle), "
@@ -205,6 +211,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
               "job's recovery lifecycle); drop --pool to snapshot and resume",
               file=sys.stderr)
         return 2
+    if args.generator == "commfree":
+        if args.inject_faults is not None:
+            print("--generator commfree has no distributed state to crash "
+                  "(every slice is recomputable from the seed); drop "
+                  "--inject-faults", file=sys.stderr)
+            return 2
+        if args.checkpoint or args.checkpoint_dir:
+            print("--generator commfree has nothing to snapshot (rerunning "
+                  "a pure slice is the recovery); drop --checkpoint/"
+                  "--checkpoint-dir", file=sys.stderr)
+            return 2
+        if args.pool:
+            print("--pool runs copy-model rank programs; --generator "
+                  "commfree forks its own slice workers — drop --pool",
+                  file=sys.stderr)
+            return 2
+        if args.engine == "event":
+            print("--generator commfree sends no messages, so the event-"
+                  "driven simulator has nothing to simulate; use --engine "
+                  "sequential, bsp, or mp", file=sys.stderr)
+            return 2
     tel = None
     if args.trace_out is not None or args.metrics_out is not None:
         from repro.telemetry import Telemetry
@@ -240,6 +267,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             # a pooled run attaches telemetry to the pool at fork time
             # (generate() refuses telemetry= alongside pool=)
             telemetry=None if pool is not None else tel,
+            generator=args.generator,
         )
     finally:
         if pool is not None:
@@ -247,7 +275,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     wall = time.perf_counter() - t0
     print(
         f"generated n={args.nodes} x={args.edges_per_node} "
-        f"m={len(result.edges)} on P={args.ranks} ({args.scheme}/{args.engine}) "
+        f"m={len(result.edges)} on P={args.ranks} ({result.scheme}/{args.engine}) "
         f"in {wall:.2f}s wall / {result.simulated_time:.4f}s simulated, "
         f"{result.supersteps} supersteps, imbalance {result.imbalance:.3f}"
     )

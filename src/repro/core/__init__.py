@@ -13,6 +13,9 @@
 * :mod:`repro.core.parallel_pa_general` — Algorithm 3.2 (``x >= 1``);
 * :mod:`repro.core.event_driven` — the literal per-message pseudocode on the
   event-driven engine (small n, used for cross-validation);
+* :mod:`repro.core.commfree` — the communication-free generator family
+  (Sanders & Schulz): counter-based randomness makes every endpoint
+  recomputable locally, so parallel ranks exchange nothing;
 * :mod:`repro.core.generator` — the top-level :func:`generate` facade.
 """
 

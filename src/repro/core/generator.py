@@ -28,6 +28,13 @@ Engines:
     peer-to-peer ``"p2p"``) and pass a live
     :class:`~repro.mpsim.pool.WorkerPool` as ``pool`` to reuse forked
     workers across repeated calls.
+
+Orthogonally to the engine, ``generator="commfree"`` swaps the copy-model
+message pipeline for the communication-free family
+(:mod:`repro.core.commfree`): ranks recompute foreign endpoints from
+counter-based randomness instead of requesting them, so the ``mp`` surface
+degenerates to embarrassingly-parallel slice workers with no exchange at
+all.
 """
 
 from __future__ import annotations
@@ -125,6 +132,7 @@ def generate(
     liveness_poll: float = 0.25,
     telemetry: Any = None,
     schedule: Any = None,
+    generator: str = "copy",
 ) -> GenerationResult:
     """Generate a preferential-attachment network.
 
@@ -140,6 +148,18 @@ def generate(
         Number of simulated processors.
     scheme:
         Partitioning scheme: ``"ucp"``, ``"lcp"``, or ``"rrp"``.
+    generator:
+        ``"copy"`` (default) — the paper's copy-model pipeline, in which
+        ranks resolve dangling attachments through message exchange;
+        ``"commfree"`` — the communication-free family
+        (:mod:`repro.core.commfree`): every draw is a pure function of
+        ``(seed, slot)``, ranks recompute foreign endpoints locally, and
+        no messages exist to exchange.  Supports ``engine`` ``"sequential"``,
+        ``"bsp"`` (in-process slices), and ``"mp"`` (one forked worker per
+        slice); fault injection, checkpointing, schedules, pools, and
+        explicit partitions are meaningless without distributed state and
+        are rejected.  Same attachment statistics as the copy model, but a
+        *different* graph at equal seeds (different draw protocol).
     seed:
         Root seed; identical inputs reproduce the identical graph.
     engine:
@@ -223,6 +243,44 @@ def generate(
         from repro.mpsim.faults import FaultPlan
 
         plan = FaultPlan.chaos(fault_seed, ranks, crashes=1)
+
+    if generator not in ("copy", "commfree"):
+        raise ValueError(
+            f"unknown generator {generator!r}; choose 'copy' or 'commfree'"
+        )
+    if generator == "commfree":
+        if plan is not None:
+            raise ValueError(
+                "fault injection needs distributed state to damage; a "
+                "commfree slice is a pure function of (seed, range) and "
+                "rerunning it *is* the recovery — drop fault_plan/fault_seed"
+            )
+        if checkpoint_path is not None or checkpoint_dir is not None:
+            raise ValueError(
+                "checkpointing needs superstep state to snapshot; commfree "
+                "has none (any slice is recomputable from the seed alone) — "
+                "drop checkpoint_path/checkpoint_dir"
+            )
+        if schedule is not None:
+            raise ValueError(
+                "schedule= permutes message delivery order; commfree "
+                "exchanges no messages — drop schedule="
+            )
+        if pool is not None:
+            raise ValueError(
+                "pool= runs copy-model rank programs on pooled workers; "
+                "commfree forks its own trivially-parallel slice workers — "
+                "drop pool="
+            )
+        if partition is not None:
+            raise ValueError(
+                "commfree always owns contiguous node slices (that is what "
+                "makes rank-order concatenation reproduce the sequential "
+                "edge order) — drop partition="
+            )
+        return _generate_commfree(
+            n, x, p, ranks, seed, engine, cost_model, telemetry
+        )
 
     if schedule is not None:
         if engine not in ("bsp", "event"):
@@ -510,6 +568,78 @@ def _generate_mp(
         world_stats=eng.stats,
         recoveries=recoveries,
         fault_plan=plan,
+    )
+
+
+def _generate_commfree(n, x, p, ranks, seed, engine, cost_model, telemetry):
+    """Run the communication-free generator on the requested surface.
+
+    All three surfaces produce bit-identical edge lists (the point of
+    counter-based randomness); they differ only in where the slices are
+    computed.  The simulated time charges pure compute divided by the rank
+    count — perfect scaling, because there is literally no communication
+    term to add.
+    """
+    from repro.core.commfree import (
+        commfree,
+        commfree_edge_slice,
+        commfree_mp,
+        commfree_slices,
+    )
+
+    tel = resolve(telemetry)
+    if tel.enabled:
+        tel.meta.update(
+            engine=engine, generator="commfree", n=n, x=x, p=p, ranks=ranks,
+            seed=seed,
+        )
+    if ranks < 1:
+        raise ValueError(f"ranks must be >= 1, got {ranks}")
+    slices = commfree_slices(n, ranks)
+    sizes = np.array([hi - lo for lo, hi in slices], dtype=np.int64)
+
+    if engine == "sequential":
+        if ranks != 1:
+            raise ValueError("sequential engine requires ranks=1")
+        with tel.span("commfree", cat="compute", tid=0, n=n, x=x):
+            edges = commfree(n, x=x, p=p, seed=seed)
+    elif engine == "bsp":
+        # in-process slice-at-a-time evaluation: same work the mp workers
+        # would do, on one core — supersteps do not exist here
+        m = x * (x - 1) // 2 + (n - x) * x if x > 1 else max(n - 1, 0)
+        edges = EdgeList(capacity=max(m, 1))
+        with tel.span("commfree.slices", cat="compute", tid=0, n=n, x=x):
+            for r, (lo, hi) in enumerate(slices):
+                with tel.span("commfree.slice", cat="compute", tid=r,
+                              lo=lo, hi=hi):
+                    u, v = commfree_edge_slice(n, lo, hi, x=x, p=p, seed=seed)
+                    edges.append_arrays(u, v)
+    elif engine == "mp":
+        with tel.span("commfree.mp", cat="run", tid=-1, n=n, x=x, P=ranks):
+            edges = commfree_mp(n, x=x, p=p, ranks=ranks, seed=seed)
+    else:
+        raise ValueError(
+            f"generator='commfree' supports engines 'sequential', 'bsp', "
+            f"and 'mp'; engine={engine!r} has nothing to contribute to a "
+            f"zero-message algorithm"
+        )
+
+    cost = cost_model or CostModel()
+    total = cost.compute_time(n, work_items=len(edges))
+    return GenerationResult(
+        edges=edges,
+        n=n,
+        x=x,
+        p=p,
+        scheme="contig",
+        ranks=ranks,
+        engine=engine,
+        seed=seed,
+        simulated_time=total / ranks,
+        supersteps=0,
+        requests_sent=np.zeros(ranks, np.int64),
+        requests_received=np.zeros(ranks, np.int64),
+        nodes_per_rank=sizes,
     )
 
 

@@ -7,6 +7,6 @@ mirrors how a careful MPI code seeds one independent stream per rank, and it
 is what makes every run reproducible given ``(seed, n, x, p, P, scheme)``.
 """
 
-from repro.rng.streams import StreamFactory, rank_stream, spawn_streams
+from repro.rng.streams import CounterStream, StreamFactory, rank_stream, spawn_streams
 
-__all__ = ["StreamFactory", "rank_stream", "spawn_streams"]
+__all__ = ["CounterStream", "StreamFactory", "rank_stream", "spawn_streams"]

@@ -10,6 +10,8 @@ compares against:
   implements);
 * :mod:`repro.seq.copy_model` — the copy model of Kumar et al., the basis of
   the parallel algorithms; exact BA dynamics at ``p = 1/2``;
+* :mod:`repro.seq.commfree_ref` — scalar oracle for the communication-free
+  generators of :mod:`repro.core.commfree` (bit-identity reference);
 * :mod:`repro.seq.erdos_renyi`, :mod:`repro.seq.small_world`,
   :mod:`repro.seq.chung_lu` — the other random-graph families the
   introduction situates the work against, implemented with the efficient
@@ -21,6 +23,7 @@ All generators return a :class:`repro.graph.edgelist.EdgeList` and accept a
 
 from repro.seq.ba_naive import ba_naive
 from repro.seq.batagelj_brandes import batagelj_brandes
+from repro.seq.commfree_ref import commfree_reference
 from repro.seq.copy_model import copy_model, copy_model_x1
 from repro.seq.erdos_renyi import erdos_renyi_gnp
 from repro.seq.small_world import watts_strogatz
@@ -29,6 +32,7 @@ from repro.seq.chung_lu import chung_lu
 __all__ = [
     "ba_naive",
     "batagelj_brandes",
+    "commfree_reference",
     "copy_model",
     "copy_model_x1",
     "erdos_renyi_gnp",

@@ -1,0 +1,91 @@
+"""Scalar reference oracle for the communication-free generators.
+
+:mod:`repro.core.commfree` resolves attachments with vectorised frontier
+chases and demand-driven fixpoints — machinery with real room for subtle
+bugs.  This module re-implements the *identical draw protocol* (documented
+in :mod:`repro.core.commfree`) in the most boring way possible: a plain
+Python sweep over nodes in ascending order, one scalar hash lookup at a
+time.  Because every source node precedes its dependents, the sweep never
+needs recursion, chases, or pending queues — each attachment is read off
+directly.
+
+The test-suite pins every vectorised surface (batch, slice, mp, streaming)
+to this oracle bit for bit; agreement means the clever resolution order
+changes nothing, which is the whole point of counter-based randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.commfree import _NS, _check_params, _coin_threshold
+from repro.graph.edgelist import EdgeList
+from repro.rng import StreamFactory
+
+__all__ = ["commfree_reference"]
+
+#: Duplicate-rejection retries per slot before giving up (mirrors
+#: :data:`repro.seq.copy_model._MAX_RETRIES`).
+_MAX_RETRIES = 10_000
+
+
+def commfree_reference(
+    n: int,
+    x: int = 1,
+    p: float = 0.5,
+    seed: int | None = None,
+) -> EdgeList:
+    """Generate the commfree network by direct ascending-order evaluation.
+
+    Bit-identical to :func:`repro.core.commfree.commfree` (and its slice,
+    mp, and streaming variants) for equal parameters — but O(n) scalar
+    Python, so only suitable as a correctness oracle at small ``n``.
+    """
+    _check_params(n, x, p)
+    cs = StreamFactory(seed).counter_substream(_NS, x, 0)
+    u: list[int] = []
+    v: list[int] = []
+
+    if x == 1:
+        thresh = int(_coin_threshold(p))
+        F = [0] * n  # F[1] = 0; F[0] unused
+        for t in range(2, n):
+            h = int(cs.hashes(t, 0))
+            k = 1 + (((h >> 32) * (t - 1)) >> 32)
+            F[t] = k if (h & 0xFFFFFFFF) < thresh else F[k]
+        for t in range(1, n):
+            u.append(t)
+            v.append(F[t])
+    else:
+        rows: dict[int, list[int]] = {x: list(range(x))}
+        for t in range(1, min(n, x)):
+            for i in range(t):
+                u.append(t)
+                v.append(i)
+        for i in range(x):
+            u.append(x)
+            v.append(i)
+        for t in range(x + 1, n):
+            row: list[int] = []
+            for e in range(x):
+                sid = (t - x) * x + e
+                for a in range(_MAX_RETRIES):
+                    u1 = float(cs.uniforms(sid, 3 * a))
+                    k = x + min(int(u1 * (t - x)), t - x - 1)
+                    if float(cs.uniforms(sid, 3 * a + 1)) < p:
+                        cand = k
+                    else:
+                        l = min(int(float(cs.uniforms(sid, 3 * a + 2)) * x), x - 1)
+                        cand = rows[k][l]
+                    if cand not in row:
+                        row.append(cand)
+                        break
+                else:  # pragma: no cover - statistically unreachable
+                    raise RuntimeError(f"slot ({t}, {e}) exhausted retries")
+            rows[t] = row
+            u.extend([t] * x)
+            v.extend(row)
+
+    return EdgeList.from_arrays(
+        np.asarray(u, dtype=np.int64), np.asarray(v, dtype=np.int64)
+    )

@@ -1,0 +1,255 @@
+"""Tests for the communication-free generator family.
+
+The load-bearing property is *evaluation-order invariance*: because every
+draw is a pure function of ``(seed, slot)``, the batch sweep, the slice
+workers, the forked mp path, and the streaming emitter must all produce the
+same graph bit for bit — and all of them must match the boring scalar
+oracle in :mod:`repro.seq.commfree_ref`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commfree import (
+    commfree,
+    commfree_edge_slice,
+    commfree_mp,
+    commfree_slices,
+    commfree_x1,
+    stream_commfree_x1,
+)
+from repro.core.generator import generate
+from repro.graph.edgelist import EdgeList
+from repro.graph.validation import validate_pa_graph
+from repro.seq.commfree_ref import commfree_reference
+
+
+def concat_slices(n, ranks, **kw) -> EdgeList:
+    el = EdgeList()
+    for lo, hi in commfree_slices(n, ranks):
+        u, v = commfree_edge_slice(n, lo, hi, **kw)
+        el.append_arrays(u, v)
+    return el
+
+
+def collect_stream(n, **kw) -> EdgeList:
+    el = EdgeList()
+    for u, v in stream_commfree_x1(n, **kw):
+        el.append_arrays(u, v)
+    return el
+
+
+class TestOracleBitIdentity:
+    """Every vectorised surface equals the scalar ascending-order sweep."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 17, 100, 2_000])
+    @pytest.mark.parametrize("p", [0.1, 0.5, 1.0])
+    def test_x1_batch(self, n, p):
+        assert commfree_x1(n, p=p, seed=7) == commfree_reference(n, 1, p, 7)
+
+    @pytest.mark.parametrize("n,x", [(4, 3), (5, 4), (40, 2), (300, 4)])
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.9])
+    def test_general_batch(self, n, x, p):
+        assert commfree(n, x=x, p=p, seed=3) == commfree_reference(n, x, p, 3)
+
+    @given(n=st.integers(min_value=1, max_value=400),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_x1_batch_property(self, n, seed):
+        assert commfree_x1(n, seed=seed) == commfree_reference(n, seed=seed)
+
+
+class TestStructure:
+    def test_x1_attachments_point_backwards(self):
+        _el, F = commfree_x1(5_000, seed=3, return_attachments=True)
+        assert (F[1:] < np.arange(1, 5_000)).all()
+        assert (F[1:] >= 0).all()
+        assert F[0] == -1
+
+    def test_x1_validates(self):
+        n = 3_000
+        assert validate_pa_graph(commfree_x1(n, seed=1), n, 1).ok
+
+    def test_general_validates(self):
+        n, x = 800, 4
+        assert validate_pa_graph(commfree(n, x=x, seed=1), n, x).ok
+
+    def test_general_rows_distinct_and_backward(self):
+        n, x = 400, 5
+        _el, F = commfree(n, x=x, p=0.4, seed=1, return_attachments=True)
+        for t in range(x + 1, n):
+            row = F[t]
+            assert len(set(row.tolist())) == x
+            assert (row >= 0).all() and (row < t).all()
+
+    def test_edge_counts(self):
+        assert len(commfree_x1(100, seed=0)) == 99
+        assert len(commfree(100, x=3, seed=0)) == 3 + 97 * 3
+
+    def test_determinism_and_seed_sensitivity(self):
+        assert commfree_x1(500, seed=5) == commfree_x1(500, seed=5)
+        assert commfree_x1(500, seed=5) != commfree_x1(500, seed=6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            commfree_x1(0)
+        with pytest.raises(ValueError):
+            commfree_x1(10, p=0.0)
+        with pytest.raises(ValueError):
+            commfree(5, x=5)
+        with pytest.raises(ValueError):
+            commfree_x1(10, block_size=0)
+
+    def test_degenerate_duplicate_rejection_raises(self):
+        # p=1 with x>1: node x+1 can only ever draw k=x, but needs x
+        # distinct attachments — must fail loudly, like the copy model
+        with pytest.raises(RuntimeError, match="retries"):
+            commfree(10, x=2, p=1.0, seed=0)
+
+
+class TestBlockInvariance:
+    """Block size is a perf knob, never a semantic one."""
+
+    @pytest.mark.parametrize("block", [1, 7, 64, 1 << 20])
+    def test_batch_blocks(self, block):
+        assert commfree_x1(2_000, seed=3, block_size=block) == commfree_x1(
+            2_000, seed=3, block_size=1 << 16
+        )
+
+
+class TestSliceIdentity:
+    """Concatenated slices == sequential output, for any rank count."""
+
+    @pytest.mark.parametrize("n", [2, 5, 1_000, 4_999])
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 7])
+    def test_x1(self, n, ranks):
+        assert concat_slices(n, ranks, seed=11) == commfree_x1(n, seed=11)
+
+    @pytest.mark.parametrize("n,x", [(200, 4), (500, 3)])
+    @pytest.mark.parametrize("ranks", [1, 3, 8])
+    def test_general(self, n, x, ranks):
+        assert concat_slices(n, ranks, x=x, seed=2) == commfree(n, x=x, seed=2)
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(ValueError):
+            commfree_edge_slice(100, 50, 30)
+        with pytest.raises(ValueError):
+            commfree_edge_slice(100, 0, 101)
+
+    def test_slices_partition_the_nodes(self):
+        for n, ranks in ((10, 3), (1_000, 7), (5, 8)):
+            s = commfree_slices(n, ranks)
+            assert s[0][0] == 0 and s[-1][1] == n
+            assert all(a[1] == b[0] for a, b in zip(s, s[1:]))
+
+
+class TestMpIdentity:
+    """The forked-worker path is bit-identical to sequential, any P."""
+
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_x1(self, ranks):
+        assert commfree_mp(10_000, ranks=ranks, seed=13) == commfree_x1(
+            10_000, seed=13
+        )
+
+    def test_general(self):
+        assert commfree_mp(300, x=4, ranks=3, seed=13) == commfree(
+            300, x=4, seed=13
+        )
+
+
+class TestStreaming:
+    @pytest.mark.parametrize("block_size", [1, 7, 64, 100_000])
+    def test_bit_identical_to_batch(self, block_size):
+        n = 3_000
+        assert collect_stream(n, seed=5, block_size=block_size) == commfree_x1(
+            n, seed=5
+        )
+
+    def test_edge_count_and_small_n(self):
+        assert list(stream_commfree_x1(1, seed=0)) == []
+        for n in (2, 3, 100):
+            assert len(collect_stream(n, seed=1)) == n - 1
+
+    def test_chunk_protocol_matches_copy_stream(self):
+        # same shape contract as stream_copy_model_x1: node 1's edge leads
+        # the first block, blocks stay bounded by block_size (+1 for it)
+        sizes = [len(u) for u, _ in stream_commfree_x1(1_000, seed=2,
+                                                       block_size=100)]
+        assert max(sizes) <= 101
+        assert sum(sizes) == 999
+
+    def test_accumulator_consumes_stream(self):
+        from repro.core.streaming import StreamingDegreeAccumulator
+        from repro.graph.degree import degrees_from_edges
+
+        n = 5_000
+        acc = StreamingDegreeAccumulator(n)
+        for u, v in stream_commfree_x1(n, seed=3, block_size=500):
+            acc.update(u, v)
+        batch = degrees_from_edges(commfree_x1(n, seed=3), n)
+        assert np.array_equal(acc.degrees, batch)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            list(stream_commfree_x1(0))
+        with pytest.raises(ValueError):
+            list(stream_commfree_x1(10, block_size=0))
+
+
+class TestGenerateFacade:
+    def test_surfaces_bit_identical(self):
+        seq = generate(5_000, generator="commfree", engine="sequential", seed=4)
+        bsp = generate(5_000, generator="commfree", engine="bsp", ranks=4,
+                       seed=4)
+        mp = generate(5_000, generator="commfree", engine="mp", ranks=4,
+                      seed=4)
+        assert seq.edges == bsp.edges == mp.edges
+        assert seq.validate().ok
+
+    def test_result_shape(self):
+        r = generate(1_000, generator="commfree", engine="bsp", ranks=4,
+                     seed=1)
+        assert r.scheme == "contig"
+        assert r.supersteps == 0
+        assert r.requests_sent.sum() == 0 and r.requests_received.sum() == 0
+        assert r.nodes_per_rank.sum() == 1_000
+        assert r.imbalance == pytest.approx(1.0, abs=0.01)
+
+    def test_general_x_through_facade(self):
+        r = generate(500, x=3, generator="commfree", engine="bsp", ranks=3,
+                     seed=1)
+        assert r.validate().ok
+        assert len(r.edges) == 3 + 497 * 3
+
+    def test_simulated_time_scales_perfectly(self):
+        one = generate(20_000, generator="commfree", engine="sequential",
+                       seed=1)
+        eight = generate(20_000, generator="commfree", engine="bsp", ranks=8,
+                         seed=1)
+        assert eight.simulated_time == pytest.approx(one.simulated_time / 8)
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            generate(100, generator="nope")
+
+    @pytest.mark.parametrize("kwargs,fragment", [
+        (dict(fault_seed=1), "fault"),
+        (dict(checkpoint_dir="unused"), "snapshot"),
+        (dict(checkpoint_path="unused"), "snapshot"),
+        (dict(schedule=object()), "messages"),
+        (dict(pool=object()), "pool"),
+        (dict(engine="event"), "zero-message"),
+    ])
+    def test_meaningless_knobs_rejected(self, kwargs, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            generate(100, generator="commfree", **kwargs)
+
+    def test_partition_rejected(self):
+        from repro.core.partitioning import make_partition
+
+        with pytest.raises(ValueError, match="contiguous"):
+            generate(100, generator="commfree",
+                     partition=make_partition("rrp", 100, 4))

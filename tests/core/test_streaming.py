@@ -93,3 +93,48 @@ class TestAccumulator:
     def test_negative_nodes_rejected(self):
         with pytest.raises(ValueError):
             StreamingDegreeAccumulator(-1)
+
+    def test_empty_update_is_a_noop(self):
+        acc = StreamingDegreeAccumulator(5)
+        empty = np.empty(0, dtype=np.int64)
+        acc.update(empty, empty)
+        assert acc.num_edges == 0
+        assert acc.max_degree == 0
+        assert np.array_equal(acc.degrees, np.zeros(5, dtype=np.int64))
+
+    def test_self_loop_counts_twice(self):
+        # both endpoint increments land on the same node: degree 2, like
+        # the standard graph-theoretic convention degrees_from_edges uses
+        acc = StreamingDegreeAccumulator(3)
+        acc.update(np.array([1]), np.array([1]))
+        assert acc.num_edges == 1
+        assert acc.degrees[1] == 2
+        assert acc.mean_degree == pytest.approx(2 / 3)
+
+    def test_distribution_skips_zero_degree_nodes(self):
+        # node 3 never appears in an edge: it is excluded from the support
+        # (only k > 0 listed) but still in the denominator, so pk sums to
+        # the positive-degree fraction, not 1
+        acc = StreamingDegreeAccumulator(4)
+        acc.update(np.array([1, 2]), np.array([0, 0]))
+        ks, pk = acc.distribution()
+        assert 0 not in ks
+        assert np.array_equal(ks, np.array([1, 2]))
+        assert pk[ks == 1] == pytest.approx(2 / 4)  # nodes 1 and 2
+        assert pk[ks == 2] == pytest.approx(1 / 4)  # node 0
+        assert pk.sum() == pytest.approx(3 / 4)
+
+    def test_accumulates_commfree_stream(self):
+        # the accumulator is the verification path for streaming commfree
+        # output: fold blocks, compare against the materialized batch
+        from repro.core.commfree import commfree_x1, stream_commfree_x1
+        from repro.graph.degree import degrees_from_edges
+
+        n = 2_000
+        acc = StreamingDegreeAccumulator(n)
+        for u, v in stream_commfree_x1(n, seed=9, block_size=128):
+            acc.update(u, v)
+        assert np.array_equal(
+            acc.degrees, degrees_from_edges(commfree_x1(n, seed=9), n)
+        )
+        assert acc.num_edges == n - 1

@@ -1,11 +1,14 @@
 """Tests for per-rank RNG stream management."""
 
+import multiprocessing as mp
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.rng import StreamFactory, rank_stream, spawn_streams
+from repro.rng import CounterStream, StreamFactory, rank_stream, spawn_streams
 
 
 class TestStreamFactory:
@@ -61,6 +64,145 @@ class TestStreamFactory:
         a = StreamFactory(seed).stream(rank).integers(0, 1 << 30, 4)
         b = StreamFactory(seed).stream(rank).integers(0, 1 << 30, 4)
         assert np.array_equal(a, b)
+
+
+def _child_draws(factory_seed, key, conn):
+    """Fork target: draw from a freshly keyed substream and one received
+    over the pipe, send both back."""
+    fresh = StreamFactory(factory_seed).substream(*key).random(8)
+    pickled = conn.recv().random(8)
+    conn.send((fresh, pickled))
+    conn.close()
+
+
+class TestSubstream:
+    def test_deterministic_across_calls(self):
+        f = StreamFactory(7)
+        a = f.substream(9, 3, 1).random(16)
+        b = f.substream(9, 3, 1).random(16)
+        assert np.array_equal(a, b)
+
+    def test_distinct_across_keys(self):
+        f = StreamFactory(7)
+        keys = [(9, 0, 0), (9, 0, 1), (9, 1, 0), (10, 0, 0), (9, 0, 0, 0)]
+        outs = [f.substream(*k).random(16) for k in keys]
+        for i in range(len(outs)):
+            for j in range(i + 1, len(outs)):
+                assert not np.array_equal(outs[i], outs[j]), (keys[i], keys[j])
+
+    def test_independent_of_call_order(self):
+        f1, f2 = StreamFactory(3), StreamFactory(3)
+        a_first = f1.substream(5, 0, 0).random(8)
+        _ = f1.substream(5, 9, 9).random(100)  # interleaved other draws
+        a_again = f1.substream(5, 0, 0).random(8)
+        b = f2.substream(5, 0, 0).random(8)
+        assert np.array_equal(a_first, a_again)
+        assert np.array_equal(a_first, b)
+
+    def test_two_element_keys_rejected(self):
+        with pytest.raises(ValueError, match="namespace"):
+            StreamFactory(0).substream(1, 2)
+
+    def test_does_not_collide_with_rank_streams(self):
+        f = StreamFactory(11)
+        a = f.stream(4, purpose=2).random(8)
+        b = f.substream(4, 2, 0).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_pickles_across_fork(self):
+        """A substream generator survives fork + pickling bit-identically."""
+        key = (17, 4, 0)
+        parent = StreamFactory(42).substream(*key).random(8)
+        to_ship = StreamFactory(42).substream(*key)
+        ctx = mp.get_context("fork")
+        here, there = ctx.Pipe()
+        proc = ctx.Process(target=_child_draws, args=(42, key, there))
+        proc.start()
+        here.send(to_ship)
+        fresh, pickled = here.recv()
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+        assert np.array_equal(parent, fresh)
+        assert np.array_equal(parent, pickled)
+
+
+class TestCounterStream:
+    def test_matches_factory_and_is_deterministic(self):
+        f = StreamFactory(7)
+        cs1 = f.counter_substream(9, 0, 0)
+        cs2 = StreamFactory(7).counter_substream(9, 0, 0)
+        slots = np.arange(100)
+        assert np.array_equal(cs1.uniforms(slots), cs2.uniforms(slots))
+        assert cs1 == cs2
+
+    def test_distinct_across_keys_and_seeds(self):
+        slots = np.arange(64)
+        a = StreamFactory(7).counter_substream(9, 0, 0).uniforms(slots)
+        b = StreamFactory(7).counter_substream(9, 0, 1).uniforms(slots)
+        c = StreamFactory(8).counter_substream(9, 0, 0).uniforms(slots)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_seekable_any_order(self):
+        """Slot k's draw never depends on which draws happened before."""
+        cs = StreamFactory(1).counter_substream(5, 0, 0)
+        batch = cs.uniforms(np.arange(50))
+        shuffled = cs.uniforms(np.array([31, 2, 47, 2, 0]))
+        assert shuffled[0] == batch[31]
+        assert shuffled[1] == batch[2] == shuffled[3]
+        assert shuffled[4] == batch[0]
+        assert float(cs.uniforms(17)) == batch[17]
+
+    def test_draw_axis_independent_of_slot_axis(self):
+        cs = StreamFactory(1).counter_substream(5, 0, 0)
+        slots = np.arange(200)
+        d0 = cs.uniforms(slots, 0)
+        d1 = cs.uniforms(slots, 1)
+        assert not np.array_equal(d0, d1)
+        assert float(cs.uniforms(3, 1)) == d1[3]
+
+    def test_uniform_range_and_moments(self):
+        u = StreamFactory(0).counter_substream(3, 0, 0).uniforms(
+            np.arange(200_000)
+        )
+        assert (u >= 0.0).all() and (u < 1.0).all()
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.std() - (1 / 12) ** 0.5) < 0.005
+
+    def test_hashes_full_width(self):
+        h = StreamFactory(0).counter_substream(3, 0, 0).hashes(
+            np.arange(10_000)
+        )
+        assert h.dtype == np.uint64
+        # every bit position flips somewhere in a modest sample
+        ones = np.zeros(64)
+        for b in range(64):
+            ones[b] = ((h >> np.uint64(b)) & np.uint64(1)).mean()
+        assert (np.abs(ones - 0.5) < 0.05).all()
+
+    def test_scalar_inputs_return_scalars(self):
+        cs = StreamFactory(2).counter_substream(4, 0, 0)
+        assert np.ndim(cs.hashes(5)) == 0
+        assert np.ndim(cs.uniforms(5, 3)) == 0
+
+    def test_two_element_keys_rejected(self):
+        with pytest.raises(ValueError, match="namespace"):
+            StreamFactory(0).counter_substream(1, 2)
+
+    def test_pickle_roundtrip_and_fork(self):
+        cs = StreamFactory(9).counter_substream(6, 1, 0)
+        clone = pickle.loads(pickle.dumps(cs))
+        slots = np.arange(100)
+        assert np.array_equal(cs.uniforms(slots), clone.uniforms(slots))
+
+        ctx = mp.get_context("fork")
+        with ctx.Pool(1) as pool:
+            child = pool.apply(_counter_draws, (cs,))
+        assert np.array_equal(cs.uniforms(slots), child)
+
+
+def _counter_draws(cs: CounterStream) -> np.ndarray:
+    return cs.uniforms(np.arange(100))
 
 
 class TestHelpers:

@@ -266,3 +266,36 @@ class TestLivenessPollFlag:
         rc = main(["generate", "-n", "1000", "-P", "4", "--engine", "mp",
                    "--pool", "--seed", "5", "--liveness-poll", "0.05"])
         assert rc == 0
+
+
+class TestCommfreeCLI:
+    def test_generate_commfree_default_engine(self, tmp_path, capsys):
+        out = tmp_path / "g.bin"
+        rc = main(["generate", "-n", "500", "--generator", "commfree",
+                   "--seed", "1", "--validate", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "validation: ok" in capsys.readouterr().out
+
+    def test_commfree_matches_library_output(self, tmp_path, capsys):
+        from repro.core.commfree import commfree
+        from repro.graph.io import read_edges_binary
+
+        out = tmp_path / "g.bin"
+        rc = main(["generate", "-n", "400", "-x", "3", "-P", "2",
+                   "--generator", "commfree", "--engine", "mp",
+                   "--seed", "9", "-o", str(out)])
+        assert rc == 0
+        assert read_edges_binary(out) == commfree(400, x=3, seed=9)
+
+    @pytest.mark.parametrize("extra,fragment", [
+        (["--inject-faults", "1"], "no distributed state to crash"),
+        (["--checkpoint-dir", "unused"], "nothing to snapshot"),
+        (["--pool", "--engine", "mp"], "drop --pool"),
+        (["--engine", "event"], "nothing to simulate"),
+    ])
+    def test_meaningless_flags_rejected(self, extra, fragment, capsys):
+        rc = main(["generate", "-n", "100", "--generator", "commfree",
+                   "--seed", "1", *extra])
+        assert rc == 2
+        assert fragment in capsys.readouterr().err

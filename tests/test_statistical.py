@@ -78,6 +78,58 @@ class TestPowerLawExponent:
         assert deg.max() > 30 * deg.mean()
 
 
+class TestCommfreeEquivalence:
+    """The recomputation-based generator draws from the same law as the
+    message-passing copy model — different RNG consumption, same process."""
+
+    def test_chi_square_vs_copy_model_x1(self):
+        n, reps = 15_000, 4
+        bins = np.array([1, 2, 3, 4, 6, 9, 14, 21, 1_000_000])
+        cf = np.zeros(len(bins) - 1)
+        cm = np.zeros(len(bins) - 1)
+        for s in range(reps):
+            rc = generate(n, x=1, generator="commfree", seed=s)
+            cf += binned_counts(rc.degrees(), bins)
+            rm = generate(n, x=1, ranks=1, engine="sequential", seed=3000 + s)
+            cm += binned_counts(rm.degrees(), bins)
+        table = np.vstack([cf, cm])
+        keep = table.sum(axis=0) > 10
+        _, pvalue, _, _ = sps.chi2_contingency(table[:, keep])
+        assert pvalue > 1e-3, pvalue
+
+    def test_chi_square_general_x_vs_copy_model(self):
+        n, x, reps = 10_000, 4, 3
+        bins = np.array([4, 5, 6, 8, 11, 16, 24, 40, 1_000_000])
+        cf = np.zeros(len(bins) - 1)
+        cm = np.zeros(len(bins) - 1)
+        for s in range(reps):
+            rc = generate(n, x=x, generator="commfree", seed=s)
+            cf += binned_counts(rc.degrees(), bins)
+            rm = generate(n, x=x, ranks=8, scheme="rrp", seed=4000 + s)
+            cm += binned_counts(rm.degrees(), bins)
+        table = np.vstack([cf, cm])
+        keep = table.sum(axis=0) > 10
+        _, pvalue, _, _ = sps.chi2_contingency(table[:, keep])
+        assert pvalue > 1e-3, pvalue
+
+    def test_gamma_in_paper_window(self):
+        from repro.graph.powerlaw import fit_powerlaw
+
+        n, x = 60_000, 4
+        r = generate(n, x=x, generator="commfree", engine="bsp", ranks=8,
+                     seed=3)
+        fit = fit_powerlaw(r.degrees(), k_min=2 * x)
+        assert 2.4 < fit.gamma < 3.4, fit
+
+    def test_tail_mass_matches_copy_model(self):
+        n, x = 12_000, 2
+        rc = generate(n, x=x, generator="commfree", seed=6)
+        rm = generate(n, x=x, ranks=12, scheme="rrp", seed=6)
+        tail_cf = (rc.degrees() >= 10).mean()
+        tail_cm = (rm.degrees() >= 10).mean()
+        assert abs(tail_cf - tail_cm) < 0.01
+
+
 class TestSchemeInvariance:
     @pytest.mark.parametrize("scheme", ["ucp", "lcp", "rrp"])
     def test_mean_degree_exact(self, scheme):
