@@ -1,0 +1,89 @@
+"""Subprocess probe for the ``out_of_core`` bench case.
+
+Runs ONE generation in a fresh interpreter and prints one JSON object::
+
+    {"edges": ..., "wall_s": ..., "peak_rss_bytes": ..., "digest": ...}
+
+A subprocess because ``ru_maxrss`` is a *process-lifetime* high-water mark:
+measured inside the bench harness it would report whichever earlier case was
+fattest, not this run.  ``peak_rss_bytes`` is ``max(RUSAGE_SELF,
+RUSAGE_CHILDREN)`` sampled immediately after ``generate()`` returns — i.e.
+the generation's own peak, coordinator or any single waited worker,
+whichever was larger.  The bit-identity digest is computed *after* that
+sample on purpose: digesting a spilled run pages its memmapped segment
+files back in, and those file-cache pages (reclaimable, not heap) would
+otherwise mask the bounded-RSS property under test.
+
+Not a public interface — driven by ``bench_hotpaths.py``'s
+``case_out_of_core`` and the CI out-of-core smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.generator import generate
+from repro.core.spill import edges_digest
+
+
+def peak_rss_bytes() -> int:
+    """Lifetime peak RSS of this process or its largest waited child."""
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    # Linux reports KiB, macOS bytes
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, required=True)
+    ap.add_argument("--ranks", type=int, default=4)
+    ap.add_argument("--mode", choices=("spill", "ram"), required=True)
+    ap.add_argument("--dir", type=Path, default=None,
+                    help="spill directory (required with --mode spill)")
+    ap.add_argument("--budget-mb", type=float, default=64.0)
+    ap.add_argument("--seed", type=int, default=1234)
+    ap.add_argument("--generator", default="commfree")
+    ap.add_argument("--engine", default="mp")
+    args = ap.parse_args(argv)
+
+    kwargs = {}
+    if args.mode == "spill":
+        if args.dir is None:
+            ap.error("--dir is required with --mode spill")
+        kwargs["out_of_core"] = str(args.dir)
+        kwargs["spill_budget_bytes"] = int(args.budget_mb * (1 << 20))
+
+    t0 = time.perf_counter()
+    result = generate(
+        args.n,
+        ranks=args.ranks,
+        seed=args.seed,
+        engine=args.engine,
+        generator=args.generator,
+        **kwargs,
+    )
+    wall = time.perf_counter() - t0
+    rss = peak_rss_bytes()  # before the digest pages the segment files in
+
+    digest = edges_digest(result.edges)
+    print(json.dumps({
+        "edges": len(result.edges),
+        "wall_s": wall,
+        "peak_rss_bytes": rss,
+        "digest": digest,
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

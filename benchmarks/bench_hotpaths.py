@@ -25,7 +25,14 @@ machine-readable ``BENCH_hotpaths.json`` at the repository root:
 * ``mp_pool`` — five consecutive generation jobs on a persistent
   :class:`~repro.mpsim.pool.WorkerPool` vs five cold engine runs;
 * ``telemetry_overhead`` — end-to-end BSP generation with telemetry
-  disabled (the default no-op path) vs enabled, the observability tax.
+  disabled (the default no-op path) vs enabled, the observability tax;
+* ``out_of_core`` — spilled (``out_of_core=``) vs in-RAM mp generation in
+  fresh subprocesses, recording wall time, edges/s, and each run's peak RSS
+  via ``resource.getrusage`` (see ``_oocore_child.py`` for why a
+  subprocess), and asserting the two runs are bit-identical by streaming
+  sha256 digest.  ``--oocore-n 100000000`` opts into the paper-scale run
+  (pair it with ``--oocore-spill-only``: at that n the in-RAM reference is
+  the thing that cannot exist).
 
 Every measurement is best-of-``--repeats`` wall time: single-occupancy CI
 boxes (and the 1-CPU container this repo grew up on) show multi-x run-to-run
@@ -50,6 +57,10 @@ CI allows generous noise headroom on shared boxes).
 generation is at least ``S``× the copy-model p2p pipeline at equal n and P
 (needs both the ``commfree_endtoend`` and ``mp_endtoend`` cases; CI uses
 ``S = 1.0``: trading messages for recomputation must never lose).
+``--max-oocore-rss M`` exits non-zero if the spilled run's peak RSS exceeds
+``M`` MB *or* the spilled and in-RAM graphs are not bit-identical (needs
+the ``out_of_core`` case) — the hard ceiling the CI out-of-core smoke job
+enforces.
 """
 
 from __future__ import annotations
@@ -58,7 +69,9 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -96,6 +109,7 @@ SCALES = {
         endtoend_n=50_000, pool_n=5_000, pool_jobs=5,
         telemetry_n=50_000,
         sched_n=200, sched_schedules=8,
+        oocore_n=200_000, oocore_P=4, oocore_budget_mb=2,
     ),
     "ci": dict(
         general_n=200_000, x1_n=200_000, ptr_n=500_000,
@@ -104,6 +118,7 @@ SCALES = {
         endtoend_n=200_000, pool_n=10_000, pool_jobs=5,
         telemetry_n=200_000,
         sched_n=300, sched_schedules=16,
+        oocore_n=1_000_000, oocore_P=4, oocore_budget_mb=8,
     ),
     "full": dict(
         general_n=200_000, x1_n=1_000_000, ptr_n=2_000_000,
@@ -114,6 +129,7 @@ SCALES = {
         endtoend_n=1_000_000, pool_n=20_000, pool_jobs=5,
         telemetry_n=500_000,
         sched_n=300, sched_schedules=64,
+        oocore_n=10_000_000, oocore_P=4, oocore_budget_mb=64,
     ),
 }
 
@@ -402,6 +418,86 @@ def case_sched_explore(sizes, repeats):
     return out
 
 
+def _probe_oocore(n, P, budget_mb, mode, spill_dir=None):
+    """One generation in a fresh interpreter; returns its printed JSON."""
+    child = Path(__file__).resolve().parent / "_oocore_child.py"
+    cmd = [
+        sys.executable, str(child),
+        "--n", str(n), "--ranks", str(P), "--mode", mode,
+        "--budget-mb", str(budget_mb), "--seed", str(SEED),
+    ]
+    if mode == "spill":
+        cmd += ["--dir", str(spill_dir)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"oocore child failed ({mode}, n={n}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def case_out_of_core(sizes, repeats):
+    """Spilled vs in-RAM mp generation: wall, peak RSS, and bit-identity.
+
+    Each probe is a fresh subprocess (``ru_maxrss`` is a process-lifetime
+    high-water mark, so in-harness measurement would be cross-contaminated
+    by earlier cases).  Spill mode writes sealed shards plus segment files
+    into a throwaway directory that is deleted between repeats — every
+    repeat pays the full emission, not an overwrite of hot files.  The
+    digest must agree across repeats (determinism) and across modes
+    (bit-transparency of the spill path); a mismatch raises rather than
+    producing a report that quietly benchmarks two different graphs.
+    """
+    n, P = sizes["oocore_n"], sizes["oocore_P"]
+    budget_mb = sizes["oocore_budget_mb"]
+    spill_only = sizes.get("oocore_spill_only", False)
+
+    def best_probe(mode):
+        walls, rsss, digest, edges = [], [], None, None
+        for _ in range(repeats):
+            if mode == "spill":
+                with tempfile.TemporaryDirectory(prefix="bench-oocore.") as d:
+                    r = _probe_oocore(n, P, budget_mb, mode, spill_dir=d)
+            else:
+                r = _probe_oocore(n, P, budget_mb, mode)
+            walls.append(r["wall_s"])
+            rsss.append(r["peak_rss_bytes"])
+            if digest is None:
+                digest, edges = r["digest"], r["edges"]
+            elif r["digest"] != digest:
+                raise RuntimeError(
+                    f"oocore {mode} runs disagree at equal seed — "
+                    f"nondeterministic generation"
+                )
+        wall = min(walls)
+        return {
+            "wall_s": wall,
+            "edges_per_s": edges / wall,
+            "peak_rss_bytes": min(rsss),
+            "digest": digest,
+            "edges": edges,
+        }
+
+    spill = best_probe("spill")
+    out = {
+        "n": n, "P": P, "budget_mb": budget_mb,
+        "edges": spill["edges"],
+        "spill": {k: spill[k] for k in ("wall_s", "edges_per_s", "peak_rss_bytes")},
+        "digest": spill["digest"],
+    }
+    if spill_only:
+        out["bit_identical"] = None  # no reference to compare against
+        return out
+    ram = best_probe("ram")
+    out["ram"] = {k: ram[k] for k in ("wall_s", "edges_per_s", "peak_rss_bytes")}
+    out["bit_identical"] = spill["digest"] == ram["digest"]
+    out["rss_spill_over_ram"] = (
+        spill["peak_rss_bytes"] / max(ram["peak_rss_bytes"], 1)
+    )
+    out["slowdown_spill_over_ram"] = spill["wall_s"] / ram["wall_s"]
+    return out
+
+
 CASES = {
     "copy_model_general": case_copy_model_general,
     "copy_model_x1": case_copy_model_x1,
@@ -414,6 +510,7 @@ CASES = {
     "mp_pool": case_mp_pool,
     "telemetry_overhead": case_telemetry_overhead,
     "sched_explore": case_sched_explore,
+    "out_of_core": case_out_of_core,
 }
 
 
@@ -440,6 +537,18 @@ def main(argv=None) -> int:
                     help="fail unless end-to-end commfree generation is >= "
                          "S x the copy-model p2p pipeline (needs the "
                          "commfree_endtoend and mp_endtoend cases)")
+    ap.add_argument("--max-oocore-rss", type=float, default=None, metavar="M",
+                    help="fail if the spilled run's peak RSS exceeds M MB, or "
+                         "if the spilled graph is not bit-identical to the "
+                         "in-RAM one (needs the out_of_core case)")
+    ap.add_argument("--oocore-n", type=int, default=None, metavar="N",
+                    help="override the out_of_core case's n (e.g. 100000000 "
+                         "for the opt-in paper-scale run)")
+    ap.add_argument("--oocore-spill-only", action="store_true",
+                    help="skip the out_of_core case's in-RAM reference probe "
+                         "— for paper-scale n, where the in-RAM run is the "
+                         "thing that cannot exist (disables the bit-identity "
+                         "half of --max-oocore-rss)")
     args = ap.parse_args(argv)
 
     wanted = [c.strip() for c in args.cases.split(",") if c.strip()]
@@ -447,7 +556,11 @@ def main(argv=None) -> int:
     if unknown:
         ap.error(f"unknown cases: {', '.join(unknown)}")
 
-    sizes = SCALES[args.scale]
+    sizes = dict(SCALES[args.scale])
+    if args.oocore_n is not None:
+        sizes["oocore_n"] = args.oocore_n
+    if args.oocore_spill_only:
+        sizes["oocore_spill_only"] = True
     report = {
         "schema": "bench_hotpaths/v1",
         "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -564,6 +677,35 @@ def main(argv=None) -> int:
             return 1
         print(f"[bench_hotpaths] commfree speedup gate passed "
               f"({got:.2f}x >= {args.require_commfree_speedup}x)")
+    oo = report["cases"].get("out_of_core")
+    if oo is not None:
+        spill_mb = oo["spill"]["peak_rss_bytes"] / (1 << 20)
+        line = (f"[bench_hotpaths] out-of-core n={oo['n']} P={oo['P']} "
+                f"budget={oo['budget_mb']}MB: spilled {oo['spill']['wall_s']:.3f}s "
+                f"({oo['spill']['edges_per_s'] / 1e6:.2f}M edges/s, "
+                f"peak RSS {spill_mb:.0f}MB)")
+        if "ram" in oo:
+            line += (f" vs in-RAM {oo['ram']['wall_s']:.3f}s "
+                     f"(peak RSS {oo['ram']['peak_rss_bytes'] / (1 << 20):.0f}MB); "
+                     f"bit-identical: {oo['bit_identical']}")
+        print(line)
+    if args.max_oocore_rss is not None:
+        if oo is None:
+            print("[bench_hotpaths] --max-oocore-rss needs the out_of_core "
+                  "case", file=sys.stderr)
+            return 2
+        got_mb = oo["spill"]["peak_rss_bytes"] / (1 << 20)
+        if got_mb > args.max_oocore_rss:
+            print(f"[bench_hotpaths] FAIL: spilled peak RSS {got_mb:.0f}MB "
+                  f"> allowed {args.max_oocore_rss:.0f}MB", file=sys.stderr)
+            return 1
+        if oo["bit_identical"] is False:
+            print("[bench_hotpaths] FAIL: spilled graph differs from the "
+                  "in-RAM graph at equal seed", file=sys.stderr)
+            return 1
+        print(f"[bench_hotpaths] out-of-core RSS gate passed "
+              f"({got_mb:.0f}MB <= {args.max_oocore_rss:.0f}MB, "
+              f"bit_identical={oo['bit_identical']})")
     tel = report["cases"].get("telemetry_overhead")
     if tel is not None:
         print(f"[bench_hotpaths] telemetry: disabled {tel['disabled_s']:.3f}s, "

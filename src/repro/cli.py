@@ -90,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--liveness-poll", type=float, default=0.25,
                    help="--engine mp: how often (s) the coordinator re-arms "
                         "its wait on worker pipes to check for silent deaths")
+    g.add_argument("--out-of-core", type=Path, default=None, metavar="DIR",
+                   help="spill edges to sha256-sealed shards under DIR "
+                        "instead of accumulating them in RAM; peak RSS of "
+                        "the edge-storage layer is bounded by "
+                        "--spill-budget-mb and the output is bit-identical "
+                        "to the in-RAM path (see docs/performance.md)")
+    g.add_argument("--spill-budget-mb", type=float, default=64.0,
+                   help="out-of-core write-buffer budget in MiB "
+                        "(default: 64)")
     g.add_argument("--trace-out", type=Path, default=None,
                    help="record telemetry and write a Chrome trace-event "
                         "JSON here (open in chrome://tracing / Perfetto, "
@@ -232,6 +241,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                   "driven simulator has nothing to simulate; use --engine "
                   "sequential, bsp, or mp", file=sys.stderr)
             return 2
+    if args.out_of_core is not None:
+        if args.engine == "event":
+            print("--out-of-core bounds edge-storage memory; the event-"
+                  "driven simulator is a small-n demonstrator — use "
+                  "--engine bsp or mp", file=sys.stderr)
+            return 2
+        if args.pool:
+            print("--out-of-core redirects worker results into a per-run "
+                  "spill directory; pooled workers outlive the run — drop "
+                  "--pool", file=sys.stderr)
+            return 2
+        if args.checkpoint or args.checkpoint_dir:
+            print("--out-of-core spills edges, checkpointing spills program "
+                  "state; the two shard lifecycles cannot combine yet — "
+                  "drop --checkpoint/--checkpoint-dir", file=sys.stderr)
+            return 2
     tel = None
     if args.trace_out is not None or args.metrics_out is not None:
         from repro.telemetry import Telemetry
@@ -268,6 +293,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             # (generate() refuses telemetry= alongside pool=)
             telemetry=None if pool is not None else tel,
             generator=args.generator,
+            out_of_core=str(args.out_of_core) if args.out_of_core else None,
+            spill_budget_bytes=int(args.spill_budget_mb * (1 << 20)),
         )
     finally:
         if pool is not None:

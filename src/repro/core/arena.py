@@ -113,10 +113,22 @@ class RecordQueue:
 
     __slots__ = ("_cols",)
 
-    def __init__(self, ncols: int, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        ncols: int,
+        capacity: int = 64,
+        arenas: tuple[ArrayArena, ...] | None = None,
+    ) -> None:
         if ncols < 1:
             raise ValueError(f"ncols must be >= 1, got {ncols}")
-        self._cols = tuple(ArrayArena(capacity) for _ in range(ncols))
+        if arenas is not None:
+            # injection point for alternative backings (e.g. the memmapped
+            # :class:`repro.core.spill.SpillArena` of out-of-core runs)
+            if len(arenas) != ncols:
+                raise ValueError(f"expected {ncols} arenas, got {len(arenas)}")
+            self._cols = tuple(arenas)
+        else:
+            self._cols = tuple(ArrayArena(capacity) for _ in range(ncols))
 
     def __len__(self) -> int:
         return len(self._cols[0])

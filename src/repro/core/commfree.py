@@ -61,6 +61,7 @@ Algorithm 3.2.
 from __future__ import annotations
 
 import multiprocessing as mp
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
@@ -481,9 +482,24 @@ def commfree_edge_slice(
     return _general_edges(n, x, lo, hi, val)
 
 
-def _slice_worker(args) -> tuple[np.ndarray, np.ndarray]:
-    n, x, p, seed, lo, hi, block_size = args
-    return commfree_edge_slice(n, lo, hi, x=x, p=p, seed=seed, block_size=block_size)
+def _slice_worker(args):
+    """One rank's job: compute a slice, and (out-of-core) spill it sealed.
+
+    Jobs are 7-tuples ``(n, x, p, seed, lo, hi, block_size)``; out-of-core
+    jobs append ``(shard_dir, chunk_edges)``.  A spilling worker returns the
+    slice's sealed manifest (a small dict) instead of the edge arrays —
+    the coordinator assembles manifests, never ships arrays over the pipe.
+    """
+    n, x, p, seed, lo, hi, block_size = args[:7]
+    u, v = commfree_edge_slice(n, lo, hi, x=x, p=p, seed=seed, block_size=block_size)
+    if len(args) == 7:
+        return u, v
+    shard_dir, chunk_edges = args[7:]
+    from repro.core.spill import EdgeShardWriter
+
+    writer = EdgeShardWriter(shard_dir, chunk_edges=chunk_edges)
+    writer.append_arrays(u, v)
+    return writer.seal()
 
 
 def commfree_mp(
@@ -493,6 +509,8 @@ def commfree_mp(
     ranks: int = 2,
     seed: int | None = None,
     block_size: int = _BLOCK,
+    spill_dir: str | None = None,
+    budget_bytes: int | None = None,
 ) -> EdgeList:
     """Trivially-parallel commfree generation on real OS processes.
 
@@ -502,10 +520,30 @@ def commfree_mp(
     checkpoint surface — a crashed worker simply means rerunning its pure,
     stateless slice.  Output is bit-identical to :func:`commfree` /
     :func:`commfree_x1` for any ``ranks``.
+
+    With ``spill_dir`` set the run goes out-of-core: each worker writes its
+    slice as sha256-sealed shards under ``<spill_dir>/shards/rank<r>`` and
+    returns only the manifest; the coordinator streams the shards, in rank
+    order, into a :class:`repro.core.spill.SpillEdgeList` whose in-RAM
+    write buffer is bounded by ``budget_bytes``.  Bit-identical to the
+    in-RAM path at every rank count.
     """
     _check_params(n, x, p)
     slices = commfree_slices(n, ranks)
-    jobs = [(n, x, p, seed, lo, hi, block_size) for lo, hi in slices]
+    spilling = spill_dir is not None
+    if spilling:
+        from repro.core import spill as _spill
+
+        budget = budget_bytes or _spill.DEFAULT_BUDGET_BYTES
+        chunk_edges = max(budget // 32, 1024)
+        jobs = [
+            (n, x, p, seed, lo, hi, block_size,
+             str(_spill.rank_shard_dir(Path(spill_dir) / "shards", r, ranks)),
+             chunk_edges)
+            for r, (lo, hi) in enumerate(slices)
+        ]
+    else:
+        jobs = [(n, x, p, seed, lo, hi, block_size) for lo, hi in slices]
     if ranks == 1:
         parts = [_slice_worker(jobs[0])]
     else:
@@ -513,6 +551,15 @@ def commfree_mp(
         ctx = mp.get_context("fork" if "fork" in methods else None)
         with ctx.Pool(processes=ranks) as pool:
             parts = pool.map(_slice_worker, jobs)
+    if spilling:
+        edges = _spill.SpillEdgeList(Path(spill_dir) / "edges", budget_bytes=budget)
+        _spill.assemble_shards(Path(spill_dir) / "shards", ranks, edges)
+        expected = sum(m["edges"] for m in parts)
+        if len(edges) != expected:
+            raise RuntimeError(
+                f"assembled {len(edges)} edges, manifests promised {expected}"
+            )
+        return edges
     m = x * (x - 1) // 2 + (n - x) * x if x > 1 else n - 1
     edges = EdgeList(capacity=max(m, 1))
     for u, v in parts:

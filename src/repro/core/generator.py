@@ -133,6 +133,8 @@ def generate(
     telemetry: Any = None,
     schedule: Any = None,
     generator: str = "copy",
+    out_of_core: str | None = None,
+    spill_budget_bytes: int = 64 << 20,
 ) -> GenerationResult:
     """Generate a preferential-attachment network.
 
@@ -229,6 +231,17 @@ def generate(
         construct the :class:`~repro.mpsim.pool.WorkerPool` with
         ``telemetry=`` instead (the ring must exist before its workers
         fork).
+    out_of_core, spill_budget_bytes:
+        When ``out_of_core`` names a directory, the run spills its edges to
+        disk instead of accumulating them in RAM: workers/ranks emit
+        sha256-sealed shards under per-rank directories, the coordinator
+        assembles manifests (never arrays), and ``result.edges`` is a
+        :class:`repro.core.spill.SpillEdgeList` whose in-RAM write buffer
+        is bounded by ``spill_budget_bytes`` (default 64 MiB).  Supported on
+        the ``sequential`` (``x=1`` streaming emitters), ``bsp``, and
+        ``mp`` engines for both generators; output is **bit-identical** to
+        the in-RAM path at every rank count.  See ``docs/performance.md``
+        (out-of-core section) for the format and the RSS budget semantics.
 
     Examples
     --------
@@ -248,6 +261,29 @@ def generate(
         raise ValueError(
             f"unknown generator {generator!r}; choose 'copy' or 'commfree'"
         )
+    if out_of_core is not None:
+        if spill_budget_bytes < 1:
+            raise ValueError(
+                f"spill_budget_bytes must be >= 1, got {spill_budget_bytes}"
+            )
+        if engine == "event":
+            raise ValueError(
+                "out_of_core= bounds edge-storage memory; the event-driven "
+                "simulator is a small-n demonstrator whose edges trivially "
+                "fit in RAM — use engine='bsp' or 'mp'"
+            )
+        if pool is not None:
+            raise ValueError(
+                "out_of_core= redirects worker results into a per-run spill "
+                "directory; pooled workers outlive the run and its "
+                "directory — drop pool="
+            )
+        if checkpoint_path is not None or checkpoint_dir is not None:
+            raise ValueError(
+                "out_of_core= spills edges, checkpointing spills program "
+                "state; combining the two shard lifecycles is not supported "
+                "yet — drop checkpoint_path/checkpoint_dir"
+            )
     if generator == "commfree":
         if plan is not None:
             raise ValueError(
@@ -279,7 +315,8 @@ def generate(
                 "edge order) — drop partition="
             )
         return _generate_commfree(
-            n, x, p, ranks, seed, engine, cost_model, telemetry
+            n, x, p, ranks, seed, engine, cost_model, telemetry,
+            out_of_core=out_of_core, spill_budget_bytes=spill_budget_bytes,
         )
 
     if schedule is not None:
@@ -319,8 +356,23 @@ def generate(
             )
         from repro.seq.copy_model import copy_model
 
-        with tel.span("copy_model", cat="compute", tid=0, n=n, x=x):
-            edges = copy_model(n, x=x, p=p, seed=seed)
+        if out_of_core is not None:
+            if x != 1:
+                raise ValueError(
+                    "sequential out-of-core needs a streaming emitter and "
+                    "only the x=1 copy stream has one — use engine='bsp' or "
+                    "'mp' (whose rank programs spill their results), or x=1"
+                )
+            from repro.core.streaming import stream_copy_model_x1
+
+            with tel.span("copy_stream.spill", cat="compute", tid=0, n=n):
+                edges = _spill_stream(
+                    out_of_core, spill_budget_bytes,
+                    stream_copy_model_x1(n, p=p, seed=seed),
+                )
+        else:
+            with tel.span("copy_model", cat="compute", tid=0, n=n, x=x):
+                edges = copy_model(n, x=x, p=p, seed=seed)
         cost = cost_model or CostModel()
         return GenerationResult(
             edges=edges,
@@ -380,7 +432,7 @@ def generate(
             n, x, p, part, seed, cost_model, exchange, pool, plan,
             checkpoint_path, checkpoint_every, checkpoint_dir,
             checkpoint_keep, max_retries, barrier_timeout, telemetry,
-            liveness_poll,
+            liveness_poll, out_of_core, spill_budget_bytes,
         )
 
     if engine != "bsp":
@@ -418,6 +470,11 @@ def generate(
             u, v = prog.result()
             edges.append_arrays(u, v)
         recoveries = list(eng.stats.recoveries)
+    elif out_of_core is not None:
+        edges, eng, programs = _run_bsp_oocore(
+            n, x, p, part, seed, cost_model, plan, telemetry, schedule,
+            out_of_core, spill_budget_bytes,
+        )
     elif x == 1:
         edges, eng, programs = run_parallel_pa_x1(
             n, part, p=p, seed=seed, cost_model=cost_model,
@@ -452,11 +509,88 @@ def generate(
     )
 
 
+def _spill_chunk_edges(budget_bytes: int) -> int:
+    """Sealed-shard chunk size honouring the write-buffer budget.
+
+    A shard transits RAM twice while being sealed (the pending batches plus
+    their concatenation), so chunks are budget/32 edges — two copies of a
+    chunk stay within ``budget_bytes``.
+    """
+    return max(int(budget_bytes) // 32, 1024)
+
+
+def _spill_stream(out_dir, budget_bytes, blocks):
+    """Drain a streaming emitter into sealed shards; return the spilled list."""
+    from pathlib import Path
+
+    from repro.core import spill
+
+    shards = Path(out_dir) / "shards"
+    spill.write_edge_shards(
+        spill.rank_shard_dir(shards, 0, 1), blocks,
+        chunk_edges=_spill_chunk_edges(budget_bytes),
+    )
+    edges = spill.SpillEdgeList(Path(out_dir) / "edges", budget_bytes=budget_bytes)
+    return spill.assemble_shards(shards, 1, edges)
+
+
+def _run_bsp_oocore(
+    n, x, p, part, seed, cost_model, plan, telemetry, schedule, out_dir,
+    budget_bytes,
+):
+    """The BSP generation with spilled wait queues and spilled results.
+
+    Runs the same rank programs as :func:`run_parallel_pa_x1` /
+    :func:`run_parallel_pa` (so the graph is bit-identical), but their
+    park/pend queues are memmap-backed and each rank's result is chunked
+    into sealed shards instead of concatenated in RAM.
+    """
+    from pathlib import Path
+
+    from repro.core import spill
+    from repro.core.parallel_pa import PAx1RankProgram
+    from repro.core.parallel_pa_general import PAGeneralRankProgram
+    from repro.mpsim.bsp import BSPEngine
+    from repro.rng import StreamFactory
+
+    if x > 1 and n <= x:
+        raise ValueError(f"need n > x, got n={n}, x={x}")
+    out_dir = Path(out_dir)
+    qf = spill.SpillQueueFactory(out_dir / "queues")
+    factory = StreamFactory(seed)
+    if x == 1:
+        programs = [
+            PAx1RankProgram(r, part, p, factory.stream(r), queue_factory=qf)
+            for r in range(part.P)
+        ]
+    else:
+        programs = [
+            PAGeneralRankProgram(
+                r, part, x, p, factory.stream(r), queue_factory=qf
+            )
+            for r in range(part.P)
+        ]
+    engine = BSPEngine(
+        part.P, cost_model=cost_model, telemetry=telemetry
+    )
+    engine.run(programs, fault_plan=plan, schedule=schedule)
+    chunk = _spill_chunk_edges(budget_bytes)
+    shards = out_dir / "shards"
+    for r, prog in enumerate(programs):
+        u, v = prog.result()
+        spill.write_edge_shards(
+            spill.rank_shard_dir(shards, r, part.P), [(u, v)], chunk_edges=chunk
+        )
+    edges = spill.SpillEdgeList(out_dir / "edges", budget_bytes=budget_bytes)
+    spill.assemble_shards(shards, part.P, edges)
+    return edges, engine, programs
+
+
 def _generate_mp(
     n, x, p, part, seed, cost_model, exchange, pool, plan,
     checkpoint_path=None, checkpoint_every=1, checkpoint_dir=None,
     checkpoint_keep=3, max_retries=3, barrier_timeout=120.0, telemetry=None,
-    liveness_poll=0.25,
+    liveness_poll=0.25, out_of_core=None, spill_budget_bytes=64 << 20,
 ):
     """Run the generation on the real-process backend (or a live pool).
 
@@ -475,17 +609,46 @@ def _generate_mp(
     if x > 1 and n <= x:
         raise ValueError(f"need n > x, got n={n}, x={x}")
 
+    spill_dir = None
+    if out_of_core is not None:
+        from pathlib import Path
+
+        spill_dir = Path(out_of_core)
+
     def program_factory():
         factory = StreamFactory(seed)
+        qf = None
+        if spill_dir is not None:
+            from repro.core.spill import SpillQueueFactory
+
+            qf = SpillQueueFactory(spill_dir / "queues")
         if x == 1:
-            return [
-                PAx1RankProgram(r, part, p, factory.stream(r))
+            progs = [
+                PAx1RankProgram(r, part, p, factory.stream(r), queue_factory=qf)
                 for r in range(part.P)
             ]
-        return [
-            PAGeneralRankProgram(r, part, x, p, factory.stream(r))
-            for r in range(part.P)
-        ]
+        else:
+            progs = [
+                PAGeneralRankProgram(
+                    r, part, x, p, factory.stream(r), queue_factory=qf
+                )
+                for r in range(part.P)
+            ]
+        if spill_dir is not None:
+            # each worker seals its own rank's shards at result() time; the
+            # coordinator then collects a small manifest over the pipe
+            # instead of the rank's edge arrays
+            from repro.core.spill import SpillResultProgram, rank_shard_dir
+
+            chunk = _spill_chunk_edges(spill_budget_bytes)
+            progs = [
+                SpillResultProgram(
+                    prog, rank_shard_dir(spill_dir / "shards", r, part.P),
+                    chunk_edges=chunk,
+                )
+                for r, prog in enumerate(progs)
+            ]
+        return progs
 
     if pool is not None and (
         checkpoint_path is not None or checkpoint_dir is not None
@@ -544,9 +707,17 @@ def _generate_mp(
         )
         eng.run(program_factory(), fault_plan=plan, checkpointer=checkpointer)
 
-    edges = EdgeList(capacity=max(n * max(x, 1) - 1, 1))
-    for pair in eng.results:
-        edges.append_arrays(pair[0], pair[1])
+    if spill_dir is not None:
+        from repro.core.spill import SpillEdgeList, assemble_shards
+
+        edges = SpillEdgeList(
+            spill_dir / "edges", budget_bytes=spill_budget_bytes
+        )
+        assemble_shards(spill_dir / "shards", part.P, edges)
+    else:
+        edges = EdgeList(capacity=max(n * max(x, 1) - 1, 1))
+        for pair in eng.results:
+            edges.append_arrays(pair[0], pair[1])
     return GenerationResult(
         edges=edges,
         n=n,
@@ -571,14 +742,19 @@ def _generate_mp(
     )
 
 
-def _generate_commfree(n, x, p, ranks, seed, engine, cost_model, telemetry):
+def _generate_commfree(
+    n, x, p, ranks, seed, engine, cost_model, telemetry,
+    out_of_core=None, spill_budget_bytes=64 << 20,
+):
     """Run the communication-free generator on the requested surface.
 
     All three surfaces produce bit-identical edge lists (the point of
     counter-based randomness); they differ only in where the slices are
     computed.  The simulated time charges pure compute divided by the rank
     count — perfect scaling, because there is literally no communication
-    term to add.
+    term to add.  With ``out_of_core`` every surface emits sealed shards
+    and assembles a :class:`repro.core.spill.SpillEdgeList` — still bit for
+    bit the in-RAM graph.
     """
     from repro.core.commfree import (
         commfree,
@@ -601,22 +777,68 @@ def _generate_commfree(n, x, p, ranks, seed, engine, cost_model, telemetry):
     if engine == "sequential":
         if ranks != 1:
             raise ValueError("sequential engine requires ranks=1")
-        with tel.span("commfree", cat="compute", tid=0, n=n, x=x):
-            edges = commfree(n, x=x, p=p, seed=seed)
+        if out_of_core is not None:
+            if x != 1:
+                raise ValueError(
+                    "sequential out-of-core needs a streaming emitter and "
+                    "only the x=1 commfree stream has one — use "
+                    "engine='bsp' or 'mp' (slices spill shard by shard), "
+                    "or x=1"
+                )
+            from repro.core.commfree import stream_commfree_x1
+
+            with tel.span("commfree.stream.spill", cat="compute", tid=0, n=n):
+                edges = _spill_stream(
+                    out_of_core, spill_budget_bytes,
+                    stream_commfree_x1(n, p=p, seed=seed),
+                )
+        else:
+            with tel.span("commfree", cat="compute", tid=0, n=n, x=x):
+                edges = commfree(n, x=x, p=p, seed=seed)
     elif engine == "bsp":
         # in-process slice-at-a-time evaluation: same work the mp workers
         # would do, on one core — supersteps do not exist here
-        m = x * (x - 1) // 2 + (n - x) * x if x > 1 else max(n - 1, 0)
-        edges = EdgeList(capacity=max(m, 1))
-        with tel.span("commfree.slices", cat="compute", tid=0, n=n, x=x):
-            for r, (lo, hi) in enumerate(slices):
-                with tel.span("commfree.slice", cat="compute", tid=r,
-                              lo=lo, hi=hi):
-                    u, v = commfree_edge_slice(n, lo, hi, x=x, p=p, seed=seed)
-                    edges.append_arrays(u, v)
+        if out_of_core is not None:
+            from pathlib import Path
+
+            from repro.core import spill
+
+            out_dir = Path(out_of_core)
+            chunk = _spill_chunk_edges(spill_budget_bytes)
+            with tel.span("commfree.slices", cat="compute", tid=0, n=n, x=x):
+                for r, (lo, hi) in enumerate(slices):
+                    with tel.span("commfree.slice", cat="compute", tid=r,
+                                  lo=lo, hi=hi):
+                        u, v = commfree_edge_slice(
+                            n, lo, hi, x=x, p=p, seed=seed
+                        )
+                        spill.write_edge_shards(
+                            spill.rank_shard_dir(
+                                out_dir / "shards", r, ranks
+                            ),
+                            [(u, v)], chunk_edges=chunk,
+                        )
+            edges = spill.SpillEdgeList(
+                out_dir / "edges", budget_bytes=spill_budget_bytes
+            )
+            spill.assemble_shards(out_dir / "shards", ranks, edges)
+        else:
+            m = x * (x - 1) // 2 + (n - x) * x if x > 1 else max(n - 1, 0)
+            edges = EdgeList(capacity=max(m, 1))
+            with tel.span("commfree.slices", cat="compute", tid=0, n=n, x=x):
+                for r, (lo, hi) in enumerate(slices):
+                    with tel.span("commfree.slice", cat="compute", tid=r,
+                                  lo=lo, hi=hi):
+                        u, v = commfree_edge_slice(
+                            n, lo, hi, x=x, p=p, seed=seed
+                        )
+                        edges.append_arrays(u, v)
     elif engine == "mp":
         with tel.span("commfree.mp", cat="run", tid=-1, n=n, x=x, P=ranks):
-            edges = commfree_mp(n, x=x, p=p, ranks=ranks, seed=seed)
+            edges = commfree_mp(
+                n, x=x, p=p, ranks=ranks, seed=seed,
+                spill_dir=out_of_core, budget_bytes=spill_budget_bytes,
+            )
     else:
         raise ValueError(
             f"generator='commfree' supports engines 'sequential', 'bsp', "

@@ -75,7 +75,14 @@ class PAx1RankProgram:
         node protocol documented in the module docstring).
     """
 
-    def __init__(self, rank: int, partition: Partition, p: float, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        rank: int,
+        partition: Partition,
+        p: float,
+        rng: np.random.Generator,
+        queue_factory=None,
+    ) -> None:
         self.rank = rank
         self.part = partition
         self.p = p
@@ -83,12 +90,16 @@ class PAx1RankProgram:
         self.nodes = partition.partition_nodes(rank)
         self.F = np.full(len(self.nodes), -1, dtype=np.int64)
         self._started = False
+        # ``queue_factory(ncols) -> RecordQueue`` swaps the queues' backing;
+        # out-of-core runs pass repro.core.spill.SpillQueueFactory so the
+        # wait queues live in memmapped files instead of the heap
+        make = queue_factory or RecordQueue
         # local copy-chain waits: t (local idx) waiting on k (local idx)
-        self._pend = RecordQueue(2)  # columns: (t local idx, k local idx)
+        self._pend = make(2)  # columns: (t local idx, k local idx)
         # remote requesters parked on an unknown local F_k (the wait queues
         # Q_k of Lines 14-15, kept in an amortised-doubling arena so each
         # superstep's append costs the batch, not the queue)
-        self._park = RecordQueue(2)  # columns: (k local idx awaited, t)
+        self._park = make(2)  # columns: (k local idx awaited, t)
         # resolution progress (node 0 owns no attachment)
         self._unresolved = int((self.nodes >= 1).sum())
         # paper's Figure 7 counters

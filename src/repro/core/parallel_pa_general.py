@@ -74,6 +74,7 @@ class PAGeneralRankProgram:
         p: float,
         rng: np.random.Generator,
         canonical_inbox: bool = True,
+        queue_factory=None,
     ) -> None:
         if x < 1:
             raise ValueError(f"x must be >= 1, got {x}")
@@ -92,13 +93,16 @@ class PAGeneralRankProgram:
         self.nodes = partition.partition_nodes(rank)
         self.F = np.full((len(self.nodes), x), -1, dtype=np.int64)
         self._started = False
+        # ``queue_factory(ncols) -> RecordQueue`` swaps the queues' backing
+        # (out-of-core runs pass repro.core.spill.SpillQueueFactory)
+        make = queue_factory or RecordQueue
         # pending local copies: slot (t local idx, e) awaiting F[k local idx, l]
-        self._pend = RecordQueue(4)  # columns: (t idx, e, k idx, l)
+        self._pend = make(4)  # columns: (t idx, e, k idx, l)
         # remote requesters parked on unknown local slots (the wait queues
         # Q_{k,l} of Lines 19-20, kept in an amortised-doubling arena so
         # each superstep's append costs the batch, not the queue):
         # waiting slot (t, e) needs the value of local flat slot `key`.
-        self._park = RecordQueue(3)  # columns: (key = kidx * x + l, t, e)
+        self._park = make(3)  # columns: (key = kidx * x + l, t, e)
         self._unresolved = int((self.nodes >= x).sum()) * x
         self.requests_sent = 0
         self.requests_received = 0

@@ -1,0 +1,608 @@
+"""Out-of-core (spill-to-disk) storage for massive generations.
+
+The paper generates 50-billion-edge networks; at 16 bytes per edge that is
+~0.8 TB of edge storage — far beyond main memory, and the reason every
+container in this repository being pure in-RAM NumPy capped practical ``n``
+around 10^7.  This module moves the *edge storage* layer out of core while
+keeping every hot loop vectorised:
+
+* :class:`SpillEdgeList` — a drop-in :class:`~repro.graph.edgelist.EdgeList`
+  replacement backed by two append-only ``int64`` segment files.  Appends
+  land in a bounded in-RAM write buffer that is flushed to disk at a
+  configurable watermark, so peak heap usage is ``O(budget)`` regardless of
+  how many edges accumulate; reads come back as read-only ``np.memmap``
+  views (the OS pages them in on demand and may evict them under pressure —
+  they are file cache, not heap).
+* :class:`SpillArena` / :func:`spill_record_queue` — memmap-backed variants
+  of the :mod:`repro.core.arena` park/pend queues, so the PA rank programs'
+  wait queues can grow past RAM too.
+* :class:`EdgeShardWriter` / :func:`iter_edge_shards` — chunked
+  shard-at-a-time edge emission in the *same sha256-sealed envelope* as the
+  mp checkpoint shards (:func:`repro.mpsim.checkpoint.save_sealed`): a
+  worker killed mid-write can never leave a torn shard, and a bit-flipped
+  shard raises :class:`~repro.mpsim.errors.CorruptCheckpointError` instead
+  of silently corrupting the graph.  Each rank writes its shards to its own
+  directory and seals a manifest; the coordinator assembles manifests, not
+  arrays.
+* :func:`assemble_shards` / :func:`edges_digest` — streaming assembly and
+  chunked content digests, so even the bit-identity *check* against an
+  in-RAM run never materialises the whole graph.
+
+Everything here is bit-transparent: a spilled run produces exactly the
+bytes an in-RAM run produces, at every rank count — asserted by
+``tests/core/test_spill.py`` and gated in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.arena import ArrayArena, RecordQueue
+from repro.graph.edgelist import EdgeList
+from repro.mpsim.checkpoint import load_sealed, save_sealed
+from repro.mpsim.errors import CorruptCheckpointError
+
+__all__ = [
+    "DEFAULT_BUDGET_BYTES",
+    "EDGE_SHARD_MAGIC",
+    "EdgeShardWriter",
+    "SpillArena",
+    "SpillEdgeList",
+    "SpillQueueFactory",
+    "SpillResultProgram",
+    "assemble_shards",
+    "edges_digest",
+    "iter_edge_blocks",
+    "iter_edge_shards",
+    "load_edge_manifest",
+    "rank_shard_dir",
+    "spill_record_queue",
+    "write_edge_shards",
+]
+
+#: default bound on the in-RAM write buffer of a :class:`SpillEdgeList`
+DEFAULT_BUDGET_BYTES = 64 << 20
+
+#: sealed-envelope magic for edge shards — distinct from checkpoint shards
+#: so a checkpoint loader can never mistake edge data for program state
+EDGE_SHARD_MAGIC = "repro-edge-shard"
+_MANIFEST_NAME = "MANIFEST"
+
+
+class SpillEdgeList:
+    """An :class:`EdgeList` whose storage lives in two on-disk segment files.
+
+    Honors the EdgeList API — ``append`` / ``append_arrays`` / ``extend``,
+    ``sources`` / ``targets``, ``num_nodes``, ``as_array``, ``canonical``,
+    iteration, equality — with one memory contract change: appended edges
+    accumulate in a bounded in-RAM buffer (the *write watermark*, derived
+    from ``budget_bytes``) and are flushed to ``<dir>/u.i64`` and
+    ``<dir>/v.i64`` when it fills.  Reads flush first, then return read-only
+    ``np.memmap`` views of the segment files.
+
+    Parameters
+    ----------
+    directory:
+        Spill directory (created if missing).  The two segment files are
+        plain little-endian ``int64`` streams; sealing/corruption detection
+        is the shard layer's job (:class:`EdgeShardWriter`), not this one's
+        — this is the *assembled* form, analogous to the in-RAM array.
+    budget_bytes:
+        Bound on the write buffer.  Both columns share it, so the buffer
+        holds ``budget_bytes // 16`` edges before a flush.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> el = SpillEdgeList(d, budget_bytes=1 << 12)
+    >>> el.append_arrays(np.array([1, 2, 3]), np.array([0, 0, 1]))
+    >>> len(el), el.num_nodes
+    (3, 4)
+    """
+
+    def __init__(
+        self, directory: str | Path, budget_bytes: int = DEFAULT_BUDGET_BYTES
+    ) -> None:
+        if budget_bytes < 1:
+            raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.budget_bytes = int(budget_bytes)
+        # 16 bytes per buffered edge (one int64 per column)
+        self._watermark = max(int(budget_bytes) // 16, 1)
+        self._buf_u = np.empty(self._watermark, dtype=np.int64)
+        self._buf_v = np.empty(self._watermark, dtype=np.int64)
+        self._buffered = 0
+        self._flushed = 0  # edges already on disk
+        self._max_node = -1
+        self._path_u = self.directory / "u.i64"
+        self._path_v = self.directory / "v.i64"
+        # truncate: a SpillEdgeList owns its directory's segment files
+        self._fh_u = open(self._path_u, "wb")
+        self._fh_v = open(self._path_v, "wb")
+        self._closed = False
+
+    # ------------------------------------------------------------- building
+    def append(self, u: int, v: int) -> None:
+        """Append one edge (scalar path; prefer :meth:`append_arrays`)."""
+        if self._buffered == self._watermark:
+            self.flush()
+        self._buf_u[self._buffered] = u
+        self._buf_v[self._buffered] = v
+        self._buffered += 1
+        if u > self._max_node:
+            self._max_node = int(u)
+        if v > self._max_node:
+            self._max_node = int(v)
+
+    def append_arrays(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Append a batch of edges, flushing whenever the buffer fills."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape or u.ndim != 1:
+            raise ValueError("batch arrays must be equal-length and 1-D")
+        if len(u):
+            self._max_node = max(self._max_node, int(max(u.max(), v.max())))
+        off = 0
+        while off < len(u):
+            take = min(len(u) - off, self._watermark - self._buffered)
+            self._buf_u[self._buffered : self._buffered + take] = u[off : off + take]
+            self._buf_v[self._buffered : self._buffered + take] = v[off : off + take]
+            self._buffered += take
+            off += take
+            if self._buffered == self._watermark:
+                self.flush()
+
+    def extend(self, other: Any) -> None:
+        """Append all edges of another edge list (chunked, RSS-bounded)."""
+        for u, v in iter_edge_blocks(other, self._watermark):
+            self.append_arrays(u, v)
+
+    def flush(self) -> None:
+        """Write the buffered tail to the segment files (keeps the handles)."""
+        if self._buffered:
+            self._fh_u.write(
+                np.ascontiguousarray(self._buf_u[: self._buffered], dtype="<i8")
+                .tobytes()
+            )
+            self._fh_v.write(
+                np.ascontiguousarray(self._buf_v[: self._buffered], dtype="<i8")
+                .tobytes()
+            )
+            self._flushed += self._buffered
+            self._buffered = 0
+        self._fh_u.flush()
+        self._fh_v.flush()
+
+    def close(self) -> None:
+        """Flush and close the segment files (reads still work afterwards)."""
+        if self._closed:
+            return
+        self.flush()
+        self._fh_u.close()
+        self._fh_v.close()
+        self._closed = True
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            if not self._closed:
+                self.close()
+        except Exception:
+            pass
+
+    # -------------------------------------------------------------- viewing
+    def _column(self, path: Path, fh) -> np.ndarray:
+        if self._closed:
+            pass
+        elif self._buffered:
+            self.flush()
+        else:
+            fh.flush()
+        size = self._flushed + self._buffered
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.memmap(path, dtype="<i8", mode="r", shape=(size,))
+
+    @property
+    def sources(self) -> np.ndarray:
+        """The ``u`` endpoints as a read-only ``np.memmap`` view."""
+        return self._column(self._path_u, self._fh_u)
+
+    @property
+    def targets(self) -> np.ndarray:
+        """The ``v`` endpoints as a read-only ``np.memmap`` view."""
+        return self._column(self._path_v, self._fh_v)
+
+    def __len__(self) -> int:
+        return self._flushed + self._buffered
+
+    @property
+    def num_edges(self) -> int:
+        return len(self)
+
+    @property
+    def num_nodes(self) -> int:
+        """1 + max node id (0 when empty); maintained incrementally."""
+        if len(self) == 0:
+            return 0
+        return self._max_node + 1
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Bytes currently resident in the segment files (both columns)."""
+        return 16 * self._flushed
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for u, v in iter_edge_blocks(self, self._watermark):
+            for i in range(len(u)):
+                yield int(u[i]), int(v[i])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (EdgeList, SpillEdgeList)):
+            return NotImplemented
+        return (
+            len(self) == len(other)
+            and bool(np.array_equal(self.sources, other.sources))
+            and bool(np.array_equal(self.targets, other.targets))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - containers are unhashable
+        raise TypeError("SpillEdgeList is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillEdgeList(num_edges={len(self)}, num_nodes={self.num_nodes}, "
+            f"dir={str(self.directory)!r})"
+        )
+
+    # ---------------------------------------------------------- conversions
+    def as_array(self) -> np.ndarray:
+        """``(m, 2)`` in-RAM array of edges (materialises; use in tests)."""
+        return np.column_stack([np.asarray(self.sources), np.asarray(self.targets)])
+
+    def canonical(self) -> np.ndarray:
+        """Row-sorted ``(min, max)`` pairs (materialises; O(m) RAM)."""
+        return self.to_edgelist().canonical()
+
+    def has_duplicates(self) -> bool:
+        return self.to_edgelist().has_duplicates()
+
+    def has_self_loops(self) -> bool:
+        out = False
+        for u, v in iter_edge_blocks(self, self._watermark):
+            if bool((u == v).any()):
+                out = True
+                break
+        return out
+
+    def to_edgelist(self) -> EdgeList:
+        """Materialise into an in-RAM :class:`EdgeList` (O(m) RAM)."""
+        return EdgeList.from_arrays(self.sources, self.targets)
+
+    def copy(self) -> EdgeList:
+        return self.to_edgelist()
+
+
+def iter_edge_blocks(
+    edges: Any, block_edges: int = 1 << 20
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(u, v)`` blocks of at most ``block_edges`` from any edge list.
+
+    Works on :class:`EdgeList` and :class:`SpillEdgeList` alike; for the
+    spilled kind the blocks are slices of the memmap views, so only
+    ``block_edges`` worth of pages is ever touched at once.
+    """
+    if block_edges < 1:
+        raise ValueError(f"block_edges must be >= 1, got {block_edges}")
+    srcs, tgts = edges.sources, edges.targets
+    for lo in range(0, len(srcs), block_edges):
+        hi = min(lo + block_edges, len(srcs))
+        yield np.asarray(srcs[lo:hi]), np.asarray(tgts[lo:hi])
+
+
+def edges_digest(edges: Any, block_edges: int = 1 << 20) -> str:
+    """SHA-256 of the edge stream, computed in bounded-RSS chunks.
+
+    Hashes the full ``u`` column, then the full ``v`` column, so the digest
+    is a pure function of the edge *content* — independent of
+    ``block_edges`` and of where the edges live.  Two edge lists are
+    bit-identical iff their digests match, so the out-of-core bench/CI can
+    compare a 10^8-edge spilled run against an in-RAM reference without
+    holding either as one array.
+    """
+    h = hashlib.sha256()
+    for u, _ in iter_edge_blocks(edges, block_edges):
+        h.update(np.ascontiguousarray(u, dtype="<i8").tobytes())
+    for _, v in iter_edge_blocks(edges, block_edges):
+        h.update(np.ascontiguousarray(v, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------------
+# sealed edge shards — the on-disk emission format of out-of-core runs
+# --------------------------------------------------------------------------
+
+
+def rank_shard_dir(directory: str | Path, rank: int, size: int) -> Path:
+    """Canonical per-rank shard directory within an out-of-core run dir."""
+    width = max(len(str(size - 1)), 1)
+    return Path(directory) / f"rank{rank:0{width}d}.of{size}"
+
+
+class EdgeShardWriter:
+    """Chunked writer of sha256-sealed edge shards for one rank.
+
+    Buffers appended edges and seals a shard file (``part-NNNNNN.edges``)
+    every ``chunk_edges``; :meth:`seal` flushes the remainder and writes the
+    ``MANIFEST`` — also sealed — recording the shard names, edge count, and
+    running max node id.  Until the manifest exists the directory is not a
+    valid rank output, so a worker killed mid-emission is indistinguishable
+    from one that never ran (the same all-or-nothing discipline as mp
+    checkpoint cuts, whose envelope format this reuses).
+    """
+
+    def __init__(self, directory: str | Path, chunk_edges: int = 1 << 20) -> None:
+        if chunk_edges < 1:
+            raise ValueError(f"chunk_edges must be >= 1, got {chunk_edges}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.chunk_edges = int(chunk_edges)
+        self._pending: list[tuple[np.ndarray, np.ndarray]] = []
+        self._pending_len = 0
+        self._shards: list[str] = []
+        self._edges = 0
+        self._max_node = -1
+        self._sealed = False
+
+    def append_arrays(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Append a batch; full chunks are sealed to disk immediately."""
+        if self._sealed:
+            raise ValueError(f"{self.directory}: writer already sealed")
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape or u.ndim != 1:
+            raise ValueError("batch arrays must be equal-length and 1-D")
+        if len(u):
+            self._max_node = max(self._max_node, int(max(u.max(), v.max())))
+        off = 0
+        while off < len(u):
+            take = min(len(u) - off, self.chunk_edges - self._pending_len)
+            self._pending.append((u[off : off + take], v[off : off + take]))
+            self._pending_len += take
+            off += take
+            if self._pending_len == self.chunk_edges:
+                self._write_shard()
+
+    def _write_shard(self) -> None:
+        if not self._pending_len:
+            return
+        u = np.concatenate([b[0] for b in self._pending])
+        v = np.concatenate([b[1] for b in self._pending])
+        name = f"part-{len(self._shards):06d}.edges"
+        save_sealed(
+            self.directory / name,
+            EDGE_SHARD_MAGIC,
+            {"index": len(self._shards), "u": u, "v": v},
+        )
+        self._shards.append(name)
+        self._edges += self._pending_len
+        self._pending = []
+        self._pending_len = 0
+
+    def seal(self) -> dict:
+        """Flush the tail shard and write the sealed manifest; returns it."""
+        if self._sealed:
+            return self.manifest
+        self._write_shard()
+        self.manifest = {
+            "schema": "repro-edge-shards-v1",
+            "shards": list(self._shards),
+            "edges": self._edges,
+            "max_node": self._max_node,
+        }
+        save_sealed(self.directory / _MANIFEST_NAME, EDGE_SHARD_MAGIC, self.manifest)
+        self._sealed = True
+        return self.manifest
+
+
+def load_edge_manifest(directory: str | Path) -> dict:
+    """Load and validate one rank's sealed shard manifest."""
+    path = Path(directory) / _MANIFEST_NAME
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{directory}: no sealed MANIFEST — the rank's emission never "
+            f"completed (worker died before seal()) or this is not a shard "
+            f"directory"
+        )
+    manifest = load_sealed(path, EDGE_SHARD_MAGIC, "edge-shard manifest")
+    if not isinstance(manifest, dict) or "shards" not in manifest:
+        raise CorruptCheckpointError(f"{path}: payload is not a shard manifest")
+    return manifest
+
+
+def iter_edge_shards(
+    directory: str | Path,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield one ``(u, v)`` block per sealed shard, in emission order.
+
+    Validates every shard's checksum and its recorded position; a missing
+    or corrupt shard raises :class:`CorruptCheckpointError` rather than
+    yielding a silently truncated graph.
+    """
+    directory = Path(directory)
+    manifest = load_edge_manifest(directory)
+    for i, name in enumerate(manifest["shards"]):
+        path = directory / name
+        if not path.exists():
+            raise CorruptCheckpointError(
+                f"{path}: shard listed in the manifest is missing"
+            )
+        shard = load_sealed(path, EDGE_SHARD_MAGIC, "edge shard")
+        if not isinstance(shard, dict) or shard.get("index") != i:
+            raise CorruptCheckpointError(
+                f"{path}: shard is out of place (expected index {i})"
+            )
+        yield shard["u"], shard["v"]
+
+
+def assemble_shards(directory: str | Path, size: int, into: Any) -> Any:
+    """Stream every rank's shards, in rank order, into ``into``.
+
+    ``into`` is any EdgeList-flavoured container; with a
+    :class:`SpillEdgeList` the assembly is manifest-to-segment streaming —
+    at no point does more than one shard chunk live in RAM.
+    """
+    for rank in range(size):
+        for u, v in iter_edge_shards(rank_shard_dir(directory, rank, size)):
+            into.append_arrays(u, v)
+    return into
+
+
+def write_edge_shards(
+    directory: str | Path,
+    blocks: Iterator[tuple[np.ndarray, np.ndarray]],
+    chunk_edges: int = 1 << 20,
+) -> dict:
+    """Drain ``blocks`` into sealed shards under ``directory``; returns the
+    manifest.  The convenience wrapper the slice workers and streaming
+    emitters use."""
+    writer = EdgeShardWriter(directory, chunk_edges=chunk_edges)
+    for u, v in blocks:
+        writer.append_arrays(u, v)
+    return writer.seal()
+
+
+# --------------------------------------------------------------------------
+# spill-capable arenas — the rank programs' wait queues, past RAM
+# --------------------------------------------------------------------------
+
+
+class SpillArena(ArrayArena):
+    """An :class:`ArrayArena` whose backing column is a memmapped file.
+
+    Same amortised-doubling discipline; growth truncates the file to the
+    new capacity and remaps, so the data never transits the heap.  Pickling
+    (checkpoint shards) degrades gracefully to an in-RAM arena holding the
+    live prefix — a restored queue is small by construction (only survivors
+    are serialised) and need not stay spilled.
+    """
+
+    __slots__ = ("_path",)
+
+    def __init__(self, path: str | Path, capacity: int = 64) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        capacity = max(int(capacity), 1)
+        self._buf = np.memmap(self._path, dtype=np.int64, mode="w+", shape=(capacity,))
+        self._size = 0
+
+    def _grow_to(self, needed: int) -> None:
+        if self._path is None:  # unpickled fallback: plain in-RAM doubling
+            super()._grow_to(needed)
+            return
+        cap = len(self._buf)
+        if needed <= cap:
+            return
+        new_cap = max(needed, cap * 2)
+        # flush, grow the file, remap — the live prefix is already on disk
+        self._buf.flush()
+        del self._buf
+        with open(self._path, "r+b") as fh:
+            fh.truncate(8 * new_cap)
+        self._buf = np.memmap(self._path, dtype=np.int64, mode="r+", shape=(new_cap,))
+
+    def __getstate__(self) -> dict:
+        return {"data": np.asarray(self._buf[: self._size]).copy()}
+
+    def __setstate__(self, state: dict) -> None:
+        self._path = None
+        data = state["data"]
+        self._buf = np.empty(max(len(data), 1), dtype=np.int64)
+        self._buf[: len(data)] = data
+        self._size = len(data)
+
+    def __repr__(self) -> str:
+        where = "ram" if self._path is None else str(self._path)
+        return f"SpillArena(size={self._size}, capacity={len(self._buf)}, file={where!r})"
+
+
+def spill_record_queue(
+    ncols: int, directory: str | Path, prefix: str, capacity: int = 64
+) -> RecordQueue:
+    """A :class:`RecordQueue` whose columns are :class:`SpillArena` files.
+
+    Column ``i`` lives at ``<directory>/<prefix>.col<i>.i64``.  Drop-in for
+    the rank programs' park/pend queues when a generation runs out-of-core.
+    """
+    directory = Path(directory)
+    return RecordQueue(
+        ncols,
+        arenas=tuple(
+            SpillArena(directory / f"{prefix}.col{i}.i64", capacity=capacity)
+            for i in range(ncols)
+        ),
+    )
+
+
+class SpillResultProgram:
+    """Wrap a rank program so its ``result()`` spills instead of returning.
+
+    The mp backend collects each rank's result over the worker pipe; for an
+    out-of-core run that payload must not be the rank's edge arrays.  This
+    proxy delegates the whole program protocol (``step``, ``done``, the
+    Figure-7 counters) to the wrapped program and intercepts only
+    ``result()``: the edges are sealed into the rank's shard directory
+    *inside the worker process* and a small manifest dict travels the pipe.
+    The coordinator then assembles manifests with :func:`assemble_shards`.
+    """
+
+    def __init__(
+        self, program: Any, shard_dir: str | Path, chunk_edges: int = 1 << 20
+    ) -> None:
+        self._prog = program
+        self._shard_dir = Path(shard_dir)
+        self._chunk_edges = int(chunk_edges)
+
+    def result(self) -> dict:
+        u, v = self._prog.result()
+        return write_edge_shards(
+            self._shard_dir, [(u, v)], chunk_edges=self._chunk_edges
+        )
+
+    def __getattr__(self, name: str):
+        if name.startswith("__") or name in ("_prog", "_shard_dir", "_chunk_edges"):
+            raise AttributeError(name)
+        return getattr(self._prog, name)
+
+    def __repr__(self) -> str:
+        return f"SpillResultProgram({self._prog!r}, dir={str(self._shard_dir)!r})"
+
+
+class SpillQueueFactory:
+    """Picklable factory handing each rank program spill-backed queues.
+
+    Rank programs call it like ``RecordQueue``: ``factory(ncols)``.  Each
+    call gets fresh files (a per-factory counter disambiguates), and the
+    factory survives ``fork`` into mp workers — the files are only ever
+    written by the rank that owns the program.
+    """
+
+    def __init__(self, directory: str | Path, tag: str = "q") -> None:
+        self.directory = Path(directory)
+        self.tag = tag
+        self._count = 0
+
+    def __call__(self, ncols: int, capacity: int = 64) -> RecordQueue:
+        self._count += 1
+        return spill_record_queue(
+            ncols,
+            self.directory,
+            f"{self.tag}.pid{os.getpid()}.{self._count}",
+            capacity=capacity,
+        )

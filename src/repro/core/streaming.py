@@ -145,6 +145,19 @@ class StreamingDegreeAccumulator:
         np.add.at(self.degrees, v, 1)
         self.num_edges += len(u)
 
+    def consume(self, blocks) -> "StreamingDegreeAccumulator":
+        """Fold an iterable of ``(u, v)`` blocks; returns ``self``.
+
+        Composes with every block source in the library: the live stream
+        emitters here, :func:`repro.core.spill.iter_edge_shards` over a
+        spilled rank directory, and
+        :func:`repro.core.spill.iter_edge_blocks` over any edge list — so
+        degree analysis of an out-of-core run never materialises the graph.
+        """
+        for u, v in blocks:
+            self.update(u, v)
+        return self
+
     @property
     def max_degree(self) -> int:
         return int(self.degrees.max()) if self.num_nodes else 0

@@ -50,12 +50,26 @@ class EdgeList:
 
     # ------------------------------------------------------------- building
     @classmethod
-    def from_arrays(cls, u: np.ndarray, v: np.ndarray) -> "EdgeList":
-        """Build an edge list from two equal-length integer arrays (copied)."""
+    def from_arrays(cls, u: np.ndarray, v: np.ndarray, copy: bool = True) -> "EdgeList":
+        """Build an edge list from two equal-length integer arrays.
+
+        With ``copy=False`` the list wraps the given arrays directly —
+        zero-copy, which is what lets :func:`repro.graph.io.read_edges_binary`
+        expose a multi-gigabyte on-disk file as memmap-backed views without
+        pulling it into RAM.  Appending to a zero-copy list falls back to an
+        ordinary in-RAM reallocation (the wrapped arrays are never mutated).
+        """
         u = np.asarray(u, dtype=np.int64)
         v = np.asarray(v, dtype=np.int64)
         if u.shape != v.shape or u.ndim != 1:
             raise ValueError(f"u and v must be equal-length 1-D arrays, got {u.shape} and {v.shape}")
+        if not copy:
+            el = cls(capacity=1)
+            if len(u):
+                el._u, el._v = u, v
+                el._size = len(u)
+                el._max_node = int(max(u.max(), v.max()))
+            return el
         el = cls(capacity=max(len(u), 1))
         el._u[: len(u)] = u
         el._v[: len(v)] = v
@@ -63,6 +77,19 @@ class EdgeList:
         if len(u):
             el._max_node = int(max(u.max(), v.max()))
         return el
+
+    @staticmethod
+    def spilled(directory, budget_bytes: int = 64 << 20):
+        """An API-compatible spill-to-disk edge list (out-of-core runs).
+
+        Returns a :class:`repro.core.spill.SpillEdgeList`: appends buffer in
+        at most ``budget_bytes`` of RAM and flush to segment files under
+        ``directory``; reads come back as read-only memmap views.  See
+        ``docs/performance.md`` (out-of-core section).
+        """
+        from repro.core.spill import SpillEdgeList
+
+        return SpillEdgeList(directory, budget_bytes=budget_bytes)
 
     def _grow_to(self, needed: int) -> None:
         cap = len(self._u)

@@ -36,17 +36,38 @@ _VERSION = 1
 _HEADER = struct.Struct("<QQQ")
 
 
-def write_edges_binary(path: str | Path, edges: EdgeList) -> None:
-    """Write an edge list in the binary container format."""
+def write_edges_binary(
+    path: str | Path, edges: EdgeList, chunk_edges: int = 1 << 20
+) -> None:
+    """Write an edge list in the binary container format.
+
+    Streams in ``chunk_edges`` blocks, so writing a spill-backed
+    (:class:`repro.core.spill.SpillEdgeList`) graph never materialises it;
+    the bytes produced are identical to a single-shot write.
+    """
     path = Path(path)
-    arr = np.ascontiguousarray(edges.as_array(), dtype="<i8")
+    srcs, tgts = edges.sources, edges.targets
     with open(path, "wb") as fh:
         fh.write(_HEADER.pack(_MAGIC, _VERSION, len(edges)))
-        fh.write(arr.tobytes())
+        for lo in range(0, len(srcs), chunk_edges):
+            hi = min(lo + chunk_edges, len(srcs))
+            pairs = np.empty((hi - lo, 2), dtype="<i8")
+            pairs[:, 0] = srcs[lo:hi]
+            pairs[:, 1] = tgts[lo:hi]
+            fh.write(pairs.tobytes())
 
 
-def read_edges_binary(path: str | Path) -> EdgeList:
-    """Read an edge list written by :func:`write_edges_binary`."""
+def read_edges_binary(path: str | Path, mmap_mode: str | None = None) -> EdgeList:
+    """Read an edge list written by :func:`write_edges_binary`.
+
+    ``mmap_mode="r"`` maps the file instead of copying it into RAM: the
+    returned list wraps read-only ``np.memmap`` views (zero-copy via
+    ``EdgeList.from_arrays(copy=False)``), so validating or analysing a
+    multi-gigabyte edge file touches only the pages actually read.  The
+    default (``None``) preserves the eager in-RAM behaviour.
+    """
+    if mmap_mode not in (None, "r"):
+        raise ValueError(f"mmap_mode must be None or 'r', got {mmap_mode!r}")
     path = Path(path)
     with open(path, "rb") as fh:
         header = fh.read(_HEADER.size)
@@ -57,6 +78,20 @@ def read_edges_binary(path: str | Path) -> EdgeList:
             raise ValueError(f"{path}: bad magic {magic:#x}")
         if version != _VERSION:
             raise ValueError(f"{path}: unsupported version {version}")
+        if mmap_mode == "r":
+            payload = path.stat().st_size - _HEADER.size
+            if payload != 16 * num_edges:
+                raise ValueError(
+                    f"{path}: expected {2 * num_edges} int64 values, "
+                    f"found {payload // 8}"
+                )
+            if num_edges == 0:
+                return EdgeList()
+            pairs = np.memmap(
+                path, dtype="<i8", mode="r", offset=_HEADER.size,
+                shape=(num_edges, 2),
+            )
+            return EdgeList.from_arrays(pairs[:, 0], pairs[:, 1], copy=False)
         data = np.frombuffer(fh.read(), dtype="<i8")
     if data.size != 2 * num_edges:
         raise ValueError(
@@ -73,6 +108,9 @@ def write_edges_text(path: str | Path, edges: EdgeList) -> None:
 
 def read_edges_text(path: str | Path) -> EdgeList:
     """Read a whitespace-separated two-column edge file."""
+    if not Path(path).read_text().strip():
+        # empty file: np.loadtxt would warn and return a 0-d shape
+        return EdgeList()
     arr = np.loadtxt(path, dtype=np.int64, ndmin=2)
     if arr.size == 0:
         return EdgeList()
@@ -101,9 +139,57 @@ def read_rank_edges(directory: str | Path, rank: int, size: int) -> EdgeList:
     return read_edges_binary(rank_file_path(directory, rank, size))
 
 
-def merge_rank_files(directory: str | Path, size: int) -> EdgeList:
-    """Concatenate all rank files of a run into one global edge list."""
-    merged = EdgeList()
-    for rank in range(size):
-        merged.extend(read_rank_edges(directory, rank, size))
-    return merged
+def _require_rank_files(directory: str | Path, size: int) -> list[Path]:
+    """All rank file paths of a run, with a clear error for missing ones."""
+    paths = [rank_file_path(directory, rank, size) for rank in range(size)]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        names = ", ".join(p.name for p in missing)
+        raise FileNotFoundError(
+            f"{directory}: missing {len(missing)} of {size} rank files "
+            f"({names}); was the run interrupted, or is size={size} wrong?"
+        )
+    return paths
+
+
+def merge_rank_files(
+    directory: str | Path,
+    size: int,
+    out: str | Path | None = None,
+    chunk_edges: int = 1 << 20,
+) -> EdgeList:
+    """Concatenate all rank files of a run into one global edge list.
+
+    Default (``out=None``): in-RAM concatenation, as before.  With ``out=``
+    set, the rank files are *streamed* into one binary file at that path —
+    at most ``chunk_edges`` edges transit RAM at a time, so a run's total
+    edge count can exceed memory — and the merged file is returned as a
+    memmap-backed list (``read_edges_binary(out, mmap_mode="r")``).
+
+    A missing rank file raises :class:`FileNotFoundError` naming exactly
+    which ranks are absent (rather than an opaque open() traceback mid-merge).
+    """
+    paths = _require_rank_files(directory, size)
+    if out is None:
+        merged = EdgeList()
+        for path in paths:
+            merged.extend(read_edges_binary(path))
+        return merged
+
+    out = Path(out)
+    total = 0
+    with open(out, "wb") as dst:
+        dst.write(_HEADER.pack(_MAGIC, _VERSION, 0))  # patched below
+        for path in paths:
+            part = read_edges_binary(path, mmap_mode="r")
+            for lo in range(0, len(part), chunk_edges):
+                u = part.sources[lo : lo + chunk_edges]
+                v = part.targets[lo : lo + chunk_edges]
+                pairs = np.empty((len(u), 2), dtype="<i8")
+                pairs[:, 0] = u
+                pairs[:, 1] = v
+                dst.write(pairs.tobytes())
+            total += len(part)
+        dst.seek(0)
+        dst.write(_HEADER.pack(_MAGIC, _VERSION, total))
+    return read_edges_binary(out, mmap_mode="r")

@@ -40,6 +40,7 @@ from repro.mpsim.errors import (
 )
 from repro.mpsim.stats import WorldStats
 from repro.telemetry.collector import resolve
+from repro.telemetry.metrics import proc_rss_bytes
 
 __all__ = ["BSPEngine", "BSPRankContext", "RankProgram", "Outbox"]
 
@@ -357,6 +358,11 @@ class BSPEngine:
                 virtual_total_s=self.simulated_time,
                 records=int(step_records.sum()),
             )
+            if self.tel.enabled:
+                # memory trajectory: one sample per superstep, on the span
+                # (for `repro inspect`) and as a gauge (for Prometheus)
+                rss = proc_rss_bytes()
+                step_span.note(rss_bytes=rss)
             step_span.__exit__(None, None, None)
             if self.tel.enabled:
                 self.tel.counter(
@@ -368,6 +374,9 @@ class BSPEngine:
                 self.tel.gauge(
                     "bsp_simulated_time_seconds", "virtual T_p accumulated so far"
                 ).set(self.simulated_time)
+                self.tel.gauge(
+                    "proc_rss_bytes", "resident set size, sampled per superstep"
+                ).set(float(rss), rank=-1)
             if tracer is not None:
                 tracer.record(step_times, step_records)
             inboxes = next_inboxes

@@ -46,7 +46,9 @@ __all__ = [
     "checkpoint_chain",
     "load_checkpoint",
     "load_latest_valid",
+    "load_sealed",
     "load_shard",
+    "save_sealed",
     "save_shard",
     "resume",
 ]
@@ -238,6 +240,32 @@ def _load_envelope(path: str | Path, magic: str, what: str) -> Any:
         raise CorruptCheckpointError(f"{path}: undecodable payload ({exc!r})") from exc
 
 
+def save_sealed(path: str | Path, magic: str, payload: Any) -> None:
+    """Atomically write ``payload`` in the sealed checkpoint envelope.
+
+    The envelope is ``(magic, version, sha256, blob)`` with an fsync'd
+    write-then-rename, so a process killed mid-write can never leave a torn
+    file that a reader would trust.  This is the public face of the shard
+    discipline — the out-of-core edge spill
+    (:mod:`repro.core.spill`) reuses it with its own ``magic`` so edge
+    shards and checkpoint shards share one corruption story.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_name = _atomic_dump(magic, payload, path)
+    Path(tmp_name).replace(path)
+
+
+def load_sealed(path: str | Path, magic: str, what: str = "shard") -> Any:
+    """Read and validate one sealed file written by :func:`save_sealed`.
+
+    Raises :class:`CorruptCheckpointError` on truncation, garbage, a wrong
+    magic, or a checksum mismatch (``what`` names the artifact in the
+    message).
+    """
+    return _load_envelope(path, magic, what)
+
+
 def save_shard(path: str | Path, shard: ShardData) -> None:
     """Atomically write one rank's checkpoint shard.
 
@@ -245,10 +273,7 @@ def save_shard(path: str | Path, shard: ShardData) -> None:
     write-then-rename discipline as full checkpoints so a worker killed
     mid-write can never leave a torn shard that the coordinator would trust.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp_name = _atomic_dump(_SHARD_MAGIC, shard, path)
-    Path(tmp_name).replace(path)
+    save_sealed(path, _SHARD_MAGIC, shard)
 
 
 def load_shard(path: str | Path) -> ShardData:

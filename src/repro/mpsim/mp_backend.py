@@ -106,6 +106,7 @@ from repro.telemetry.collector import (
     Telemetry,
     resolve,
 )
+from repro.telemetry.metrics import proc_rss_bytes
 from repro.telemetry.ringbuf import EventRing
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
@@ -467,6 +468,8 @@ def _run_job_coordinator(
                 superstep, heartbeats,
             )
             sp.note(virtual_s=t, records=out_records)
+            if tel.enabled:
+                sp.note(rss_bytes=proc_rss_bytes())
         with tel.span("exchange.write", cat="exchange", tid=rank, superstep=superstep):
             if exchange == EXCHANGE_SHM:
                 meta = writer.write(clean, superstep)
@@ -477,6 +480,9 @@ def _run_job_coordinator(
             tel.counter(
                 "mp_worker_supersteps_total", "supersteps executed worker-side"
             ).inc(rank=rank)
+            tel.gauge(
+                "proc_rss_bytes", "resident set size, sampled per superstep"
+            ).set(float(proc_rss_bytes()), rank=rank)
             tel.flush()
 
 
@@ -532,6 +538,8 @@ def _run_job_p2p(
                     superstep, heartbeats,
                 )
                 sp.note(virtual_s=t, records=out_records)
+                if tel.enabled:
+                    sp.note(rss_bytes=proc_rss_bytes())
             with tel.span("exchange.write", cat="exchange", tid=rank, superstep=superstep):
                 meta = writer.write(clean, superstep)
                 fabric.post(rank, superstep, meta)
@@ -544,6 +552,9 @@ def _run_job_p2p(
                 tel.counter(
                     "mp_worker_supersteps_total", "supersteps executed worker-side"
                 ).inc(rank=rank)
+                tel.gauge(
+                    "proc_rss_bytes", "resident set size, sampled per superstep"
+                ).set(float(proc_rss_bytes()), rank=rank)
                 tel.flush()
             simulated += fabric.max_step_time(superstep)
             if fabric.quiescent(superstep):
@@ -993,6 +1004,12 @@ def _drive_job(
             step_max = max(step_max, t)
         simulated += step_max
         step_span.note(virtual_s=step_max, routed_payloads=step_records)
+        if tel.enabled:
+            rss = proc_rss_bytes()
+            step_span.note(rss_bytes=rss)
+            tel.gauge(
+                "proc_rss_bytes", "resident set size, sampled per superstep"
+            ).set(float(rss), rank=-1)
         step_span.__exit__(None, None, None)
         inboxes = next_inboxes
         if not any_traffic and all_done:

@@ -265,6 +265,22 @@ def inspect_summary(trace: Mapping[str, Any]) -> str:
             f"barrier wait is {100.0 * total_wait / (total_busy + total_wait):.1f}% "
             "of busy+wait time (imbalance cost)"
         )
+    # memory trajectory: spans annotated with rss_bytes (one sample per
+    # superstep from every engine process — see telemetry.metrics.proc_rss_bytes)
+    rss_by_lane: dict[int, tuple[float, float]] = {}
+    for ev in xs:
+        rss = ev.get("args", {}).get("rss_bytes")
+        if rss is None:
+            continue
+        tid = int(ev.get("tid", 0))
+        first, peak = rss_by_lane.get(tid, (float(rss), 0.0))
+        rss_by_lane[tid] = (first, max(peak, float(rss)))
+    if rss_by_lane:
+        parts = [
+            f"{tid}: {first / 1e6:.0f}->{peak / 1e6:.0f} MB"
+            for tid, (first, peak) in sorted(rss_by_lane.items())
+        ]
+        lines.append("rss per lane (first->peak): " + ", ".join(parts))
     meta = trace.get("metadata", {})
     dropped = meta.get("dropped_events", 0)
     if dropped:

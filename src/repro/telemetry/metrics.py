@@ -49,7 +49,33 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "proc_rss_bytes",
 ]
+
+
+def proc_rss_bytes() -> int:
+    """Current resident-set size of this process, in bytes.
+
+    Reads ``/proc/self/statm`` (Linux; one small read, no allocation worth
+    naming) and falls back to ``ru_maxrss`` — the *peak*, the closest
+    portable notion — elsewhere.  This is the sampler behind the
+    ``proc_rss_bytes`` gauge the engines publish per superstep, which is
+    how ``repro inspect`` shows a run's memory trajectory and how the
+    out-of-core bench verifies its RSS budget.
+    """
+    try:
+        import os
+
+        with open("/proc/self/statm", "rb") as fh:
+            resident_pages = int(fh.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS reports bytes
+        return peak if sys.platform == "darwin" else peak * 1024
 
 #: Default histogram bucket upper bounds (seconds-flavoured: from 10us to
 #: ~2 minutes, roughly x4 per step) — chosen to bracket both a fast superstep

@@ -1,0 +1,314 @@
+"""Tests for out-of-core (spill-to-disk) edge storage.
+
+Covers the :mod:`repro.core.spill` containers in isolation (watermark
+flushing, sealed shards, spill arenas) and the property the whole layer is
+built on: a spilled generation is *bit-identical* to the in-RAM one, on
+every engine and at every rank count, even with a pathologically small
+budget that forces constant flushing.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.generator import generate
+from repro.core.spill import (
+    EdgeShardWriter,
+    SpillArena,
+    SpillEdgeList,
+    SpillQueueFactory,
+    assemble_shards,
+    edges_digest,
+    iter_edge_blocks,
+    iter_edge_shards,
+    load_edge_manifest,
+    rank_shard_dir,
+    spill_record_queue,
+    write_edge_shards,
+)
+from repro.graph.edgelist import EdgeList
+from repro.mpsim.errors import CorruptCheckpointError
+
+#: small enough to force many flushes/shards on a few thousand edges
+TINY = 1 << 10
+
+
+@pytest.fixture
+def sample_arrays(rng):
+    u = rng.integers(0, 5_000, 4_000).astype(np.int64)
+    v = rng.integers(0, 5_000, 4_000).astype(np.int64)
+    return u, v
+
+
+class TestSpillEdgeList:
+    def test_empty(self, tmp_path):
+        el = SpillEdgeList(tmp_path)
+        assert len(el) == 0
+        assert el.num_nodes == 0
+        assert el.sources.size == 0
+        assert el == EdgeList()
+
+    def test_matches_in_ram_edgelist(self, tmp_path, sample_arrays):
+        u, v = sample_arrays
+        ram = EdgeList.from_arrays(u, v)
+        spill = SpillEdgeList(tmp_path, budget_bytes=TINY)
+        spill.append_arrays(u, v)
+        assert spill == ram
+        assert spill.num_nodes == ram.num_nodes
+        assert np.array_equal(spill.as_array(), ram.as_array())
+        assert np.array_equal(spill.canonical(), ram.canonical())
+
+    def test_watermark_forces_disk_residency(self, tmp_path, sample_arrays):
+        u, v = sample_arrays
+        el = SpillEdgeList(tmp_path, budget_bytes=TINY)
+        el.append_arrays(u, v)
+        # the buffer holds budget//16 edges; everything else must be on disk
+        assert el.spilled_bytes >= 16 * (len(u) - TINY // 16)
+        assert (tmp_path / "u.i64").stat().st_size == 8 * el.spilled_bytes // 16
+
+    def test_scalar_append_and_iter(self, tmp_path):
+        el = SpillEdgeList(tmp_path, budget_bytes=64)  # 4-edge buffer
+        pairs = [(3, 0), (7, 1), (2, 2), (9, 0), (5, 5), (1, 0)]
+        for a, b in pairs:
+            el.append(a, b)
+        assert list(el) == pairs
+        assert el.num_nodes == 10
+
+    def test_extend_is_chunked_both_ways(self, tmp_path, sample_arrays):
+        u, v = sample_arrays
+        a = SpillEdgeList(tmp_path / "a", budget_bytes=TINY)
+        a.append_arrays(u, v)
+        b = SpillEdgeList(tmp_path / "b", budget_bytes=TINY)
+        b.extend(a)  # spill -> spill
+        ram = EdgeList()
+        ram.extend(b)  # spill -> ram
+        assert b == a
+        assert ram == a
+
+    def test_reads_reflect_unflushed_tail(self, tmp_path):
+        el = SpillEdgeList(tmp_path, budget_bytes=1 << 20)
+        el.append(4, 0)  # stays in the buffer (watermark far away)
+        assert list(el.sources) == [4]
+        el.append(5, 1)
+        assert list(el.targets) == [0, 1]
+
+    def test_close_then_read(self, tmp_path, sample_arrays):
+        u, v = sample_arrays
+        el = SpillEdgeList(tmp_path, budget_bytes=TINY)
+        el.append_arrays(u, v)
+        el.close()
+        assert np.array_equal(el.sources, u)
+        el.close()  # idempotent
+
+    def test_bad_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="budget_bytes"):
+            SpillEdgeList(tmp_path, budget_bytes=0)
+
+    def test_batch_shape_mismatch_rejected(self, tmp_path):
+        el = SpillEdgeList(tmp_path)
+        with pytest.raises(ValueError, match="equal-length"):
+            el.append_arrays(np.arange(3), np.arange(4))
+
+    def test_unhashable(self, tmp_path):
+        with pytest.raises(TypeError):
+            hash(SpillEdgeList(tmp_path))
+
+    def test_edgelist_spilled_constructor(self, tmp_path):
+        el = EdgeList.spilled(tmp_path, budget_bytes=TINY)
+        assert isinstance(el, SpillEdgeList)
+        el.append(1, 0)
+        assert len(el) == 1
+
+
+class TestEdgeBlocksAndDigest:
+    def test_iter_edge_blocks_covers_everything(self, sample_arrays, tmp_path):
+        u, v = sample_arrays
+        el = SpillEdgeList(tmp_path, budget_bytes=TINY)
+        el.append_arrays(u, v)
+        got_u = np.concatenate([bu for bu, _ in iter_edge_blocks(el, 123)])
+        assert np.array_equal(got_u, u)
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError, match="block_edges"):
+            list(iter_edge_blocks(EdgeList(), 0))
+
+    def test_digest_is_storage_and_blocksize_invariant(
+        self, sample_arrays, tmp_path
+    ):
+        u, v = sample_arrays
+        ram = EdgeList.from_arrays(u, v)
+        spill = SpillEdgeList(tmp_path, budget_bytes=TINY)
+        spill.append_arrays(u, v)
+        d = edges_digest(ram)
+        assert edges_digest(spill) == d
+        assert edges_digest(spill, block_edges=17) == d
+
+    def test_digest_detects_single_bit_difference(self, sample_arrays):
+        u, v = sample_arrays
+        a = EdgeList.from_arrays(u, v)
+        v2 = v.copy()
+        v2[-1] ^= 1
+        assert edges_digest(a) != edges_digest(EdgeList.from_arrays(u, v2))
+
+
+class TestSealedShards:
+    def test_roundtrip_chunked(self, tmp_path, sample_arrays):
+        u, v = sample_arrays
+        manifest = write_edge_shards(tmp_path, [(u, v)], chunk_edges=300)
+        assert manifest["edges"] == len(u)
+        assert len(manifest["shards"]) == -(-len(u) // 300)
+        got_u = np.concatenate([bu for bu, _ in iter_edge_shards(tmp_path)])
+        got_v = np.concatenate([bv for _, bv in iter_edge_shards(tmp_path)])
+        assert np.array_equal(got_u, u)
+        assert np.array_equal(got_v, v)
+
+    def test_empty_emission_still_seals(self, tmp_path):
+        manifest = write_edge_shards(tmp_path, [], chunk_edges=10)
+        assert manifest["edges"] == 0
+        assert manifest["shards"] == []
+        assert list(iter_edge_shards(tmp_path)) == []
+
+    def test_missing_manifest_is_a_clear_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="never\\s+completed"):
+            load_edge_manifest(tmp_path)
+
+    def test_corrupt_shard_detected(self, tmp_path, sample_arrays):
+        u, v = sample_arrays
+        manifest = write_edge_shards(tmp_path, [(u, v)], chunk_edges=1000)
+        victim = tmp_path / manifest["shards"][1]
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(CorruptCheckpointError):
+            list(iter_edge_shards(tmp_path))
+
+    def test_deleted_shard_detected(self, tmp_path, sample_arrays):
+        u, v = sample_arrays
+        manifest = write_edge_shards(tmp_path, [(u, v)], chunk_edges=1000)
+        (tmp_path / manifest["shards"][0]).unlink()
+        with pytest.raises(CorruptCheckpointError, match="missing"):
+            list(iter_edge_shards(tmp_path))
+
+    def test_writer_refuses_appends_after_seal(self, tmp_path):
+        w = EdgeShardWriter(tmp_path)
+        w.seal()
+        with pytest.raises(ValueError, match="sealed"):
+            w.append_arrays(np.arange(2), np.arange(2))
+
+    def test_assemble_shards_is_rank_ordered(self, tmp_path):
+        size = 3
+        per_rank = []
+        for r in range(size):
+            u = np.arange(r * 100, r * 100 + 10, dtype=np.int64)
+            per_rank.append(u)
+            write_edge_shards(
+                rank_shard_dir(tmp_path, r, size), [(u, np.zeros_like(u))],
+                chunk_edges=4,
+            )
+        out = assemble_shards(tmp_path, size, EdgeList())
+        assert np.array_equal(out.sources, np.concatenate(per_rank))
+
+
+class TestSpillQueues:
+    def test_queue_parity_with_in_ram(self, tmp_path, rng):
+        from repro.core.arena import RecordQueue
+
+        spill = spill_record_queue(2, tmp_path, "t", capacity=4)
+        ram = RecordQueue(2, capacity=4)
+        cols = (
+            rng.integers(0, 100, 500).astype(np.int64),
+            rng.integers(0, 100, 500).astype(np.int64),
+        )
+        spill.push(*cols)  # growth crosses several remaps
+        ram.push(*cols)
+        a0, a1 = spill.columns()
+        b0, b1 = ram.columns()
+        assert np.array_equal(a0, b0) and np.array_equal(a1, b1)
+        assert (tmp_path / "t.col0.i64").exists()
+
+    def test_arena_pickle_degrades_to_ram(self, tmp_path):
+        arena = SpillArena(tmp_path / "a.i64", capacity=2)
+        arena.push(np.arange(10, dtype=np.int64))
+        clone = pickle.loads(pickle.dumps(arena))
+        assert np.array_equal(clone.view(), arena.view())
+        clone.push(np.arange(3, dtype=np.int64))  # growth works post-restore
+        assert len(clone.view()) == 13
+
+    def test_factory_hands_out_distinct_files(self, tmp_path):
+        factory = SpillQueueFactory(tmp_path)
+        q1, q2 = factory(2), factory(2)
+        q1.push(np.array([1]), np.array([2]))
+        q2.push(np.array([3]), np.array([4]))
+        assert np.array_equal(q1.columns()[0], [1])
+        assert np.array_equal(q2.columns()[0], [3])
+        assert pickle.loads(pickle.dumps(factory)).directory == factory.directory
+
+
+#: (engine, generator, x, ranks) — every supported out-of-core surface
+COMBOS = [
+    ("sequential", "copy", 1, 1),
+    ("bsp", "copy", 1, 4),
+    ("bsp", "copy", 2, 3),
+    ("mp", "copy", 1, 2),
+    ("sequential", "commfree", 1, 1),
+    ("bsp", "commfree", 1, 4),
+    ("bsp", "commfree", 2, 2),
+    ("mp", "commfree", 1, 3),
+]
+
+
+class TestGenerateOutOfCore:
+    @pytest.mark.parametrize("engine,gen,x,ranks", COMBOS)
+    def test_bit_identical_to_in_ram(self, tmp_path, engine, gen, x, ranks):
+        n = 1_200
+        kwargs = dict(x=x, ranks=ranks, seed=7, engine=engine, generator=gen)
+        ram = generate(n, **kwargs)
+        spilled = generate(
+            n, out_of_core=str(tmp_path), spill_budget_bytes=TINY, **kwargs
+        )
+        assert isinstance(spilled.edges, SpillEdgeList)
+        assert np.array_equal(spilled.edges.sources, ram.edges.sources)
+        assert np.array_equal(spilled.edges.targets, ram.edges.targets)
+        assert edges_digest(spilled.edges) == edges_digest(ram.edges)
+
+    def test_figure7_counters_survive_spilling(self, tmp_path):
+        ram = generate(800, ranks=3, seed=3, engine="mp")
+        spilled = generate(
+            800, ranks=3, seed=3, engine="mp", out_of_core=str(tmp_path)
+        )
+        assert np.array_equal(spilled.requests_sent, ram.requests_sent)
+        assert np.array_equal(spilled.requests_received, ram.requests_received)
+
+    @pytest.mark.parametrize(
+        "kwargs,fragment",
+        [
+            (dict(engine="event"), "event-driven"),
+            (dict(engine="mp", pool=object()), "pooled workers"),
+            (dict(checkpoint_path="x.ckpt"), "shard lifecycles"),
+            (dict(engine="mp", checkpoint_dir="ck"), "shard lifecycles"),
+            (dict(spill_budget_bytes=0), "spill_budget_bytes"),
+            (dict(engine="sequential", x=2), "streaming emitter"),
+            (
+                dict(engine="sequential", x=2, generator="commfree"),
+                "streaming emitter",
+            ),
+        ],
+    )
+    def test_incompatible_knobs_rejected(self, tmp_path, kwargs, fragment):
+        kwargs.setdefault("ranks", 1 if kwargs.get("engine") == "sequential" else 2)
+        with pytest.raises(ValueError, match=fragment):
+            generate(500, seed=0, out_of_core=str(tmp_path), **kwargs)
+
+    def test_spilled_run_writes_sealed_rank_dirs(self, tmp_path):
+        generate(
+            600, ranks=2, seed=1, engine="bsp", out_of_core=str(tmp_path),
+            spill_budget_bytes=TINY,
+        )
+        for r in range(2):
+            manifest = load_edge_manifest(
+                rank_shard_dir(tmp_path / "shards", r, 2)
+            )
+            assert manifest["edges"] > 0

@@ -27,6 +27,31 @@ class TestConstruction:
         with pytest.raises(ValueError):
             EdgeList.from_arrays(np.zeros((2, 2)), np.zeros((2, 2)))
 
+    def test_from_arrays_zero_length(self):
+        el = EdgeList.from_arrays(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert len(el) == 0
+        assert el.num_nodes == 0
+        assert el == EdgeList()
+
+    def test_from_arrays_no_copy_wraps_views(self):
+        u = np.array([3, 1], dtype=np.int64)
+        v = np.array([0, 0], dtype=np.int64)
+        el = EdgeList.from_arrays(u, v, copy=False)
+        assert np.shares_memory(el.sources, u)  # the arrays ARE the storage
+        assert el.num_nodes == 4
+
+    def test_from_arrays_copy_is_independent(self):
+        u = np.array([3, 1], dtype=np.int64)
+        el = EdgeList.from_arrays(u, np.zeros(2, np.int64))
+        u[0] = 99
+        assert el.sources[0] == 3
+
+    def test_spilled_constructor(self, tmp_path):
+        from repro.core.spill import SpillEdgeList
+
+        el = EdgeList.spilled(tmp_path)
+        assert isinstance(el, SpillEdgeList)
+
 
 class TestGrowth:
     def test_scalar_append(self):

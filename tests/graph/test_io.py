@@ -53,6 +53,47 @@ class TestBinaryFormat:
         with pytest.raises(ValueError, match="expected"):
             read_edges_binary(path)
 
+    def test_mmap_roundtrip_zero_copy(self, tmp_path, sample_edges):
+        path = tmp_path / "edges.bin"
+        write_edges_binary(path, sample_edges)
+        mapped = read_edges_binary(path, mmap_mode="r")
+        assert mapped == sample_edges
+        import mmap
+
+        src = mapped.sources
+        assert not src.flags.owndata  # a view over the file, not a copy
+        base = src
+        while isinstance(base, np.ndarray):
+            base = base.base
+        assert isinstance(base, mmap.mmap)  # ... and the file is the bottom
+        with pytest.raises(ValueError):  # views are read-only
+            src[0] = 99
+
+    def test_mmap_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_edges_binary(path, EdgeList())
+        assert len(read_edges_binary(path, mmap_mode="r")) == 0
+
+    def test_mmap_rejects_unknown_mode(self, tmp_path, sample_edges):
+        path = tmp_path / "edges.bin"
+        write_edges_binary(path, sample_edges)
+        with pytest.raises(ValueError, match="mmap_mode"):
+            read_edges_binary(path, mmap_mode="r+")
+
+    def test_mmap_truncated_body(self, tmp_path, sample_edges):
+        path = tmp_path / "cut.bin"
+        write_edges_binary(path, sample_edges)
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(ValueError, match="expected"):
+            read_edges_binary(path, mmap_mode="r")
+
+    def test_chunked_write_bytes_identical(self, tmp_path, sample_edges):
+        one_shot = tmp_path / "one.bin"
+        chunked = tmp_path / "chunked.bin"
+        write_edges_binary(one_shot, sample_edges)
+        write_edges_binary(chunked, sample_edges, chunk_edges=7)
+        assert one_shot.read_bytes() == chunked.read_bytes()
+
 
 class TestTextFormat:
     def test_roundtrip(self, tmp_path, sample_edges):
@@ -65,6 +106,16 @@ class TestTextFormat:
         path.write_text("1 2 3\n4 5 6\n")
         with pytest.raises(ValueError, match="2 columns"):
             read_edges_text(path)
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_edges_text(path, EdgeList())
+        assert read_edges_text(path) == EdgeList()
+
+    def test_whitespace_only_file(self, tmp_path):
+        path = tmp_path / "blank.txt"
+        path.write_text("\n  \n")
+        assert len(read_edges_text(path)) == 0
 
 
 class TestRankFiles:
@@ -86,6 +137,34 @@ class TestRankFiles:
             assert read_rank_edges(tmp_path, r, size) == per_rank[r]
         merged = merge_rank_files(tmp_path, size)
         assert len(merged) == 20
+
+    def test_merge_missing_rank_names_the_gap(self, tmp_path):
+        size = 3
+        for r in (0, 2):  # rank 1 "crashed" before writing
+            write_rank_edges(
+                tmp_path, r, size,
+                EdgeList.from_arrays(np.arange(1, 4), np.zeros(3, np.int64)),
+            )
+        with pytest.raises(FileNotFoundError, match="missing 1 of 3") as exc:
+            merge_rank_files(tmp_path, size)
+        assert rank_file_path(tmp_path, 1, size).name in str(exc.value)
+
+    def test_streaming_merge_matches_in_ram(self, tmp_path):
+        size = 4
+        rng = np.random.default_rng(3)
+        for r in range(size):
+            write_rank_edges(
+                tmp_path, r, size,
+                EdgeList.from_arrays(
+                    rng.integers(0, 50, 33), rng.integers(0, 50, 33)
+                ),
+            )
+        in_ram = merge_rank_files(tmp_path, size)
+        out = tmp_path / "merged.bin"
+        streamed = merge_rank_files(tmp_path, size, out=out, chunk_edges=10)
+        assert streamed == in_ram
+        # the streamed file is itself a valid container with a correct count
+        assert read_edges_binary(out) == in_ram
 
     def test_parallel_run_to_disk(self, tmp_path):
         """End-to-end: generate on 4 ranks, write per-rank, merge, validate."""

@@ -139,6 +139,25 @@ def test_inspect_summary_empty_trace():
     assert "no duration events" in inspect_summary({"traceEvents": []})
 
 
+def test_inspect_summary_rss_trajectory():
+    trace = chrome_trace(
+        [
+            _span("compute", "compute", ts=0.0, dur=1.0, tid=0, rss_bytes=50e6),
+            _span("compute", "compute", ts=1.0, dur=1.0, tid=0, rss_bytes=75e6),
+            _span("compute", "compute", ts=0.0, dur=1.0, tid=1, rss_bytes=60e6),
+            _span("mp.step", "run", ts=0.0, dur=2.0, tid=-1),  # no sample
+        ]
+    )
+    text = inspect_summary(trace)
+    # first and peak per lane; lanes without samples are simply absent
+    assert "rss per lane (first->peak): 0: 50->75 MB, 1: 60->60 MB" in text
+
+
+def test_inspect_summary_omits_rss_line_without_samples():
+    trace = chrome_trace([_span("compute", "compute", ts=0.0, dur=1.0, tid=0)])
+    assert "rss per lane" not in inspect_summary(trace)
+
+
 # ------------------------------------------------------- collector plumbing
 def test_collector_merges_ring_events_once():
     ring = EventRing(slots=64, slot_bytes=2048)

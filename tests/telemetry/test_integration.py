@@ -69,6 +69,25 @@ def test_mp_trace_covers_every_lane_and_validates(exchange):
         assert f"\n{tid:>6} " in text
 
 
+@pytest.mark.parametrize("engine", ["bsp", "mp"])
+def test_engines_sample_rss_per_superstep(engine):
+    tel = Telemetry()
+    _edges(engine=engine, telemetry=tel)
+
+    # gauge: one cell per sampled process (coordinator lane is rank=-1)
+    snap = tel.registry.snapshot()
+    assert "proc_rss_bytes" in snap
+    cells = snap["proc_rss_bytes"]["values"]
+    assert all(v > 1 << 20 for v in cells.values())  # plausibly > 1 MB
+    if engine == "mp":
+        ranks = {dict(k)["rank"] for k in cells}
+        assert {-1, 0, 1, 2, 3} <= ranks  # every worker + the coordinator
+
+    # spans: the per-superstep samples surface in the inspect summary
+    text = inspect_summary(tel.to_chrome_trace())
+    assert "rss per lane (first->peak):" in text
+
+
 def test_bsp_superstep_spans_carry_virtual_time():
     tel = Telemetry()
     result = generate(2_000, ranks=4, seed=3, engine="bsp", telemetry=tel)

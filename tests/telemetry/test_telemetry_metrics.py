@@ -10,6 +10,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    proc_rss_bytes,
 )
 
 
@@ -150,3 +151,14 @@ def test_merge_histogram_bucket_mismatch_raises():
 def test_default_buckets_are_sorted_and_cover_wide_range():
     assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
     assert DEFAULT_BUCKETS[0] <= 1e-4 and DEFAULT_BUCKETS[-1] >= 60.0
+
+
+# ------------------------------------------------------------- process rss
+def test_proc_rss_bytes_is_plausible_and_monotone_under_allocation():
+    before = proc_rss_bytes()
+    assert 1 << 20 < before < 1 << 42  # more than 1 MB, less than 4 TB
+    ballast = bytearray(32 << 20)  # touch 32 MB so it is actually resident
+    ballast[::4096] = b"x" * len(ballast[::4096])
+    after = proc_rss_bytes()
+    del ballast
+    assert after >= before
