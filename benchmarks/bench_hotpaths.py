@@ -32,7 +32,12 @@ machine-readable ``BENCH_hotpaths.json`` at the repository root:
   subprocess), and asserting the two runs are bit-identical by streaming
   sha256 digest.  ``--oocore-n 100000000`` opts into the paper-scale run
   (pair it with ``--oocore-spill-only``: at that n the in-RAM reference is
-  the thing that cannot exist).
+  the thing that cannot exist);
+* ``dyngraph_incremental`` — churn application throughput (epochs/s of
+  :func:`repro.dyngraph.evolve` at n=10^6 under the full scale) and the
+  warm-vs-scratch pagerank comparison on the final snapshot: both runs go
+  to the same ``tol``, the warm one seeded from the previous epoch's
+  vector, and the report records the wall/superstep speedup.
 
 Every measurement is best-of-``--repeats`` wall time: single-occupancy CI
 boxes (and the 1-CPU container this repo grew up on) show multi-x run-to-run
@@ -110,6 +115,7 @@ SCALES = {
         telemetry_n=50_000,
         sched_n=200, sched_schedules=8,
         oocore_n=200_000, oocore_P=4, oocore_budget_mb=2,
+        dyn_n=50_000, dyn_P=4, dyn_epochs=4,
     ),
     "ci": dict(
         general_n=200_000, x1_n=200_000, ptr_n=500_000,
@@ -119,6 +125,7 @@ SCALES = {
         telemetry_n=200_000,
         sched_n=300, sched_schedules=16,
         oocore_n=1_000_000, oocore_P=4, oocore_budget_mb=8,
+        dyn_n=200_000, dyn_P=4, dyn_epochs=4,
     ),
     "full": dict(
         general_n=200_000, x1_n=1_000_000, ptr_n=2_000_000,
@@ -130,6 +137,7 @@ SCALES = {
         telemetry_n=500_000,
         sched_n=300, sched_schedules=64,
         oocore_n=10_000_000, oocore_P=4, oocore_budget_mb=64,
+        dyn_n=1_000_000, dyn_P=8, dyn_epochs=5,
     ),
 }
 
@@ -498,6 +506,86 @@ def case_out_of_core(sizes, repeats):
     return out
 
 
+def case_dyngraph_incremental(sizes, repeats):
+    """Churn throughput and the warm-vs-scratch pagerank payoff.
+
+    Evolves an n-node commfree graph for E epochs (``epochs_per_s`` is the
+    sequential churn-application rate), then compares pagerank on the final
+    snapshot started cold (uniform) vs warm (the previous epoch's vector,
+    extended and renormalised by :func:`warm_start_pagerank`) — both run to
+    the same ``tol``, so they agree within the contraction ball and the
+    only difference is how fast they enter it.
+    """
+    from repro.core.commfree import commfree
+    from repro.core.partitioning import make_partition
+    from repro.distgraph.pagerank import distributed_pagerank
+    from repro.distgraph.storage import DistributedGraph
+    from repro.dyngraph import ChurnSchedule
+    from repro.dyngraph.evolve import evolve
+    from repro.dyngraph.incremental import warm_start_pagerank
+    from repro.graph.edgelist import EdgeList
+
+    n, P, epochs = sizes["dyn_n"], sizes["dyn_P"], sizes["dyn_epochs"]
+    tol = 1e-9
+    edges = commfree(n, x=2, seed=SEED)
+    sched = ChurnSchedule(
+        seed=SEED, epochs=epochs,
+        arrival_rate=n / 1000, attach_x=2, departure_prob=0.001,
+        deletion_rate=n / 2000, rewire_rate=n / 2000,
+    )
+
+    t_evolve = best_of(repeats, evolve, edges, n, sched)
+
+    # prefix property: an (epochs-1)-epoch run IS the final run's prefix,
+    # so its state is exactly "the previous snapshot"
+    prev = evolve(edges, n, sched, epochs=epochs - 1).state
+    final = evolve(edges, n, sched).state
+
+    def graph_of(state):
+        part = make_partition("rrp", state.n, P)
+        return DistributedGraph.from_edgelist(
+            EdgeList.from_arrays(state.u, state.v, copy=False), part
+        )
+
+    g_prev, g_final = graph_of(prev), graph_of(final)
+    prev_pr, _ = distributed_pagerank(g_prev, iterations=500, tol=tol)
+    x0 = warm_start_pagerank(prev_pr, final.n)
+
+    cold = {"wall_s": float("inf")}
+    warm = {"wall_s": float("inf")}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        cold_pr, eng = distributed_pagerank(g_final, iterations=500, tol=tol)
+        t = time.perf_counter() - t0
+        if t < cold["wall_s"]:
+            cold = {"wall_s": t, "supersteps": eng.supersteps}
+        t0 = time.perf_counter()
+        warm_pr, eng = distributed_pagerank(
+            g_final, iterations=500, tol=tol, x0=x0
+        )
+        t = time.perf_counter() - t0
+        if t < warm["wall_s"]:
+            warm = {"wall_s": t, "supersteps": eng.supersteps}
+    linf = float(np.abs(cold_pr - warm_pr).max())
+    if linf > 1e-6:
+        raise RuntimeError(
+            f"warm pagerank diverged from scratch by {linf:.3e}"
+        )
+    return {
+        "n": n, "P": P, "epochs": epochs, "tol": tol,
+        "evolve_wall_s": t_evolve,
+        "epochs_per_s": epochs / t_evolve,
+        "final_edges": final.num_edges,
+        "pagerank_cold": cold,
+        "pagerank_warm": warm,
+        "warm_vs_scratch_linf": linf,
+        "speedup_warm_over_scratch": cold["wall_s"] / warm["wall_s"],
+        "superstep_ratio_cold_over_warm": (
+            cold["supersteps"] / warm["supersteps"]
+        ),
+    }
+
+
 CASES = {
     "copy_model_general": case_copy_model_general,
     "copy_model_x1": case_copy_model_x1,
@@ -511,6 +599,7 @@ CASES = {
     "telemetry_overhead": case_telemetry_overhead,
     "sched_explore": case_sched_explore,
     "out_of_core": case_out_of_core,
+    "dyngraph_incremental": case_dyngraph_incremental,
 }
 
 
@@ -523,6 +612,11 @@ def main(argv=None) -> int:
     ap.add_argument("--cases", default=",".join(CASES),
                     help="comma-separated subset of: " + ", ".join(CASES))
     ap.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    ap.add_argument("--merge", action="store_true",
+                    help="update only the cases run this invocation inside "
+                         "an existing --out report (instead of replacing the "
+                         "whole file) — for recording one new/changed case "
+                         "without re-timing everything")
     ap.add_argument("--require-speedup", type=float, default=None, metavar="S",
                     help="fail unless fast general copy model is >= S x reference")
     ap.add_argument("--require-p2p-speedup", type=float, default=None, metavar="S",
@@ -599,6 +693,11 @@ def main(argv=None) -> int:
             endtoend_modes["p2p"]["wall_s"] / cf_e2e["wall_s"]
         )
 
+    if args.merge and args.out.exists():
+        merged = json.loads(args.out.read_text())
+        merged["cases"].update(report["cases"])
+        merged["generated"] = report["generated"]
+        report = merged
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench_hotpaths] wrote {args.out}")
 
@@ -706,6 +805,16 @@ def main(argv=None) -> int:
         print(f"[bench_hotpaths] out-of-core RSS gate passed "
               f"({got_mb:.0f}MB <= {args.max_oocore_rss:.0f}MB, "
               f"bit_identical={oo['bit_identical']})")
+    dyn = report["cases"].get("dyngraph_incremental")
+    if dyn is not None:
+        print(f"[bench_hotpaths] dyngraph n={dyn['n']} "
+              f"({dyn['epochs']} epochs): evolve {dyn['evolve_wall_s']:.3f}s "
+              f"({dyn['epochs_per_s']:.1f} epochs/s); pagerank cold "
+              f"{dyn['pagerank_cold']['wall_s']:.3f}s vs warm "
+              f"{dyn['pagerank_warm']['wall_s']:.3f}s "
+              f"({dyn['speedup_warm_over_scratch']:.2f}x, supersteps "
+              f"{dyn['pagerank_cold']['supersteps']} -> "
+              f"{dyn['pagerank_warm']['supersteps']})")
     tel = report["cases"].get("telemetry_overhead")
     if tel is not None:
         print(f"[bench_hotpaths] telemetry: disabled {tel['disabled_s']:.3f}s, "

@@ -88,6 +88,9 @@ class GenerationResult:
     #: the :class:`repro.mpsim.faults.FaultPlan` the run executed under
     #: (``None`` for fault-free runs); its ``log`` lists every applied fault
     fault_plan: Any = None
+    #: the :class:`repro.dyngraph.evolve.EvolutionResult` when the run was
+    #: asked to churn the generated graph (``generate(..., evolve=schedule)``)
+    evolution: Any = None
 
     @property
     def total_load_per_rank(self) -> np.ndarray:
@@ -135,6 +138,7 @@ def generate(
     generator: str = "copy",
     out_of_core: str | None = None,
     spill_budget_bytes: int = 64 << 20,
+    evolve: Any = None,
 ) -> GenerationResult:
     """Generate a preferential-attachment network.
 
@@ -242,6 +246,14 @@ def generate(
         ``mp`` engines for both generators; output is **bit-identical** to
         the in-RAM path at every rank count.  See ``docs/performance.md``
         (out-of-core section) for the format and the RSS budget semantics.
+    evolve:
+        Optional :class:`repro.dyngraph.ChurnSchedule`: after generation
+        the graph churns under it (on the same engine and rank count) and
+        the :class:`repro.dyngraph.evolve.EvolutionResult` lands on the
+        result's ``evolution`` attribute; ``result.edges`` stays the
+        static base graph.  Supported on the ``sequential``, ``bsp``, and
+        ``mp`` engines; incompatible with ``out_of_core`` (the evolving
+        edge arrays live in RAM).  See ``docs/dynamic_networks.md``.
 
     Examples
     --------
@@ -261,6 +273,18 @@ def generate(
         raise ValueError(
             f"unknown generator {generator!r}; choose 'copy' or 'commfree'"
         )
+    if evolve is not None:
+        if engine not in ("sequential", "bsp", "mp"):
+            raise ValueError(
+                "evolve= churns the generated graph on the sequential, bsp, "
+                f"or mp engine; engine={engine!r} cannot run the evolution"
+            )
+        if out_of_core is not None:
+            raise ValueError(
+                "evolve= materialises the evolving edge arrays in RAM; "
+                "drop out_of_core= (or evolve the spilled graph separately "
+                "via repro.dyngraph.evolve)"
+            )
     if out_of_core is not None:
         if spill_budget_bytes < 1:
             raise ValueError(
@@ -314,9 +338,12 @@ def generate(
                 "makes rank-order concatenation reproduce the sequential "
                 "edge order) — drop partition="
             )
-        return _generate_commfree(
-            n, x, p, ranks, seed, engine, cost_model, telemetry,
-            out_of_core=out_of_core, spill_budget_bytes=spill_budget_bytes,
+        return _attach_evolution(
+            _generate_commfree(
+                n, x, p, ranks, seed, engine, cost_model, telemetry,
+                out_of_core=out_of_core, spill_budget_bytes=spill_budget_bytes,
+            ),
+            evolve, engine, ranks, exchange, cost_model, telemetry,
         )
 
     if schedule is not None:
@@ -374,20 +401,23 @@ def generate(
             with tel.span("copy_model", cat="compute", tid=0, n=n, x=x):
                 edges = copy_model(n, x=x, p=p, seed=seed)
         cost = cost_model or CostModel()
-        return GenerationResult(
-            edges=edges,
-            n=n,
-            x=x,
-            p=p,
-            scheme="none",
-            ranks=1,
-            engine=engine,
-            seed=seed,
-            simulated_time=cost.compute_time(n, work_items=len(edges)),
-            supersteps=0,
-            nodes_per_rank=np.array([n], dtype=np.int64),
-            requests_sent=np.zeros(1, np.int64),
-            requests_received=np.zeros(1, np.int64),
+        return _attach_evolution(
+            GenerationResult(
+                edges=edges,
+                n=n,
+                x=x,
+                p=p,
+                scheme="none",
+                ranks=1,
+                engine=engine,
+                seed=seed,
+                simulated_time=cost.compute_time(n, work_items=len(edges)),
+                supersteps=0,
+                nodes_per_rank=np.array([n], dtype=np.int64),
+                requests_sent=np.zeros(1, np.int64),
+                requests_received=np.zeros(1, np.int64),
+            ),
+            evolve, engine, 1, exchange, cost_model, telemetry,
         )
 
     part = partition if partition is not None else make_partition(scheme, n, ranks)
@@ -428,11 +458,14 @@ def generate(
         )
 
     if engine == "mp":
-        return _generate_mp(
-            n, x, p, part, seed, cost_model, exchange, pool, plan,
-            checkpoint_path, checkpoint_every, checkpoint_dir,
-            checkpoint_keep, max_retries, barrier_timeout, telemetry,
-            liveness_poll, out_of_core, spill_budget_bytes,
+        return _attach_evolution(
+            _generate_mp(
+                n, x, p, part, seed, cost_model, exchange, pool, plan,
+                checkpoint_path, checkpoint_every, checkpoint_dir,
+                checkpoint_keep, max_retries, barrier_timeout, telemetry,
+                liveness_poll, out_of_core, spill_budget_bytes,
+            ),
+            evolve, engine, part.P, exchange, cost_model, telemetry,
         )
 
     if engine != "bsp":
@@ -487,26 +520,53 @@ def generate(
             checkpointer=checkpointer, fault_plan=plan, telemetry=telemetry,
             schedule=schedule,
         )
-    return GenerationResult(
-        edges=edges,
-        n=n,
-        x=x,
-        p=p,
-        scheme=part.scheme,
-        ranks=part.P,
-        engine=engine,
-        seed=seed,
-        simulated_time=eng.simulated_time,
-        supersteps=eng.supersteps,
-        requests_sent=np.array([pr.requests_sent for pr in programs], dtype=np.int64),
-        requests_received=np.array(
-            [pr.requests_received for pr in programs], dtype=np.int64
+    return _attach_evolution(
+        GenerationResult(
+            edges=edges,
+            n=n,
+            x=x,
+            p=p,
+            scheme=part.scheme,
+            ranks=part.P,
+            engine=engine,
+            seed=seed,
+            simulated_time=eng.simulated_time,
+            supersteps=eng.supersteps,
+            requests_sent=np.array(
+                [pr.requests_sent for pr in programs], dtype=np.int64
+            ),
+            requests_received=np.array(
+                [pr.requests_received for pr in programs], dtype=np.int64
+            ),
+            nodes_per_rank=part.sizes(),
+            world_stats=eng.stats,
+            recoveries=recoveries,
+            fault_plan=plan,
         ),
-        nodes_per_rank=part.sizes(),
-        world_stats=eng.stats,
-        recoveries=recoveries,
-        fault_plan=plan,
+        evolve, engine, part.P, exchange, cost_model, telemetry,
     )
+
+
+def _attach_evolution(
+    result: GenerationResult, schedule, engine, ranks, exchange, cost_model,
+    telemetry,
+) -> GenerationResult:
+    """Churn the generated graph when ``generate(..., evolve=)`` asked for it.
+
+    The evolution runs on the same engine and rank count as the generation
+    (the commfree mp surface exchanges nothing, but its evolution uses the
+    regular mp backend).  ``result.edges`` keeps the static base graph; the
+    evolved state and per-epoch deltas land on ``result.evolution``.
+    """
+    if schedule is None:
+        return result
+    from repro.dyngraph.evolve import evolve as _evolve
+
+    result.evolution = _evolve(
+        result.edges, result.n, schedule, engine=engine, ranks=ranks,
+        exchange=exchange, cost_model=cost_model, telemetry=telemetry,
+    )
+    return result
 
 
 def _spill_chunk_edges(budget_bytes: int) -> int:

@@ -82,7 +82,8 @@ def repartition(
 
     Each rank re-emits its locally stored adjacency records (one direction
     each, to avoid doubling) and the standard scatter routes them — no
-    global gather.
+    global gather.  The new partition's rank count may differ from the
+    graph's (gathering to one analysis rank, or spreading to more).
     """
     if partition.n != graph.num_nodes:
         raise ValueError(
@@ -100,4 +101,19 @@ def repartition(
         # emits it (ties impossible; self-loops were never stored)
         keep = u < v
         rank_edges.append(EdgeList.from_arrays(u[keep], v[keep]))
+    # the new partition may have a different rank count: pad with empty
+    # emitters (shrinking would drop edges, so fold the tail instead)
+    if len(rank_edges) < partition.P:
+        empty = EdgeList.from_arrays(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        rank_edges.extend([empty] * (partition.P - len(rank_edges)))
+    elif len(rank_edges) > partition.P:
+        tail = rank_edges[partition.P - 1:]
+        rank_edges = rank_edges[: partition.P - 1] + [
+            EdgeList.from_arrays(
+                np.concatenate([el.sources for el in tail]),
+                np.concatenate([el.targets for el in tail]),
+            )
+        ]
     return DistributedGraph.from_rank_edges(rank_edges, partition, cost_model=cost_model)

@@ -1,0 +1,36 @@
+"""Dynamic networks: churn schedules, temporal snapshots, warm analyses.
+
+The generators build a scale-free network; this package makes it *move*.
+A :class:`ChurnSchedule` describes seeded, deterministic churn (Poisson
+arrivals attaching preferentially, departures, edge deletions,
+degree-proportional rewires); :func:`evolve` applies it on the sequential,
+bsp, or mp engine with bit-identical results; :class:`SnapshotStore`
+persists sealed temporal generations; and :class:`IncrementalAnalyzer`
+keeps degree/components/pagerank warm between snapshots instead of
+recomputing from scratch.  See ``docs/dynamic_networks.md``.
+"""
+
+from repro.dyngraph.evolve import EvolutionResult, EvolvingState, evolve
+from repro.dyngraph.incremental import (
+    IncrementalAnalyzer,
+    incremental_degrees,
+    warm_start_labels,
+    warm_start_pagerank,
+)
+from repro.dyngraph.schedule import ChurnSchedule, EpochDelta
+from repro.dyngraph.snapshots import SNAPSHOT_MAGIC, Snapshot, SnapshotStore
+
+__all__ = [
+    "ChurnSchedule",
+    "EpochDelta",
+    "EvolvingState",
+    "EvolutionResult",
+    "evolve",
+    "Snapshot",
+    "SnapshotStore",
+    "SNAPSHOT_MAGIC",
+    "IncrementalAnalyzer",
+    "incremental_degrees",
+    "warm_start_labels",
+    "warm_start_pagerank",
+]

@@ -1,0 +1,201 @@
+"""Incremental recomputation between temporal snapshots.
+
+Rebuilding every analysis from scratch after each epoch wastes exactly the
+work churn did *not* touch.  This module keeps three distgraph analyses
+warm across epochs, each with a different — and exact — freshness story:
+
+**Degrees / degree histogram** — folded exactly: the epoch delta lists
+every added and removed edge, so ``degrees += bincount(added) -
+bincount(removed)`` reproduces the from-scratch degree array bit for bit.
+No kernel runs at all.
+
+**Connected components** — warm-started
+:func:`~repro.distgraph.components.distributed_components`: labels of
+components untouched by the delta are seeded from the previous epoch (they
+are already final), while every previous component containing a *dirty*
+node (an endpoint of a removed edge, or a departed node) is reset to
+self-labels.  Seeding is sound — every seed label is the id of a node in
+the same current component (removals only ever split previous components,
+and a split component is fully reset; additions only merge) — and complete
+— the current minimum id always reappears as its own seed — so hash-min
+propagation converges to **exactly** the from-scratch labels, just in
+fewer rounds.
+
+**PageRank** — warm-started
+:func:`~repro.distgraph.pagerank.distributed_pagerank`: the previous
+vector (extended with ``1/n`` mass for arrivals, renormalised) seeds the
+power iteration, which then runs to the same ``tol`` as a cold run.  Power
+iteration is a contraction with factor ``d``, so any run stopped at
+L1-step ``< tol`` is within ``d/(1-d) * tol`` of the unique fixed point —
+warm and cold results agree to that ball (``tol=1e-12`` ⇒ agreement well
+under the 1e-9 the tests assert), and the warm start pays for itself by
+entering the ball in far fewer iterations (the ``dyngraph_incremental``
+bench case measures the speedup).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.partitioning import make_partition
+from repro.distgraph.components import distributed_components
+from repro.distgraph.pagerank import distributed_pagerank
+from repro.distgraph.storage import DistributedGraph
+from repro.dyngraph.schedule import EpochDelta
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "incremental_degrees",
+    "warm_start_labels",
+    "warm_start_pagerank",
+    "IncrementalAnalyzer",
+]
+
+
+def incremental_degrees(
+    prev_degrees: np.ndarray, delta: EpochDelta, n: int
+) -> np.ndarray:
+    """Exact degree array after ``delta`` (no kernel run, pure folding)."""
+    deg = np.zeros(n, dtype=np.int64)
+    deg[: len(prev_degrees)] = prev_degrees
+    if len(delta.added_u):
+        ends = np.concatenate([delta.added_u, delta.added_v])
+        deg += np.bincount(ends, minlength=n).astype(np.int64)
+    if len(delta.removed_u):
+        ends = np.concatenate([delta.removed_u, delta.removed_v])
+        deg -= np.bincount(ends, minlength=n).astype(np.int64)
+    return deg
+
+
+def degree_histogram(degrees: np.ndarray) -> np.ndarray:
+    """Histogram in :func:`distributed_degree_histogram`'s default shape."""
+    return np.bincount(degrees).astype(np.int64)
+
+
+def warm_start_labels(
+    prev_labels: np.ndarray, delta: EpochDelta, n: int
+) -> np.ndarray:
+    """Seed labels for a warm (and still exact) components run.
+
+    Nodes of previous components untouched by removals keep their previous
+    label; every previous component containing a dirty node is reset to
+    self-labels; new nodes label themselves.
+    """
+    n_prev = len(prev_labels)
+    labels0 = np.arange(n, dtype=np.int64)
+    labels0[:n_prev] = prev_labels
+    dirty = np.concatenate([delta.removed_u, delta.removed_v, delta.departed])
+    dirty = dirty[dirty < n_prev]
+    if len(dirty):
+        dirty_components = np.unique(prev_labels[dirty])
+        reset = np.flatnonzero(np.isin(prev_labels, dirty_components))
+        labels0[reset] = reset
+    return labels0
+
+
+def warm_start_pagerank(prev_pr: np.ndarray, n: int) -> np.ndarray:
+    """Seed vector for a warm pagerank run: extend with 1/n, renormalise."""
+    x0 = np.full(n, 1.0 / n, dtype=np.float64)
+    x0[: len(prev_pr)] = prev_pr
+    total = x0.sum()
+    if total > 0:
+        x0 /= total
+    return x0
+
+
+class IncrementalAnalyzer:
+    """Keep degree/components/pagerank warm across an evolution.
+
+    Feed it the initial state, then one ``(state, delta)`` pair per epoch
+    (or per snapshot); after every :meth:`advance` the attributes
+    ``degrees``, ``labels``, and ``pagerank`` hold results equal to a
+    from-scratch recomputation — bit-identical for degrees and labels,
+    within the contraction ball (``<< 1e-9`` at the default ``tol``) for
+    pagerank.  :meth:`verify` recomputes all three cold and asserts it.
+    """
+
+    def __init__(
+        self,
+        state: Any,
+        *,
+        ranks: int = 1,
+        scheme: str = "rrp",
+        damping: float = 0.85,
+        tol: float = 1e-12,
+        max_iterations: int = 500,
+        cost_model: Any = None,
+    ) -> None:
+        self.ranks = ranks
+        self.scheme = scheme
+        self.damping = damping
+        self.tol = tol
+        self.max_iterations = max_iterations
+        self.cost_model = cost_model
+        self.degrees = state.degrees()
+        g = self.graph(state)
+        self.labels, _ = distributed_components(g, cost_model=cost_model)
+        self.pagerank, _ = distributed_pagerank(
+            g, damping=damping, iterations=max_iterations, tol=tol,
+            cost_model=cost_model,
+        )
+
+    def graph(self, state: Any) -> DistributedGraph:
+        part = make_partition(self.scheme, state.n, self.ranks)
+        return DistributedGraph.from_edgelist(
+            EdgeList.from_arrays(state.u, state.v, copy=False), part
+        )
+
+    def advance(self, state: Any, delta: EpochDelta) -> dict[str, np.ndarray]:
+        """Fold one epoch: exact degrees, warm components, warm pagerank."""
+        self.degrees = incremental_degrees(self.degrees, delta, state.n)
+        g = self.graph(state)
+        labels0 = warm_start_labels(self.labels, delta, state.n)
+        self.labels, _ = distributed_components(
+            g, cost_model=self.cost_model, labels0=labels0
+        )
+        x0 = warm_start_pagerank(self.pagerank, state.n)
+        self.pagerank, _ = distributed_pagerank(
+            g, damping=self.damping, iterations=self.max_iterations,
+            tol=self.tol, x0=x0, cost_model=self.cost_model,
+        )
+        return {
+            "degrees": self.degrees,
+            "labels": self.labels,
+            "pagerank": self.pagerank,
+        }
+
+    def verify(self, state: Any, atol: float = 1e-9) -> dict[str, float]:
+        """Recompute everything cold; assert the warm results match.
+
+        Returns the observed deviations (degree/label mismatches are
+        required to be exactly zero; pagerank within ``atol`` in L-inf).
+        """
+        from repro.distgraph.degree import distributed_degree_histogram
+
+        g = self.graph(state)
+        cold_hist, _ = distributed_degree_histogram(g, cost_model=self.cost_model)
+        warm_hist = degree_histogram(self.degrees)
+        if not np.array_equal(warm_hist, cold_hist):
+            raise AssertionError(
+                f"epoch {state.epoch}: incremental degree histogram diverged"
+            )
+        cold_labels, _ = distributed_components(g, cost_model=self.cost_model)
+        label_diff = int((cold_labels != self.labels).sum())
+        if label_diff:
+            raise AssertionError(
+                f"epoch {state.epoch}: {label_diff} warm component labels "
+                "differ from scratch"
+            )
+        cold_pr, _ = distributed_pagerank(
+            g, damping=self.damping, iterations=self.max_iterations,
+            tol=self.tol, cost_model=self.cost_model,
+        )
+        pr_dev = float(np.abs(cold_pr - self.pagerank).max())
+        if pr_dev > atol:
+            raise AssertionError(
+                f"epoch {state.epoch}: warm pagerank deviates {pr_dev:.3e} "
+                f"> {atol:.0e} from scratch"
+            )
+        return {"pagerank_linf": pr_dev, "label_mismatches": 0.0}

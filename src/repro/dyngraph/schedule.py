@@ -1,0 +1,260 @@
+"""Deterministic churn schedules — every decision a pure function of (seed, epoch).
+
+A :class:`ChurnSchedule` describes how a generated graph evolves: Poisson
+node arrivals that attach preferentially with ``attach_x`` edges, per-node
+departures, Poisson edge deletions, and degree-proportional rewiring.  Every
+decision is drawn from :meth:`repro.rng.StreamFactory.counter_substream`
+keys, so a schedule is
+
+* a **pure function of (seed, epoch)** — no draw depends on what was drawn
+  before, on the engine, or on how arrivals are sliced across ranks;
+* **replayable at any rank count** — rank ``r`` computing arrivals
+  ``[lo, hi)`` evaluates exactly the counter slots a sequential run would,
+  which is what makes ``evolve()`` bit-identical across engines
+  (asserted by ``tests/dyngraph/test_evolve.py``).
+
+The decision streams live in their own namespace (:data:`_NS`), disjoint
+from the generators' spaces (the copy model uses ``(rank, purpose)`` keys,
+commfree uses namespace 23), so evolving a graph never perturbs how it was
+generated.
+
+Within one epoch the phases apply in a fixed order — arrivals, departures,
+edge deletions, rewires — and arrivals attach to the **epoch-start**
+endpoint pool (each live edge contributes both endpoints, so a node's
+multiplicity in the pool *is* its degree).  Freezing the pool for the epoch
+is what makes per-arrival target computation embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.rng.streams import CounterStream, StreamFactory
+
+__all__ = ["ChurnSchedule", "EpochDelta"]
+
+#: dyngraph decision-stream namespace.  Substream keys are
+#: ``(_NS, purpose, epoch)``; commfree owns namespace 23, the schedule
+#: fuzzer draws from the event-driven retry space — this constant keeps the
+#: churn decisions out of everyone else's key space.
+_NS = 31
+
+# purposes within the namespace
+_COUNTS = 0  #: per-epoch Poisson counts — slot=epoch, draw=kind
+_DEPART = 1  #: per-epoch departures — slot=node id
+_ATTACH = 2  #: arrival attachment — slot=arrival*x+k, draw=attempt
+_DELETE = 3  #: edge-deletion scores — slot=live-edge position
+_REWIRE = 4  #: rewires — slot=rewire index, draw=attempt*3+field
+_FAULT = 5  #: departure-coupled fault plans — slot=field
+
+
+def _poisson_from_uniform(u: float, lam: float, cap: int) -> int:
+    """Inverse-CDF Poisson sample from one uniform (deterministic)."""
+    if lam <= 0.0:
+        return 0
+    p = math.exp(-lam)
+    cdf = p
+    k = 0
+    while u >= cdf and k < cap:
+        k += 1
+        p *= lam / k
+        cdf += p
+    return k
+
+
+@dataclass(frozen=True)
+class EpochDelta:
+    """Exact record of what one epoch changed.
+
+    ``added``/``removed`` list edge endpoint arrays in application order;
+    an edge rewired within the epoch appears in both (old orientation
+    removed, new orientation added).  The delta is what
+    :mod:`repro.dyngraph.incremental` folds into warm-started analyses, so
+    it is exact by construction — not a sampled approximation.
+    """
+
+    epoch: int
+    born: np.ndarray  #: node ids that arrived this epoch
+    departed: np.ndarray  #: node ids that departed this epoch
+    added_u: np.ndarray
+    added_v: np.ndarray
+    removed_u: np.ndarray
+    removed_v: np.ndarray
+    rewires: int = 0  #: rewires applied (their edges are in added+removed)
+
+    @property
+    def edges_added(self) -> int:
+        return len(self.added_u)
+
+    @property
+    def edges_removed(self) -> int:
+        return len(self.removed_u)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "epoch": int(self.epoch),
+            "born": len(self.born),
+            "departed": len(self.departed),
+            "edges_added": self.edges_added,
+            "edges_removed": self.edges_removed,
+            "rewires": int(self.rewires),
+        }
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A seeded, deterministic description of network churn.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the decision streams.  Two schedules with equal
+        parameters are interchangeable objects: the draws depend only on
+        the field values, never on object identity.
+    epochs:
+        Default epoch count for drivers that don't override it.
+    arrival_rate:
+        Mean Poisson node arrivals per epoch.
+    attach_x:
+        Edges each arriving node attaches (preferentially, to the
+        epoch-start endpoint pool); distinct targets per arrival.
+    departure_prob:
+        Per-node, per-epoch departure probability.  A departing node takes
+        all its incident edges with it.
+    deletion_rate:
+        Mean Poisson count of live edges deleted per epoch (uniformly,
+        by position score).
+    rewire_rate:
+        Mean Poisson count of rewires per epoch: a uniform live edge has
+        one endpoint replaced by a degree-proportional draw from the
+        current endpoint pool.
+    max_attempts:
+        Retry bound for rejection sampling (duplicate arrival targets,
+        self-loop rewires).  Slots that exhaust it are dropped — which
+        only happens when the pool has fewer distinct endpoints than
+        requested targets, and happens identically on every engine.
+
+    Examples
+    --------
+    >>> s = ChurnSchedule(seed=7, arrival_rate=4.0)
+    >>> s.counts(0) == ChurnSchedule(seed=7, arrival_rate=4.0).counts(0)
+    True
+    """
+
+    seed: int
+    epochs: int = 10
+    arrival_rate: float = 8.0
+    attach_x: int = 2
+    departure_prob: float = 0.02
+    deletion_rate: float = 2.0
+    rewire_rate: float = 2.0
+    max_attempts: int = 64
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.arrival_rate < 0 or self.deletion_rate < 0 or self.rewire_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if self.attach_x < 0:
+            raise ValueError(f"attach_x must be >= 0, got {self.attach_x}")
+        if not 0.0 <= self.departure_prob < 1.0:
+            raise ValueError(
+                f"departure_prob must be in [0, 1), got {self.departure_prob}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    # -- decision streams --------------------------------------------------
+
+    def _stream(self, purpose: int, *rest: int) -> CounterStream:
+        return StreamFactory(self.seed).counter_substream(_NS, purpose, *rest)
+
+    def counts(self, epoch: int) -> tuple[int, int, int]:
+        """(arrivals, deletions, rewires) Poisson counts for ``epoch``."""
+        u = self._stream(_COUNTS, 0).uniforms(epoch, draw=np.arange(3))
+        cap = int(10 * max(self.arrival_rate, self.deletion_rate,
+                           self.rewire_rate) + 100)
+        return (
+            _poisson_from_uniform(float(u[0]), self.arrival_rate, cap),
+            _poisson_from_uniform(float(u[1]), self.deletion_rate, cap),
+            _poisson_from_uniform(float(u[2]), self.rewire_rate, cap),
+        )
+
+    def departure_mask(self, epoch: int, alive: np.ndarray) -> np.ndarray:
+        """Boolean mask over node ids: which alive nodes depart this epoch."""
+        n = len(alive)
+        if n == 0 or self.departure_prob == 0.0:
+            return np.zeros(n, dtype=bool)
+        u = self._stream(_DEPART, epoch).uniforms(np.arange(n, dtype=np.int64))
+        return alive & (u < self.departure_prob)
+
+    def arrival_targets(
+        self, epoch: int, pool: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Attachment targets for arrivals ``[lo, hi)`` of ``epoch``.
+
+        Returns an ``(hi - lo, attach_x)`` int64 matrix; entry ``[j, k]`` is
+        the k-th target of arrival ``lo + j`` (``-1`` = dropped, only when
+        the pool cannot supply ``attach_x`` distinct endpoints).  A pure
+        function of ``(seed, epoch, pool, arrival index)`` — slicing the
+        arrival range across ranks changes nothing, which is the whole
+        cross-engine bit-identity argument.
+        """
+        count = hi - lo
+        x = self.attach_x
+        targets = np.full((max(count, 0), x), -1, dtype=np.int64)
+        m = len(pool)
+        if count <= 0 or x == 0 or m == 0:
+            return targets
+        cs = self._stream(_ATTACH, epoch)
+        base_slots = np.arange(lo, hi, dtype=np.int64) * x
+        for k in range(x):
+            slots = base_slots + k
+            unresolved = np.arange(count, dtype=np.int64)
+            for attempt in range(self.max_attempts):
+                if not len(unresolved):
+                    break
+                u = cs.uniforms(slots[unresolved], draw=attempt)
+                cand = pool[(u * m).astype(np.int64)]
+                dup = np.zeros(len(unresolved), dtype=bool)
+                for j in range(k):
+                    dup |= targets[unresolved, j] == cand
+                ok = ~dup
+                targets[unresolved[ok], k] = cand[ok]
+                unresolved = unresolved[dup]
+        return targets
+
+    def deletion_scores(self, epoch: int, m: int) -> np.ndarray:
+        """Per-live-edge-position scores; the k smallest positions die."""
+        return self._stream(_DELETE, epoch).uniforms(np.arange(m, dtype=np.int64))
+
+    def rewire_draws(self, epoch: int, index: int, attempt: int) -> np.ndarray:
+        """Three uniforms for rewire ``index``: (edge pick, side, endpoint)."""
+        return self._stream(_REWIRE, epoch).uniforms(
+            index, draw=attempt * 3 + np.arange(3)
+        )
+
+    # -- departure-coupled faults -----------------------------------------
+
+    def fault_plan(self, epoch: int, ranks: int, supersteps: int = 4) -> Any:
+        """A deterministic :class:`~repro.mpsim.faults.FaultPlan` for ``epoch``.
+
+        Expresses the epoch's departures through the fault machinery: one
+        rank crash at a superstep derived from the epoch's decision stream.
+        Run under a supervisor (``evolve(..., checkpoint_dir=...)``) the
+        crash is recovered and the evolution stays bit-identical to a
+        fault-free one — the property ``tests/dyngraph/test_evolve.py``
+        asserts.
+        """
+        from repro.mpsim.faults import FaultPlan
+
+        if ranks < 2:
+            return None
+        u = self._stream(_FAULT, epoch).uniforms(np.arange(2))
+        rank = int(u[0] * ranks)
+        step = 1 + int(u[1] * max(supersteps - 1, 1))
+        return FaultPlan().crash(rank, at_superstep=step)

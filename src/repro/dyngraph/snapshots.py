@@ -1,0 +1,194 @@
+"""Temporal snapshots: sealed checkpoint generations + an epoch manifest.
+
+A :class:`SnapshotStore` persists an evolving network's history as one
+sha256-sealed file per saved epoch — the same tamper-evident envelope the
+checkpoint subsystem uses (:func:`repro.mpsim.checkpoint.save_sealed`),
+under the dyngraph magic — plus a small JSON ``manifest.json`` indexing the
+generations (epoch, sizes, churn counts, edge digest).  The manifest is
+rewritten atomically (write-then-rename), so a reader never observes a
+half-written index, and every payload is checksum-verified on load, so a
+truncated or corrupted generation fails loudly instead of silently
+analysing garbage.
+
+Snapshots are self-contained: each stores the full state (``n``,
+``alive``, live edges) plus the :class:`~repro.dyngraph.schedule.EpochDelta`
+that produced it, which is exactly what
+:mod:`repro.dyngraph.incremental` needs to keep analyses warm offline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.dyngraph.schedule import EpochDelta
+from repro.mpsim.checkpoint import load_sealed, save_sealed
+
+__all__ = ["Snapshot", "SnapshotStore", "SNAPSHOT_MAGIC"]
+
+#: envelope magic for dyngraph temporal snapshots (the checkpoint subsystem
+#: uses its own magics; sharing the sealing code, not the namespace)
+SNAPSHOT_MAGIC = "repro-dyngraph-snapshot"
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One sealed temporal generation, loaded and checksum-verified."""
+
+    epoch: int  #: churn epochs applied when this state was captured
+    n: int  #: total node ids ever allocated
+    alive: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    #: the delta that produced this state (``None`` for the initial state)
+    delta: EpochDelta | None
+    digest: str  #: streaming sha256 of the edge content
+
+    @property
+    def num_alive(self) -> int:
+        return int(self.alive.sum())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.u)
+
+    def state(self):
+        """Reconstruct a mutable :class:`~repro.dyngraph.evolve.EvolvingState`."""
+        from repro.dyngraph.evolve import EvolvingState
+
+        return EvolvingState(
+            n=self.n, alive=self.alive.copy(), u=self.u.copy(),
+            v=self.v.copy(), epoch=self.epoch,
+        )
+
+    def graph(self, ranks: int = 1, scheme: str = "rrp"):
+        """Materialise the snapshot as a :class:`DistributedGraph`."""
+        from repro.core.partitioning import make_partition
+        from repro.distgraph.storage import DistributedGraph
+        from repro.graph.edgelist import EdgeList
+
+        part = make_partition(scheme, self.n, ranks)
+        return DistributedGraph.from_edgelist(
+            EdgeList.from_arrays(self.u, self.v, copy=False), part
+        )
+
+
+class SnapshotStore:
+    """Sealed temporal snapshots under one directory, indexed by a manifest."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    def _generation_path(self, epoch: int) -> Path:
+        return self.directory / f"epoch{epoch:06d}.snap"
+
+    # -- writing -----------------------------------------------------------
+
+    def save(self, state: Any, delta: EpochDelta | None = None) -> Path:
+        """Seal ``state`` (plus the delta that produced it) as one generation."""
+        digest = state.digest()
+        payload = {
+            "schema": _SCHEMA,
+            "epoch": int(state.epoch),
+            "n": int(state.n),
+            "alive": np.asarray(state.alive, dtype=bool),
+            "u": np.asarray(state.u, dtype=np.int64),
+            "v": np.asarray(state.v, dtype=np.int64),
+            "delta": delta,
+            "digest": digest,
+        }
+        path = self._generation_path(state.epoch)
+        save_sealed(path, SNAPSHOT_MAGIC, payload)
+        entry = {
+            "epoch": int(state.epoch),
+            "file": path.name,
+            "n": int(state.n),
+            "alive": int(state.alive.sum()),
+            "edges": int(len(state.u)),
+            "digest": digest,
+        }
+        if delta is not None:
+            entry.update(
+                born=len(delta.born),
+                departed=len(delta.departed),
+                edges_added=delta.edges_added,
+                edges_removed=delta.edges_removed,
+                rewires=int(delta.rewires),
+            )
+        self._update_manifest(entry)
+        return path
+
+    def _update_manifest(self, entry: dict) -> None:
+        manifest = self.manifest()
+        entries = [e for e in manifest["entries"] if e["epoch"] != entry["epoch"]]
+        entries.append(entry)
+        entries.sort(key=lambda e: e["epoch"])
+        manifest["entries"] = entries
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    # -- reading -----------------------------------------------------------
+
+    def manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            return {"schema": _SCHEMA, "entries": []}
+        with open(self.manifest_path) as fh:
+            return json.load(fh)
+
+    def epochs(self) -> list[int]:
+        return [int(e["epoch"]) for e in self.manifest()["entries"]]
+
+    def load(self, epoch: int) -> Snapshot:
+        """Load and checksum-verify one generation."""
+        payload = load_sealed(
+            self._generation_path(epoch), SNAPSHOT_MAGIC, "dyngraph snapshot"
+        )
+        if payload["schema"] != _SCHEMA:
+            raise ValueError(
+                f"snapshot schema {payload['schema']} != {_SCHEMA}"
+            )
+        return Snapshot(
+            epoch=int(payload["epoch"]),
+            n=int(payload["n"]),
+            alive=payload["alive"],
+            u=payload["u"],
+            v=payload["v"],
+            delta=payload["delta"],
+            digest=payload["digest"],
+        )
+
+    def __iter__(self):
+        for epoch in self.epochs():
+            yield self.load(epoch)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-generation summary (the CLI inspect view)."""
+        lines = []
+        for e in self.manifest()["entries"]:
+            churn = ""
+            if "born" in e:
+                churn = (
+                    f"  +{e['born']} born -{e['departed']} departed"
+                    f"  +{e['edges_added']}/-{e['edges_removed']} edges"
+                    f"  {e['rewires']} rewired"
+                )
+            lines.append(
+                f"epoch {e['epoch']:4d}  n={e['n']}  alive={e['alive']}"
+                f"  m={e['edges']}{churn}  digest={e['digest'][:12]}"
+            )
+        return lines

@@ -49,6 +49,31 @@ class TestBoundaries:
         with pytest.raises(ValueError):
             degree_balanced_boundaries(np.ones(5, dtype=int), 6)
 
+    def test_more_ranks_than_nodes_rejected(self):
+        with pytest.raises(ValueError, match="more ranks than nodes"):
+            degree_balanced_boundaries(np.ones(3, dtype=int), 4)
+        with pytest.raises(ValueError, match="more ranks than nodes"):
+            DegreeBalancedPartition(np.ones(3, dtype=int), 100)
+
+    def test_all_zero_degrees_valid_split(self):
+        # total degree mass 0: every target prefix is 0, but the split must
+        # still be a valid monotone cover of [0, n]
+        bounds = degree_balanced_boundaries(np.zeros(10, dtype=int), 4)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        assert (np.diff(bounds) >= 0).all()
+        part = DegreeBalancedPartition(np.zeros(10, dtype=int), 4)
+        sizes = [part.partition_size(r) for r in range(4)]
+        assert sum(sizes) == 10
+        owners = np.asarray(part.owner(np.arange(10)))
+        assert ((0 <= owners) & (owners < 4)).all()
+
+    def test_single_rank(self):
+        deg = np.array([3, 0, 5, 1])
+        assert degree_balanced_boundaries(deg, 1).tolist() == [0, 4]
+        part = DegreeBalancedPartition(deg, 1)
+        assert part.degree_mass(0) == 9
+        assert part.partition_size(0) == 4
+
 
 class TestRepartition:
     def test_adjacency_preserved(self):
@@ -91,3 +116,41 @@ class TestRepartition:
         )
         with pytest.raises(ValueError):
             repartition(g, make_partition("rrp", 50, 2))
+
+    def test_to_single_rank(self):
+        n = 120
+        edges = copy_model(n, x=2, seed=6)
+        g = DistributedGraph.from_edgelist(edges, make_partition("rrp", n, 4))
+        deg = distributed_degrees(g)
+        g1 = repartition(g, DegreeBalancedPartition(deg, 1))
+        assert g1.partition.P == 1
+        assert g1.num_edges == g.num_edges
+        for node in (0, 1, n // 2, n - 1):
+            assert np.array_equal(
+                np.sort(g.neighbors_of(node)), np.sort(g1.neighbors_of(node))
+            )
+
+    def test_to_more_ranks(self):
+        n = 120
+        edges = copy_model(n, x=2, seed=8)
+        g = DistributedGraph.from_edgelist(edges, make_partition("ucp", n, 2))
+        deg = distributed_degrees(g)
+        g2 = repartition(g, DegreeBalancedPartition(deg, 6))
+        assert g2.partition.P == 6
+        assert g2.num_edges == g.num_edges
+        for node in (0, 3, n - 1):
+            assert np.array_equal(
+                np.sort(g.neighbors_of(node)), np.sort(g2.neighbors_of(node))
+            )
+
+    def test_zero_degree_tail_all_on_last_rank(self):
+        # isolates carry no degree mass: the balanced split may pack them
+        # all onto the final rank, and repartition must still cover them
+        n, P = 64, 4
+        edges = copy_model(32, x=1, seed=7)  # nodes 32..63 are isolates
+        g = DistributedGraph.from_edgelist(edges, make_partition("ucp", n, P))
+        deg = distributed_degrees(g)
+        assert (deg[32:] == 0).all()
+        g2 = repartition(g, DegreeBalancedPartition(deg, P))
+        assert g2.num_edges == g.num_edges
+        assert len(g2.neighbors_of(n - 1)) == 0

@@ -1,0 +1,61 @@
+"""Statistical property: the degree distribution stays power-law under churn.
+
+Arrivals attach preferentially, so sustained churn should preserve the
+scale-free character of the graph; the fitted exponent must stay in the
+literature band both before and after a long evolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dyngraph import ChurnSchedule, evolve
+from repro.dyngraph.evolve import EvolvingState
+from repro.seq.copy_model import copy_model
+
+
+def _fit_alpha(degrees):
+    pytest.importorskip("scipy")
+    from repro.graph.powerlaw import fit_powerlaw
+
+    return fit_powerlaw(degrees, k_min=None, k_min_candidates=20).gamma
+
+
+class TestPowerLawUnderChurn:
+    def test_exponent_stays_in_band(self):
+        n, x = 4000, 4
+        edges = copy_model(n, x=x, seed=17)
+        sched = ChurnSchedule(
+            seed=17, epochs=12,
+            arrival_rate=n / 100, attach_x=x,
+            departure_prob=0.005,
+            deletion_rate=n / 300, rewire_rate=n / 300,
+        )
+        before = EvolvingState.from_edges(edges, n).degrees()
+        res = evolve(edges, n, sched)
+        st = res.state
+        after = st.degrees()[st.alive]
+
+        a0 = _fit_alpha(before[before > 0])
+        a1 = _fit_alpha(after[after > 0])
+        assert 1.8 < a0 < 3.5
+        assert 1.8 < a1 < 3.5
+        # churn must not have destroyed the heavy tail outright
+        assert abs(a1 - a0) < 0.8
+
+    def test_hubs_keep_attracting_arrivals(self):
+        # degree-proportional attachment: arrival targets land on high-
+        # degree nodes far more often than uniform choice would
+        n, x = 2000, 3
+        edges = copy_model(n, x=x, seed=23)
+        sched = ChurnSchedule(seed=23, epochs=8, arrival_rate=40.0,
+                              attach_x=2, departure_prob=0.0,
+                              deletion_rate=0.0, rewire_rate=0.0)
+        res = evolve(edges, n, sched)
+        base_deg = EvolvingState.from_edges(edges, n).degrees()
+        hubs = np.argsort(base_deg)[-n // 50:]  # top 2%
+        targets = np.concatenate(
+            [np.concatenate([d.added_u, d.added_v]) for d in res.deltas]
+        )
+        targets = targets[targets < n]  # attachments into the base graph
+        hit_rate = np.isin(targets, hubs).mean()
+        assert hit_rate > 5 * (len(hubs) / n)

@@ -1,0 +1,130 @@
+"""ChurnSchedule: determinism, purity, and parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.dyngraph import ChurnSchedule
+from repro.mpsim.faults import FaultPlan
+
+
+class TestDeterminism:
+    def test_equal_parameters_equal_draws(self):
+        a = ChurnSchedule(seed=3, arrival_rate=5.0)
+        b = ChurnSchedule(seed=3, arrival_rate=5.0)
+        alive = np.ones(50, dtype=bool)
+        pool = np.arange(40, dtype=np.int64)
+        for epoch in range(4):
+            assert a.counts(epoch) == b.counts(epoch)
+            assert np.array_equal(
+                a.departure_mask(epoch, alive), b.departure_mask(epoch, alive)
+            )
+            assert np.array_equal(
+                a.arrival_targets(epoch, pool, 0, 6),
+                b.arrival_targets(epoch, pool, 0, 6),
+            )
+            assert np.array_equal(
+                a.deletion_scores(epoch, 30), b.deletion_scores(epoch, 30)
+            )
+
+    def test_different_seeds_differ(self):
+        alive = np.ones(200, dtype=bool)
+        masks = [
+            ChurnSchedule(seed=s, departure_prob=0.3).departure_mask(0, alive)
+            for s in range(4)
+        ]
+        assert any(not np.array_equal(masks[0], m) for m in masks[1:])
+
+    def test_epochs_are_independent_streams(self):
+        s = ChurnSchedule(seed=1, departure_prob=0.5)
+        alive = np.ones(300, dtype=bool)
+        m0, m1 = s.departure_mask(0, alive), s.departure_mask(1, alive)
+        assert not np.array_equal(m0, m1)
+
+
+class TestPurity:
+    def test_arrival_targets_slicing_invariant(self):
+        """Rank r computing arrivals [lo, hi) sees exactly the sequential
+        slice — the property cross-engine bit-identity rests on."""
+        s = ChurnSchedule(seed=11, attach_x=3)
+        pool = np.repeat(np.arange(25, dtype=np.int64), np.arange(25) % 4 + 1)
+        whole = s.arrival_targets(2, pool, 0, 12)
+        for cuts in ([0, 5, 12], [0, 1, 2, 12], [0, 12]):
+            parts = [
+                s.arrival_targets(2, pool, lo, hi)
+                for lo, hi in zip(cuts[:-1], cuts[1:])
+            ]
+            assert np.array_equal(np.concatenate(parts, axis=0), whole)
+
+    def test_targets_within_arrival_distinct(self):
+        s = ChurnSchedule(seed=5, attach_x=4)
+        pool = np.arange(30, dtype=np.int64)
+        targets = s.arrival_targets(0, pool, 0, 20)
+        for row in targets:
+            row = row[row >= 0]
+            assert len(np.unique(row)) == len(row)
+
+    def test_targets_come_from_pool(self):
+        s = ChurnSchedule(seed=5, attach_x=2)
+        pool = np.array([7, 7, 7, 9, 12], dtype=np.int64)
+        targets = s.arrival_targets(1, pool, 0, 10)
+        valid = targets[targets >= 0]
+        assert np.isin(valid, pool).all()
+
+    def test_small_pool_drops_excess_targets(self):
+        # pool has one distinct endpoint but each arrival wants two
+        s = ChurnSchedule(seed=2, attach_x=2, max_attempts=8)
+        pool = np.array([4, 4, 4], dtype=np.int64)
+        targets = s.arrival_targets(0, pool, 0, 5)
+        assert (targets[:, 0] == 4).all()
+        assert (targets[:, 1] == -1).all()
+
+
+class TestSemantics:
+    def test_departure_mask_respects_alive(self):
+        s = ChurnSchedule(seed=9, departure_prob=0.9)
+        alive = np.zeros(100, dtype=bool)
+        alive[::2] = True
+        mask = s.departure_mask(0, alive)
+        assert not mask[~alive].any()
+
+    def test_zero_rates_are_quiet(self):
+        s = ChurnSchedule(
+            seed=0, arrival_rate=0.0, departure_prob=0.0,
+            deletion_rate=0.0, rewire_rate=0.0,
+        )
+        assert s.counts(3) == (0, 0, 0)
+        assert not s.departure_mask(3, np.ones(10, dtype=bool)).any()
+
+    def test_poisson_counts_track_rate(self):
+        s = ChurnSchedule(seed=4, arrival_rate=6.0)
+        mean = np.mean([s.counts(e)[0] for e in range(200)])
+        assert 5.0 < mean < 7.0
+
+    def test_fault_plan(self):
+        s = ChurnSchedule(seed=8)
+        assert s.fault_plan(0, ranks=1) is None
+        plan = s.fault_plan(0, ranks=4)
+        assert isinstance(plan, FaultPlan)
+        again = s.fault_plan(0, ranks=4)
+        assert [(c.rank, c.at_superstep) for c in plan._crashes] == [
+            (c.rank, c.at_superstep) for c in again._crashes
+        ]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(epochs=0),
+            dict(arrival_rate=-1.0),
+            dict(deletion_rate=-0.5),
+            dict(rewire_rate=-2.0),
+            dict(attach_x=-1),
+            dict(departure_prob=1.0),
+            dict(departure_prob=-0.1),
+            dict(max_attempts=0),
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            ChurnSchedule(seed=0, **kwargs)

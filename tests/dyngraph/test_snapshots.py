@@ -1,0 +1,101 @@
+"""Sealed temporal snapshots: round-trip, manifest, corruption detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dyngraph import ChurnSchedule, SnapshotStore, evolve
+from repro.dyngraph.evolve import EvolvingState
+from repro.mpsim.errors import CorruptCheckpointError
+from repro.seq.copy_model import copy_model
+
+SCHED = ChurnSchedule(seed=21, epochs=4, arrival_rate=5.0, departure_prob=0.04)
+
+
+def evolved_store(tmp_path, every=1):
+    res = evolve(
+        copy_model(150, x=2, seed=2), 150, SCHED,
+        snapshot_dir=str(tmp_path / "snaps"), snapshot_every=every,
+    )
+    return res, res.snapshots
+
+
+class TestRoundTrip:
+    def test_epochs_and_manifest(self, tmp_path):
+        res, store = evolved_store(tmp_path)
+        assert store.epochs() == list(range(SCHED.epochs + 1))  # incl. epoch 0
+        manifest = store.manifest()
+        assert len(manifest["entries"]) == SCHED.epochs + 1
+        assert json.loads(store.manifest_path.read_text()) == manifest
+
+    def test_snapshot_every(self, tmp_path):
+        res, store = evolved_store(tmp_path, every=2)
+        eps = store.epochs()
+        assert 0 in eps and SCHED.epochs in eps  # initial + final always
+        assert all(e % 2 == 0 or e == SCHED.epochs for e in eps)
+
+    def test_loaded_state_matches(self, tmp_path):
+        res, store = evolved_store(tmp_path)
+        snap = store.load(SCHED.epochs)
+        assert snap.digest == res.state.digest()
+        st = snap.state()
+        assert np.array_equal(st.u, res.state.u)
+        assert np.array_equal(st.v, res.state.v)
+        assert np.array_equal(st.alive, res.state.alive)
+
+    def test_reopened_store_reads_back(self, tmp_path):
+        res, store = evolved_store(tmp_path)
+        fresh = SnapshotStore(store.directory)
+        assert fresh.epochs() == store.epochs()
+        assert fresh.load(0).digest == store.load(0).digest
+
+    def test_iter_and_summary(self, tmp_path):
+        res, store = evolved_store(tmp_path)
+        snaps = list(store)
+        assert [s.epoch for s in snaps] == store.epochs()
+        lines = store.summary_lines()
+        assert len(lines) == len(snaps)
+        assert all("digest=" in line for line in lines)
+
+    def test_save_load_direct(self, tmp_path):
+        st = EvolvingState.from_edges(copy_model(50, x=1, seed=0), 50)
+        store = SnapshotStore(tmp_path / "direct")
+        store.save(st)
+        snap = store.load(0)
+        assert snap.num_edges == st.num_edges
+        assert snap.delta is None
+
+
+class TestCorruption:
+    def test_bit_flip_detected(self, tmp_path):
+        _, store = evolved_store(tmp_path)
+        path = store.directory / "epoch000002.snap"
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptCheckpointError):
+            store.load(2)
+
+    def test_truncation_detected(self, tmp_path):
+        _, store = evolved_store(tmp_path)
+        path = store.directory / "epoch000001.snap"
+        path.write_bytes(path.read_bytes()[: 40])
+        with pytest.raises(CorruptCheckpointError):
+            store.load(1)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        from repro.dyngraph.snapshots import SNAPSHOT_MAGIC
+        from repro.mpsim.checkpoint import save_sealed
+
+        _, store = evolved_store(tmp_path)
+        path = store.directory / "epoch000003.snap"
+        save_sealed(path, "some-other-magic", {"not": "a snapshot"})
+        with pytest.raises(CorruptCheckpointError):
+            store.load(3)
+        assert SNAPSHOT_MAGIC != "some-other-magic"
+
+    def test_missing_epoch(self, tmp_path):
+        _, store = evolved_store(tmp_path)
+        with pytest.raises((KeyError, FileNotFoundError, ValueError)):
+            store.load(99)
